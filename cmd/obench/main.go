@@ -1,0 +1,47 @@
+// Command obench runs the reproduction experiments (E1–E13 and the
+// Figure 1 rendering from DESIGN.md's index) and prints their tables as
+// markdown — the data recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	obench            # run everything
+//	obench -exp E9    # run one experiment
+//	obench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"oblivext/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by ID (e.g. E9)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	run := bench.All()
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "obench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run = []bench.Experiment{e}
+	}
+	for _, e := range run {
+		start := time.Now()
+		table := e.Run()
+		fmt.Println(table.Markdown())
+		fmt.Printf("_(%s completed in %v)_\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

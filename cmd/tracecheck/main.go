@@ -1,0 +1,35 @@
+// Command tracecheck verifies the library's central security property from
+// the outside: for every data-oblivious operation, running with a fixed
+// random tape on wildly different inputs must produce bit-identical access
+// traces. It exits non-zero on any violation (and confirms the non-
+// oblivious baseline does leak, as a sanity check of the methodology).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"oblivext/internal/bench"
+)
+
+func main() {
+	table := bench.E13()
+	fmt.Println(table.Markdown())
+	bad := false
+	for _, row := range table.Rows {
+		oblivious := row[0][:3] != "NON"
+		identical := row[len(row)-1] == "yes"
+		switch {
+		case oblivious && !identical:
+			fmt.Printf("VIOLATION: %s leaked data through its trace\n", row[0])
+			bad = true
+		case !oblivious && identical:
+			fmt.Printf("SUSPICIOUS: baseline %s did not vary — methodology may be broken\n", row[0])
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Println("tracecheck: all oblivious traces input-invariant; baseline leaks as expected")
+}

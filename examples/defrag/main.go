@@ -1,0 +1,70 @@
+// Defrag: the paper's motivating use of compaction (§3) — defragmenting an
+// outsourced file system. Users of outsourced storage pay for the space
+// they occupy; compacting live pages to a tight prefix frees the tail, but
+// a naive defragmenter's access pattern tells the server exactly which
+// pages are live. Tight order-preserving compaction does the same job with
+// an access pattern independent of the liveness bitmap.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"oblivext"
+)
+
+func main() {
+	client, err := oblivext.New(oblivext.Config{BlockSize: 8, CacheWords: 1024, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+
+	// A "disk" of 4096 pages, 30% of which are live after deletions.
+	const pages = 4096
+	r := rand.New(rand.NewPCG(3, 4))
+	recs := make([]oblivext.Record, pages)
+	live := 0
+	for i := range recs {
+		alive := uint64(0)
+		if r.Float64() < 0.30 {
+			alive = 1
+			live++
+		}
+		recs[i] = oblivext.Record{Key: uint64(i), Val: alive}
+	}
+	disk, err := client.Store(recs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("volume: %d pages, %d live (%.0f%%)\n", pages, live, 100*float64(live)/pages)
+
+	// Mark live pages privately — the server sees a uniform re-encryption
+	// scan, not the liveness bitmap.
+	marked, err := disk.Mark(func(rec oblivext.Record) bool { return rec.Val == 1 })
+	if err != nil {
+		panic(err)
+	}
+
+	// Budget the compacted size from workload knowledge (the server will
+	// see this number, so it must not encode the exact data): half the
+	// volume comfortably covers a 30% live ratio.
+	client.ResetStats()
+	compact, err := disk.CompactTight(pages / 2)
+	if err != nil {
+		panic(err)
+	}
+	st := client.Stats()
+
+	kept, _ := compact.Records()
+	fmt.Printf("defragmented: %d live pages -> %d blocks (was %d)\n",
+		marked, compact.Blocks(), disk.Blocks())
+	fmt.Printf("order preserved: page ids %d, %d, %d, ... %d\n",
+		kept[0].Key, kept[1].Key, kept[2].Key, kept[len(kept)-1].Key)
+	for i := 1; i < len(kept); i++ {
+		if kept[i-1].Key >= kept[i].Key {
+			panic("order violated")
+		}
+	}
+	fmt.Printf("cost: %d block I/Os; the server never learned which pages were live\n", st.Total())
+}

@@ -1,0 +1,58 @@
+// Quickstart: outsource records, sort them obliviously, query a rank —
+// the three-line tour of the library.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"oblivext"
+)
+
+func main() {
+	// Alice's side: a small private cache (M = 512 records) against a
+	// block store serving B = 8 records per block.
+	client, err := oblivext.New(oblivext.Config{BlockSize: 8, CacheWords: 512, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+
+	// Outsource ten thousand records.
+	r := rand.New(rand.NewPCG(1, 2))
+	recs := make([]oblivext.Record, 10000)
+	for i := range recs {
+		recs[i] = oblivext.Record{Key: r.Uint64() % 1000000, Val: uint64(i)}
+	}
+	arr, err := client.Store(recs)
+	if err != nil {
+		panic(err)
+	}
+
+	// The median, in a linear number of I/Os, without revealing anything.
+	med, err := arr.Select(arr.Len() / 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("median key: %d\n", med.Key)
+
+	// Quartiles in one more linear pass.
+	qs, err := arr.Quantiles(3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("quartiles: %d %d %d\n", qs[0].Key, qs[1].Key, qs[2].Key)
+
+	// Sort the whole array obliviously.
+	client.ResetStats()
+	if err := arr.Sort(); err != nil {
+		panic(err)
+	}
+	st := client.Stats()
+	fmt.Printf("sorted %d records with %d block I/Os (%.1f per block)\n",
+		arr.Len(), st.Total(), float64(st.Total())/float64(arr.Blocks()))
+
+	sorted, _ := arr.Records()
+	fmt.Printf("first keys: %d %d %d ... last key: %d\n",
+		sorted[0].Key, sorted[1].Key, sorted[2].Key, sorted[len(sorted)-1].Key)
+}

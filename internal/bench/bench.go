@@ -1,0 +1,112 @@
+// Package bench is the experiment harness: one generator per experiment in
+// DESIGN.md's index (E1–E13 plus the Figure 1 rendering), each producing
+// the markdown table recorded in EXPERIMENTS.md. cmd/obench runs them.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/workload"
+)
+
+// Table is one experiment's output: a title, column headers, and rows.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		b.WriteString("\n> " + n + "\n")
+	}
+	return b.String()
+}
+
+// Experiment is a runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Table
+}
+
+// All returns every experiment in report order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "IBLT listEntries success rate (Lemma 1)", E1},
+		{"E2", "Consolidation exact I/O (Lemma 3)", E2},
+		{"E3", "Sparse tight compaction (Theorem 4)", E3},
+		{"E4", "Butterfly compaction sweep + ablation (Theorem 6)", E4},
+		{"FIG1", "Figure 1 routing example", Fig1},
+		{"E5", "Loose compaction linear I/O (Theorem 8)", E5},
+		{"E6", "log*-round loose compaction (Theorem 9)", E6},
+		{"E7", "Selection vs baselines (Theorems 12/13)", E7},
+		{"E8", "Quantiles (Theorem 17)", E8},
+		{"E9", "Sorting: randomized vs deterministic vs non-oblivious (Theorem 21)", E9},
+		{"E10", "ORAM amortized overhead by rebuild sort (§1 headline)", E10},
+		{"E11", "Shuffle-and-deal overflow vs c (Lemma 18/Cor 19)", E11},
+		{"E12", "Thinning-pass survivor decay (Lemma 7)", E12},
+		{"E13", "Input-invariance of oblivious traces (E13)", E13},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// newEnv builds a measurement environment.
+func newEnv(blocks, b, m int, seed uint64) *extmem.Env {
+	return extmem.NewEnv(blocks, b, m, seed)
+}
+
+// fillUniform loads nKeys uniform keys into a fresh array.
+func fillUniform(env *extmem.Env, blocks, nKeys int, seed uint64) extmem.Array {
+	a := env.D.Alloc(blocks)
+	keys, err := workload.Keys(workload.Uniform, nKeys, seed)
+	if err != nil {
+		panic(err)
+	}
+	if err := workload.Fill(a, keys); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func f(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// ratio formats a/b with two decimals, or "-" when b is zero.
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return f("%.2f", a/b)
+}
+
+// median returns the middle value of a sample.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

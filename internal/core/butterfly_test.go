@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/trace"
+)
+
+// buildCells writes n block-cells: cells listed in occ hold a full block of
+// occupied elements keyed by cell index; others are empty.
+func buildCells(a extmem.Array, occ map[int]bool) {
+	b := a.B()
+	buf := make([]extmem.Element, b)
+	for j := 0; j < a.Len(); j++ {
+		for t := 0; t < b; t++ {
+			if occ[j] {
+				buf[t] = extmem.Element{Key: uint64(j), Val: uint64(j*100 + t), Pos: uint64(j*b + t), Flags: extmem.FlagOccupied}
+			} else {
+				buf[t] = extmem.Element{}
+			}
+		}
+		a.Write(j, buf)
+	}
+}
+
+// cellKeys reads the per-cell occupancy: key of the first element of each
+// occupied cell, -1 for empty cells.
+func cellKeys(a extmem.Array) []int {
+	b := a.B()
+	buf := make([]extmem.Element, b)
+	out := make([]int, a.Len())
+	for j := 0; j < a.Len(); j++ {
+		a.Read(j, buf)
+		if buf[0].Occupied() {
+			out[j] = int(buf[0].Key)
+		} else {
+			out[j] = -1
+		}
+	}
+	return out
+}
+
+func occupiedSets(r *rand.Rand, n, count int) map[int]bool {
+	occ := map[int]bool{}
+	perm := r.Perm(n)
+	for i := 0; i < count; i++ {
+		occ[perm[i]] = true
+	}
+	return occ
+}
+
+func TestCompactTightCorrectness(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for _, lpp := range []int{0, 1, 2} { // windowed auto, naive, fixed-2
+		for _, n := range []int{1, 2, 3, 7, 16, 33, 64, 100} {
+			for _, density := range []int{0, 1, n / 2, n} {
+				if density > n {
+					continue
+				}
+				env := newTestEnv(n+8, 4, 64, 5)
+				a := env.D.Alloc(n)
+				occ := occupiedSets(r, n, density)
+				buildCells(a, occ)
+				got := CompactBlocksTight(env, a, PredOccupied, lpp)
+				if got != density {
+					t.Fatalf("lpp=%d n=%d density=%d: count=%d", lpp, n, density, got)
+				}
+				keys := cellKeys(a)
+				// Prefix = occupied cells' keys in increasing order
+				// (order preservation); suffix empty.
+				var want []int
+				for j := 0; j < n; j++ {
+					if occ[j] {
+						want = append(want, j)
+					}
+				}
+				for i := 0; i < n; i++ {
+					if i < len(want) {
+						if keys[i] != want[i] {
+							t.Fatalf("lpp=%d n=%d density=%d: cell %d = %d, want %d", lpp, n, density, i, keys[i], want[i])
+						}
+					} else if keys[i] != -1 {
+						t.Fatalf("lpp=%d n=%d density=%d: cell %d not empty", lpp, n, density, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompactTightPreservesBlockContents(t *testing.T) {
+	env := newTestEnv(24, 4, 64, 5)
+	a := env.D.Alloc(16)
+	occ := map[int]bool{3: true, 9: true, 15: true}
+	buildCells(a, occ)
+	CompactBlocksTight(env, a, PredOccupied, 0)
+	buf := make([]extmem.Element, 4)
+	wantCells := []int{3, 9, 15}
+	for i, wc := range wantCells {
+		a.Read(i, buf)
+		for tt := 0; tt < 4; tt++ {
+			if buf[tt].Val != uint64(wc*100+tt) || buf[tt].Pos != uint64(wc*4+tt) {
+				t.Fatalf("cell %d element %d content mangled: %+v", i, tt, buf[tt])
+			}
+		}
+		// Aux must record the origin for later expansion.
+		if buf[0].Aux() != wc {
+			t.Fatalf("cell %d aux = %d, want origin %d", i, buf[0].Aux(), wc)
+		}
+	}
+}
+
+func TestCompactThenExpandIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	for _, lpp := range []int{0, 1} {
+		for _, n := range []int{5, 16, 37, 64} {
+			for trial := 0; trial < 4; trial++ {
+				env := newTestEnv(n+8, 4, 64, 5)
+				a := env.D.Alloc(n)
+				cnt := r.IntN(n + 1)
+				occ := occupiedSets(r, n, cnt)
+				buildCells(a, occ)
+				before := cellKeys(a)
+				CompactBlocksTight(env, a, PredOccupied, lpp)
+				ExpandBlocks(env, a, PredOccupied, lpp)
+				after := cellKeys(a)
+				for j := range before {
+					if before[j] != after[j] {
+						t.Fatalf("lpp=%d n=%d trial=%d: cell %d was %d now %d", lpp, n, trial, j, before[j], after[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestButterflyOblivious(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 9))
+	run := func(count int) trace.Summary {
+		occ := occupiedSets(r, 32, count)
+		return traceOf(t, 64, 4, 48, 7, func(env *extmem.Env) {
+			a := env.D.Alloc(32)
+			buildCells(a, occ)
+			buildTrace := env.D.Recorder().Summarize()
+			_ = buildTrace
+			CompactBlocksTight(env, a, PredOccupied, 0)
+		})
+	}
+	// Different occupancy counts and layouts must give identical traces;
+	// the build phase writes the same 32 blocks each time.
+	s1, s2, s3 := run(0), run(16), run(32)
+	if !s1.Equal(s2) || !s1.Equal(s3) {
+		t.Fatalf("butterfly trace depends on data: %v %v %v", s1, s2, s3)
+	}
+}
+
+func TestButterflyIOMatchesPassCount(t *testing.T) {
+	for _, cfg := range []struct{ n, m, lpp int }{
+		{64, 48, 0}, {64, 48, 1}, {128, 24, 0}, {100, 48, 2},
+	} {
+		env := newTestEnv(cfg.n+8, 4, cfg.m, 5)
+		a := env.D.Alloc(cfg.n)
+		r := rand.New(rand.NewPCG(3, 3))
+		buildCells(a, occupiedSets(r, cfg.n, cfg.n/3))
+		env.D.ResetStats()
+		CompactBlocksTight(env, a, PredOccupied, cfg.lpp)
+		got := env.D.Stats().Total()
+		want := int64(ButterflyPassCount(cfg.n, cfg.lpp, cfg.m/4)) * int64(2*cfg.n)
+		if got != want {
+			t.Errorf("n=%d m=%d lpp=%d: measured %d I/Os, predicted %d", cfg.n, cfg.m, cfg.lpp, got, want)
+		}
+	}
+}
+
+// TestWindowedBeatsNaive pins the E4 ablation: grouped levels make fewer
+// passes than the naive per-level network.
+func TestWindowedBeatsNaive(t *testing.T) {
+	n := 256
+	run := func(lpp int) int64 {
+		env := newTestEnv(n+8, 4, 256, 5)
+		a := env.D.Alloc(n)
+		r := rand.New(rand.NewPCG(4, 4))
+		buildCells(a, occupiedSets(r, n, n/4))
+		env.D.ResetStats()
+		CompactBlocksTight(env, a, PredOccupied, lpp)
+		return env.D.Stats().Total()
+	}
+	naive, windowed := run(1), run(0)
+	if windowed*2 > naive {
+		t.Fatalf("windowed (%d I/Os) should be well under naive (%d I/Os) at m=16", windowed, naive)
+	}
+}
+
+func TestCompactTightWithFailedPredicate(t *testing.T) {
+	env := newTestEnv(24, 4, 64, 5)
+	a := env.D.Alloc(16)
+	buf := make([]extmem.Element, 4)
+	// All cells occupied; cells 2, 5, 11 additionally carry FlagFailed.
+	for j := 0; j < 16; j++ {
+		for tt := range buf {
+			buf[tt] = extmem.Element{Key: uint64(j), Flags: extmem.FlagOccupied}
+			if j == 2 || j == 5 || j == 11 {
+				buf[tt].Flags |= extmem.FlagFailed
+			}
+		}
+		a.Write(j, buf)
+	}
+	cnt := CompactBlocksTight(env, a, PredFailed, 0)
+	if cnt != 3 {
+		t.Fatalf("failed-cell count = %d, want 3", cnt)
+	}
+	keys := cellKeys(a)
+	if keys[0] != 2 || keys[1] != 5 || keys[2] != 11 {
+		t.Fatalf("failed cells not compacted in order: %v", keys[:4])
+	}
+}
+
+func TestExpandRejectsNonMonotoneTargets(t *testing.T) {
+	env := newTestEnv(16, 4, 64, 5)
+	a := env.D.Alloc(8)
+	buf := make([]extmem.Element, 4)
+	for j := 0; j < 8; j++ {
+		for tt := range buf {
+			buf[tt] = extmem.Element{}
+			if j < 2 {
+				buf[tt] = extmem.Element{Key: uint64(j), Flags: extmem.FlagOccupied}
+				buf[tt].SetAux(5 - j*3) // targets 5, 2: decreasing — invalid
+			}
+		}
+		a.Write(j, buf)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-monotone expansion targets")
+		}
+	}()
+	ExpandBlocks(env, a, PredOccupied, 0)
+}
+
+// TestFigure1Example reproduces the concrete 7-cell instance drawn in the
+// paper's Figure 1: occupied cells with leftward distance labels
+// 2,3,3,6,8,8,9 compact to a tight prefix without collisions.
+func TestFigure1Example(t *testing.T) {
+	// Figure 1 shows 16 cells; occupied cells sit at positions where
+	// label = #empties to the left. Labels 2,3,3,6,8,8,9 correspond to
+	// occupied positions: rank k at position p with p - k = label.
+	labels := []int{2, 3, 3, 6, 8, 8, 9}
+	occ := map[int]bool{}
+	for k, d := range labels {
+		occ[k+d] = true // position = rank + distance
+	}
+	n := 16
+	env := newTestEnv(n+8, 2, 32, 5)
+	a := env.D.Alloc(n)
+	buildCells(a, occ)
+	cnt := CompactBlocksTight(env, a, PredOccupied, 1) // level-by-level, as drawn
+	if cnt != len(labels) {
+		t.Fatalf("count = %d, want %d", cnt, len(labels))
+	}
+	keys := cellKeys(a)
+	for k, d := range labels {
+		if keys[k] != k+d {
+			t.Fatalf("cell %d should hold the block from position %d, got %d", k, k+d, keys[k])
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/trace"
+)
+
+func TestConsolidateBasic(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	for _, cfg := range []struct{ n, b, marked int }{
+		{1, 4, 0}, {1, 4, 4}, {4, 4, 7}, {10, 8, 40}, {10, 8, 80}, {16, 2, 1}, {9, 4, 36},
+	} {
+		env := newTestEnv(cfg.n*2+4, cfg.b, 4*cfg.b, 3)
+		a := env.D.Alloc(cfg.n)
+		in := randomMarkedInput(r, cfg.n*cfg.b, cfg.marked)
+		writeElems(a, in)
+		out, cnt := Consolidate(env, a)
+		if cnt != int64(cfg.marked) {
+			t.Fatalf("n=%d marked=%d: count %d", cfg.n, cfg.marked, cnt)
+		}
+		if out.Len() != cfg.n {
+			t.Fatalf("output has %d blocks, want %d", out.Len(), cfg.n)
+		}
+		got := readElems(out)
+		// Order preservation of marked elements.
+		if !equalU64(markedKeys(in), occupiedKeys(got)) {
+			t.Fatalf("n=%d marked=%d: order not preserved", cfg.n, cfg.marked)
+		}
+		// Full-or-empty block structure (except possibly one partial).
+		partials := 0
+		buf := make([]extmem.Element, cfg.b)
+		for blk := 0; blk < out.Len(); blk++ {
+			out.Read(blk, buf)
+			occ := 0
+			for _, e := range buf {
+				if e.Occupied() {
+					occ++
+				}
+			}
+			if occ != 0 && occ != cfg.b {
+				partials++
+			}
+		}
+		if partials > 1 {
+			t.Fatalf("n=%d marked=%d: %d partial blocks, want <= 1", cfg.n, cfg.marked, partials)
+		}
+	}
+}
+
+func TestConsolidateIOExact(t *testing.T) {
+	// Lemma 3: a single scan — n reads of A and n writes of A'.
+	env := newTestEnv(64, 4, 16, 3)
+	a := env.D.Alloc(20)
+	r := rand.New(rand.NewPCG(2, 2))
+	writeElems(a, randomMarkedInput(r, 80, 33))
+	env.D.ResetStats()
+	Consolidate(env, a)
+	st := env.D.Stats()
+	if st.Reads != 20 || st.Writes != 20 {
+		t.Fatalf("I/O = %+v, want exactly 20 reads and 20 writes", st)
+	}
+}
+
+func TestConsolidateOblivious(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	run := func(marked int) trace.Summary {
+		return traceOf(t, 64, 4, 16, 7, func(env *extmem.Env) {
+			a := env.D.Alloc(16)
+			writeElems(a, randomMarkedInput(r, 64, marked))
+			Consolidate(env, a)
+		})
+	}
+	s0, s1, s2 := run(0), run(64), run(17)
+	if !s0.Equal(s1) || !s0.Equal(s2) {
+		t.Fatalf("consolidation trace depends on data: %v %v %v", s0, s1, s2)
+	}
+}
+
+func TestConsolidateCacheBound(t *testing.T) {
+	env := newTestEnv(64, 8, 32, 3) // M = 4B
+	a := env.D.Alloc(16)
+	r := rand.New(rand.NewPCG(4, 4))
+	writeElems(a, randomMarkedInput(r, 128, 100))
+	env.Cache.ResetHighWater()
+	Consolidate(env, a)
+	if hw := env.Cache.HighWater(); hw > env.M {
+		t.Fatalf("consolidation used %d private elements > M=%d", hw, env.M)
+	}
+}
+
+func TestConsolidatePreservesPayload(t *testing.T) {
+	env := newTestEnv(16, 4, 16, 3)
+	a := env.D.Alloc(4)
+	elems := make([]extmem.Element, 16)
+	for i := range elems {
+		elems[i] = extmem.Element{Key: uint64(100 + i), Val: uint64(i * i), Pos: uint64(i), Flags: extmem.FlagOccupied}
+		if i%3 == 0 {
+			elems[i].Flags |= extmem.FlagMarked
+		}
+	}
+	writeElems(a, elems)
+	out, _ := Consolidate(env, a)
+	var got []extmem.Element
+	for _, e := range readElems(out) {
+		if e.Occupied() {
+			got = append(got, e)
+		}
+	}
+	j := 0
+	for _, e := range elems {
+		if !e.Marked() {
+			continue
+		}
+		g := got[j]
+		if g.Key != e.Key || g.Val != e.Val || g.Pos != e.Pos {
+			t.Fatalf("payload mangled at %d: %+v vs %+v", j, g, e)
+		}
+		j++
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/obsort"
+)
+
+// This file implements Theorem 8: loose compaction of at most R < N/4
+// marked blocks into an array of size 5R using O(N/B) I/Os. The algorithm
+// runs c0 randomized thinning passes that scatter occupied cells into a
+// 4R-cell array C, then repeatedly sorts O(log n)-block regions and keeps
+// only their first halves (each region holds at most half its cells of
+// survivors w.h.p. — Lemma 7), until the residue is small enough that one
+// deterministic sort is linear; the residue compacts into the final R
+// cells.
+
+// ErrLooseOverflow reports a low-probability failure: a region held more
+// survivors than the halving step can keep (Lemma 7's bad event), or the
+// final residue exceeded R. The trace is unchanged by the failure.
+var ErrLooseOverflow = errors.New("core: loose compaction overflow")
+
+// LooseParams tunes Theorem 8's constants.
+type LooseParams struct {
+	// C0 is the number of thinning passes per round (paper: >= 3 for the
+	// Lemma 7 analysis; default 4).
+	C0 int
+	// C1 scales the region size c1·log2(n) (paper: d+2; default 4).
+	C1 int
+}
+
+func (p *LooseParams) setDefaults() {
+	if p.C0 == 0 {
+		p.C0 = 4
+	}
+	if p.C1 == 0 {
+		p.C1 = 4
+	}
+}
+
+// CompactBlocksLoose compacts the occupied block-cells of a — at most rCap
+// of them, with rCap <= len/4 — into a fresh array of exactly 5·rCap
+// blocks using O(n) I/Os. Order is not preserved (this is the paper's
+// loose compaction). Returns the output array and the occupied count.
+func CompactBlocksLoose(env *extmem.Env, a extmem.Array, rCap int, p LooseParams) (extmem.Array, int, error) {
+	p.setDefaults()
+	n := a.Len()
+	b := a.B()
+	if rCap < 1 {
+		rCap = 1
+	}
+	if n < 8 {
+		// Degenerate small case: fall back to a single sort.
+		return looseBySort(env, a, rCap)
+	}
+
+	mark := env.D.Mark()
+	out := env.D.Alloc(5 * rCap)
+	c := out.Slice(0, 4*rCap)
+	tail := out.Slice(4*rCap, 5*rCap)
+
+	// Zero C.
+	blk := env.Cache.Buf(b)
+	for i := range blk {
+		blk[i] = extmem.Element{}
+	}
+	for i := 0; i < c.Len(); i++ {
+		c.Write(i, blk)
+	}
+
+	// Working copy of A (the halving is destructive).
+	work := env.D.Alloc(n)
+	occ := 0
+	for i := 0; i < n; i++ {
+		a.Read(i, blk)
+		if PredOccupied(blk) {
+			occ++
+		}
+		work.Write(i, blk)
+	}
+	env.Cache.Free(blk)
+
+	var failed error
+	if occ > rCap {
+		failed = fmt.Errorf("%w: %d occupied cells exceed declared capacity %d", ErrLooseOverflow, occ, rCap)
+	}
+
+	// Region size: c1·log2(n) blocks, at least 2 and even.
+	g := p.C1 * extmem.CeilLog2(max(2, n))
+	if g < 2 {
+		g = 2
+	}
+	g += g % 2
+
+	// Stop halving when one deterministic sort of the residue is linear:
+	// with the bitonic realization that is s ~ n/(1+log2^2(nB/M)).
+	l := extmem.CeilLog2(max(2, n*b/env.M))
+	stop := n / (1 + l*l)
+	if stop < g {
+		stop = g
+	}
+	if stop < 4 {
+		stop = 4
+	}
+
+	s := n
+	cur := work
+	for s > stop {
+		for pass := 0; pass < p.C0; pass++ {
+			thinningPass(env, cur.Slice(0, s), c)
+		}
+		// Region halving: sort each region occupied-first, keep the first
+		// half of each.
+		ns := 0
+		for lo := 0; lo < s; lo += g {
+			hi := lo + g
+			if hi > s {
+				hi = s
+			}
+			ns += (hi - lo + 1) / 2
+		}
+		next := env.D.Alloc(ns)
+		w := 0
+		for lo := 0; lo < s; lo += g {
+			hi := lo + g
+			if hi > s {
+				hi = s
+			}
+			keep := (hi - lo + 1) / 2
+			if err := halveRegion(env, cur.Slice(lo, hi), next.Slice(w, w+keep)); err != nil && failed == nil {
+				failed = err
+			}
+			w += keep
+		}
+		cur = next
+		s = ns
+	}
+
+	// Final deterministic compression of the residue into the tail.
+	obsort.Bitonic(env, cur.Slice(0, s), blockOccLess)
+	blk = env.Cache.Buf(b)
+	survivors := 0
+	for i := 0; i < s; i++ {
+		cur.Read(i, blk)
+		if PredOccupied(blk) {
+			survivors++
+		}
+		if i < tail.Len() {
+			tail.Write(i, blk)
+		}
+	}
+	for i := s; i < tail.Len(); i++ {
+		for t := range blk {
+			blk[t] = extmem.Element{}
+		}
+		tail.Write(i, blk)
+	}
+	env.Cache.Free(blk)
+	if survivors > tail.Len() && failed == nil {
+		failed = fmt.Errorf("%w: %d survivors exceed tail capacity %d", ErrLooseOverflow, survivors, tail.Len())
+	}
+
+	env.D.Release(mark + out.Len())
+	return out, occ, failed
+}
+
+// ThinningPassForTest exposes one A-to-C thinning pass for the E12
+// experiment and external tests.
+func ThinningPassForTest(env *extmem.Env, src, dst extmem.Array) { thinningPass(env, src, dst) }
+
+// thinningPass is one A-to-C pass: for every cell of src, draw a uniform
+// slot of dst, and move the cell there if the cell is occupied and the slot
+// empty — writing both locations back in all cases so the trace is a
+// deterministic scan with one tape-driven random probe per cell.
+func thinningPass(env *extmem.Env, src, dst extmem.Array) {
+	b := src.B()
+	sblk := env.Cache.Buf(b)
+	dblk := env.Cache.Buf(b)
+	for i := 0; i < src.Len(); i++ {
+		src.Read(i, sblk)
+		j := env.Tape.IntN(dst.Len())
+		dst.Read(j, dblk)
+		if PredOccupied(sblk) && !PredOccupied(dblk) {
+			copy(dblk, sblk)
+			for t := range sblk {
+				sblk[t] = extmem.Element{}
+			}
+		}
+		dst.Write(j, dblk)
+		src.Write(i, sblk)
+	}
+	env.Cache.Free(dblk)
+	env.Cache.Free(sblk)
+}
+
+// blockOccLess orders elements so that blocks of occupied cells precede
+// empty cells; within the occupied prefix the order is irrelevant for
+// loose compaction, but Key order keeps the sort total.
+func blockOccLess(a, b extmem.Element) bool { return a.Less(b) }
+
+// halveRegion sorts one region occupied-first and writes its first half to
+// dst, reporting overflow if more than half the region survived.
+func halveRegion(env *extmem.Env, region, dst extmem.Array) error {
+	b := region.B()
+	g := region.Len()
+	if g*b <= env.M-env.B() {
+		buf := env.Cache.Buf(g * b)
+		for i := 0; i < g; i++ {
+			region.Read(i, buf[i*b:(i+1)*b])
+		}
+		// Private block-level sort: occupied cells first. Order within a
+		// block must be preserved, so sort at block granularity.
+		type cell struct {
+			occ  bool
+			data []extmem.Element
+		}
+		cells := make([]cell, g)
+		for i := range cells {
+			d := buf[i*b : (i+1)*b]
+			cells[i] = cell{occ: PredOccupied(d), data: d}
+		}
+		surv := 0
+		wr := env.Cache.Buf(b)
+		w := 0
+		for _, cl := range cells {
+			if cl.occ && w < dst.Len() {
+				copy(wr, cl.data)
+				dst.Write(w, wr)
+				w++
+			}
+			if cl.occ {
+				surv++
+			}
+		}
+		for ; w < dst.Len(); w++ {
+			for t := range wr {
+				wr[t] = extmem.Element{}
+			}
+			dst.Write(w, wr)
+		}
+		env.Cache.Free(wr)
+		env.Cache.Free(buf)
+		if surv > dst.Len() {
+			return fmt.Errorf("%w: region with %d survivors > %d", ErrLooseOverflow, surv, dst.Len())
+		}
+		return nil
+	}
+	// Region exceeds cache (no wide-block assumption): sort it obliviously.
+	obsort.Bitonic(env, region, blockOccLess)
+	blk := env.Cache.Buf(b)
+	surv := 0
+	for i := 0; i < g; i++ {
+		region.Read(i, blk)
+		occ := PredOccupied(blk)
+		if occ {
+			surv++
+		}
+		if i < dst.Len() {
+			dst.Write(i, blk)
+		}
+	}
+	env.Cache.Free(blk)
+	if surv > dst.Len() {
+		return fmt.Errorf("%w: region with %d survivors > %d", ErrLooseOverflow, surv, dst.Len())
+	}
+	return nil
+}
+
+// looseBySort is the tiny-input fallback: one deterministic sort.
+func looseBySort(env *extmem.Env, a extmem.Array, rCap int) (extmem.Array, int, error) {
+	n := a.Len()
+	b := a.B()
+	mark := env.D.Mark()
+	out := env.D.Alloc(5 * rCap)
+	work := env.D.Alloc(n)
+	blk := env.Cache.Buf(b)
+	occ := 0
+	for i := 0; i < n; i++ {
+		a.Read(i, blk)
+		if PredOccupied(blk) {
+			occ++
+		}
+		work.Write(i, blk)
+	}
+	obsort.Bitonic(env, work, blockOccLess)
+	for i := 0; i < out.Len(); i++ {
+		if i < n {
+			work.Read(i, blk)
+		} else {
+			for t := range blk {
+				blk[t] = extmem.Element{}
+			}
+		}
+		out.Write(i, blk)
+	}
+	env.Cache.Free(blk)
+	var err error
+	if occ > rCap {
+		err = fmt.Errorf("%w: %d occupied > capacity %d", ErrLooseOverflow, occ, rCap)
+	}
+	env.D.Release(mark + out.Len())
+	return out, occ, err
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/obsort"
+)
+
+// This file implements Theorems 12 and 13: data-oblivious selection of the
+// k-th smallest element in O(N/B) I/Os. Each element joins a random sample
+// with probability N^{-1/2}; the sample is compacted (Lemma 3 + Theorem 4)
+// and sorted, two sample ranks bracket the target in a range [x, y] that
+// w.h.p. contains O(N^{7/8}) elements; those are compacted and sorted, and
+// the answer is read off at rank k − rank(x).
+//
+// Selection is over the total order (Key, Pos) on occupied elements — ties
+// are broken by original position, so ranks are always well defined.
+
+// ErrSelectFailed reports one of the algorithm's low-probability failures:
+// sample overflow (Lemma 10), bracket miss or range overflow (Lemma 11).
+// The trace is the same as on success.
+var ErrSelectFailed = errors.New("core: selection failed")
+
+// bound is ±infinity-capable comparison bound over (Key, Pos).
+type bound struct {
+	key, pos  uint64
+	neg, pos2 bool // neg: -inf; pos2: +inf
+}
+
+func (bd bound) lessElem(e extmem.Element) bool { // bd < e
+	if bd.neg {
+		return true
+	}
+	if bd.pos2 {
+		return false
+	}
+	if bd.key != e.Key {
+		return bd.key < e.Key
+	}
+	return bd.pos < e.Pos
+}
+
+func (bd bound) greaterElem(e extmem.Element) bool { // bd > e
+	if bd.neg {
+		return false
+	}
+	if bd.pos2 {
+		return true
+	}
+	if bd.key != e.Key {
+		return bd.key > e.Key
+	}
+	return bd.pos > e.Pos
+}
+
+func boundOf(e extmem.Element) bound { return bound{key: e.Key, pos: e.Pos} }
+
+// Select returns the k-th smallest occupied element of a (k is 1-based)
+// using O(n) I/Os with a data-oblivious trace. The input array is not
+// modified. Requires 1 <= k <= N where N is the occupied count.
+func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
+	n := a.Len()
+	b := a.B()
+	mark := env.D.Mark()
+	defer env.D.Release(mark)
+
+	// Pass 1: copy the input (clearing stale marks), count N, find min/max.
+	work := env.D.Alloc(n)
+	blk := env.Cache.Buf(b)
+	var total int64
+	var lo, hi extmem.Element
+	first := true
+	for i := 0; i < n; i++ {
+		a.Read(i, blk)
+		for t := range blk {
+			blk[t].Flags &^= extmem.FlagMarked
+			if !blk[t].Occupied() {
+				continue
+			}
+			total++
+			if first {
+				lo, hi = blk[t], blk[t]
+				first = false
+				continue
+			}
+			if blk[t].Less(lo) {
+				lo = blk[t]
+			}
+			if hi.Less(blk[t]) {
+				hi = blk[t]
+			}
+		}
+		work.Write(i, blk)
+	}
+	if k < 1 || k > total {
+		env.Cache.Free(blk)
+		return extmem.Element{}, fmt.Errorf("%w: rank %d out of range [1,%d]", ErrSelectFailed, k, total)
+	}
+	nf := float64(total)
+
+	// Small inputs: one in-cache selection (the powers of N below are
+	// meaningless at tiny N, and the whole input fits private memory).
+	if int(total) <= env.M/2 {
+		env.Cache.Free(blk)
+		return selectInCache(env, work, int(k))
+	}
+
+	sqrtN := math.Sqrt(nf)
+	n38 := math.Pow(nf, 0.375)
+	cap1 := int64(math.Ceil(sqrtN + n38))
+	cap2 := int64(math.Ceil(8 * math.Pow(nf, 0.875)))
+	if cap2 > total {
+		cap2 = total
+	}
+
+	// Pass 2: Bernoulli(N^{-1/2}) sampling; one coin per cell slot so the
+	// tape consumption is data-independent.
+	var sampled int64
+	for i := 0; i < n; i++ {
+		work.Read(i, blk)
+		for t := range blk {
+			coin := env.Tape.CoinP(1 / sqrtN)
+			if coin && blk[t].Occupied() {
+				blk[t].Flags |= extmem.FlagMarked
+				sampled++
+			}
+		}
+		work.Write(i, blk)
+	}
+
+	// Compact the sample: consolidation then tight compaction.
+	rCap1 := extmem.CeilDiv(int(cap1), b) + 1
+	sample, _, err := CompactMarkedTight(env, work, rCap1)
+	if err != nil {
+		env.Cache.Free(blk)
+		return extmem.Element{}, err
+	}
+	if sampled > cap1 {
+		env.Cache.Free(blk)
+		return extmem.Element{}, fmt.Errorf("%w: sample size %d exceeds %d", ErrSelectFailed, sampled, cap1)
+	}
+	obsort.Bitonic(env, sample, obsort.ByKey)
+
+	// Bracket ranks within the sorted sample (1-based).
+	rx := int64(math.Ceil(float64(k)/sqrtN - n38))
+	ry := sampled - int64(math.Ceil(float64(total-k)/sqrtN-2*n38))
+	x := bound{neg: true}
+	y := bound{pos2: true}
+	var idx int64
+	for i := 0; i < sample.Len(); i++ {
+		sample.Read(i, blk)
+		for t := range blk {
+			if !blk[t].Occupied() {
+				continue
+			}
+			idx++
+			if idx == rx {
+				x = boundOf(blk[t])
+			}
+			if idx == ry {
+				y = boundOf(blk[t])
+			}
+		}
+	}
+	// x = max(x', min(A)) and y = min(y', max(A)): since min(A) is a lower
+	// bound on everything, the max only matters when x' = -inf, and
+	// symmetrically for y'.
+	if x.neg {
+		x = boundOf(lo)
+	}
+	if y.pos2 {
+		y = boundOf(hi)
+	}
+
+	// Pass 3: clear the sampling marks, mark elements in [x, y], count
+	// rank(x) and the range size.
+	var rankX, inRange int64
+	for i := 0; i < n; i++ {
+		work.Read(i, blk)
+		for t := range blk {
+			blk[t].Flags &^= extmem.FlagMarked
+			if !blk[t].Occupied() {
+				continue
+			}
+			e := blk[t]
+			switch {
+			case x.greaterElem(e):
+				rankX++
+			case !y.lessElem(e): // x <= e <= y
+				blk[t].Flags |= extmem.FlagMarked
+				inRange++
+			}
+		}
+		work.Write(i, blk)
+	}
+	target := k - rankX
+	if target < 1 || target > inRange {
+		env.Cache.Free(blk)
+		return extmem.Element{}, fmt.Errorf("%w: bracket missed the target (rank(x)=%d, in-range=%d, k=%d)", ErrSelectFailed, rankX, inRange, k)
+	}
+	if inRange > cap2 {
+		env.Cache.Free(blk)
+		return extmem.Element{}, fmt.Errorf("%w: range size %d exceeds %d", ErrSelectFailed, inRange, cap2)
+	}
+
+	// Compact and sort the range, then read off the target rank.
+	rCap2 := extmem.CeilDiv(int(cap2), b) + 1
+	d, _, err := CompactMarkedTight(env, work, rCap2)
+	if err != nil {
+		env.Cache.Free(blk)
+		return extmem.Element{}, err
+	}
+	obsort.Bitonic(env, d, obsort.ByKey)
+
+	var result extmem.Element
+	idx = 0
+	for i := 0; i < d.Len(); i++ {
+		d.Read(i, blk)
+		for t := range blk {
+			if !blk[t].Occupied() {
+				continue
+			}
+			idx++
+			if idx == target {
+				result = blk[t]
+			}
+		}
+	}
+	env.Cache.Free(blk)
+	if !result.Occupied() {
+		return extmem.Element{}, fmt.Errorf("%w: target rank never materialized", ErrSelectFailed)
+	}
+	result.Flags &^= extmem.FlagMarked
+	return result, nil
+}
+
+// selectInCache reads every occupied element into private memory and picks
+// the k-th there; the trace is a single scan.
+func selectInCache(env *extmem.Env, a extmem.Array, k int) (extmem.Element, error) {
+	b := a.B()
+	blk := env.Cache.Buf(b)
+	var all []extmem.Element
+	env.Cache.Acquire(env.M / 2)
+	for i := 0; i < a.Len(); i++ {
+		a.Read(i, blk)
+		for _, e := range blk {
+			if e.Occupied() {
+				all = append(all, e)
+			}
+		}
+	}
+	obsort.InCache(all, obsort.ByKey)
+	env.Cache.Release(env.M / 2)
+	env.Cache.Free(blk)
+	if k < 1 || k > len(all) {
+		return extmem.Element{}, fmt.Errorf("%w: rank %d of %d", ErrSelectFailed, k, len(all))
+	}
+	e := all[k-1]
+	e.Flags &^= extmem.FlagMarked
+	return e, nil
+}

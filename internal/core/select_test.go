@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/trace"
+)
+
+// buildKeyArray fills an array with count occupied elements having the
+// given keys (Pos = index) and returns the sorted copy of the keys.
+func buildKeyArray(a extmem.Array, keys []uint64) []uint64 {
+	elems := make([]extmem.Element, len(keys))
+	for i, k := range keys {
+		elems[i] = extmem.Element{Key: k, Val: k * 2, Pos: uint64(i), Flags: extmem.FlagOccupied}
+	}
+	writeElems(a, elems)
+	s := append([]uint64(nil), keys...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func TestSelectInCachePath(t *testing.T) {
+	env := newTestEnv(64, 4, 256, 3)
+	a := env.D.Alloc(8)
+	keys := []uint64{50, 10, 40, 20, 30}
+	sorted := buildKeyArray(a, keys)
+	for k := 1; k <= len(keys); k++ {
+		e, err := Select(env, a, int64(k))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if e.Key != sorted[k-1] {
+			t.Fatalf("k=%d: got %d want %d", k, e.Key, sorted[k-1])
+		}
+	}
+}
+
+func TestSelectLargePath(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 3))
+	env := newTestEnv(1<<14, 8, 128, 7) // M=128, N=4096 >> M: sampling path
+	nBlocks := 512
+	a := env.D.Alloc(nBlocks)
+	keys := make([]uint64, nBlocks*8)
+	for i := range keys {
+		keys[i] = r.Uint64() % 1_000_000
+	}
+	sorted := buildKeyArray(a, keys)
+	for _, k := range []int64{1, 5, 2048, 4000, 4096} {
+		e, err := Select(env, a, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if e.Key != sorted[k-1] {
+			t.Fatalf("k=%d: got %d want %d", k, e.Key, sorted[k-1])
+		}
+	}
+}
+
+func TestSelectWithHeavyDuplicates(t *testing.T) {
+	env := newTestEnv(1<<14, 8, 128, 11)
+	nBlocks := 256
+	a := env.D.Alloc(nBlocks)
+	keys := make([]uint64, nBlocks*8)
+	for i := range keys {
+		keys[i] = uint64(i % 3) // only 3 distinct keys
+	}
+	sorted := buildKeyArray(a, keys)
+	for _, k := range []int64{1, 700, 1365, 2048} {
+		e, err := Select(env, a, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if e.Key != sorted[k-1] {
+			t.Fatalf("k=%d: got %d want %d", k, e.Key, sorted[k-1])
+		}
+	}
+}
+
+func TestSelectRankOutOfRange(t *testing.T) {
+	env := newTestEnv(64, 4, 64, 5)
+	a := env.D.Alloc(4)
+	buildKeyArray(a, []uint64{1, 2, 3})
+	if _, err := Select(env, a, 0); !errors.Is(err, ErrSelectFailed) {
+		t.Fatalf("k=0: err=%v", err)
+	}
+	if _, err := Select(env, a, 4); !errors.Is(err, ErrSelectFailed) {
+		t.Fatalf("k=4: err=%v", err)
+	}
+}
+
+func TestSelectDoesNotModifyInput(t *testing.T) {
+	env := newTestEnv(1<<13, 8, 128, 13)
+	a := env.D.Alloc(128)
+	r := rand.New(rand.NewPCG(4, 4))
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = r.Uint64() % 10000
+	}
+	buildKeyArray(a, keys)
+	before := readElems(a)
+	if _, err := Select(env, a, 512); err != nil {
+		t.Fatal(err)
+	}
+	after := readElems(a)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("input modified at element %d", i)
+		}
+	}
+}
+
+func TestSelectOblivious(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	run := func(keys []uint64, k int64) trace.Summary {
+		return traceOf(t, 1<<13, 8, 128, 99, func(env *extmem.Env) {
+			a := env.D.Alloc(128)
+			buildKeyArray(a, keys)
+			Select(env, a, k)
+		})
+	}
+	uniform := make([]uint64, 1024)
+	for i := range uniform {
+		uniform[i] = r.Uint64() % 1_000_000
+	}
+	equalKeys := make([]uint64, 1024)
+	for i := range equalKeys {
+		equalKeys[i] = 42
+	}
+	sortedKeys := make([]uint64, 1024)
+	for i := range sortedKeys {
+		sortedKeys[i] = uint64(i)
+	}
+	s1 := run(uniform, 100)
+	s2 := run(equalKeys, 100)
+	s3 := run(sortedKeys, 1000) // even the rank must not show in the trace
+	if !s1.Equal(s2) || !s1.Equal(s3) {
+		t.Fatalf("selection trace depends on data: %v %v %v", s1, s2, s3)
+	}
+}
+
+func TestSelectLinearIO(t *testing.T) {
+	io := func(nBlocks int) float64 {
+		env := newTestEnv(8*nBlocks+64, 8, 128, 17)
+		a := env.D.Alloc(nBlocks)
+		r := rand.New(rand.NewPCG(uint64(nBlocks), 5))
+		keys := make([]uint64, nBlocks*8)
+		for i := range keys {
+			keys[i] = r.Uint64()
+		}
+		buildKeyArray(a, keys)
+		env.D.ResetStats()
+		if _, err := Select(env, a, int64(nBlocks*4)); err != nil {
+			t.Fatal(err)
+		}
+		return float64(env.D.Stats().Total()) / float64(nBlocks)
+	}
+	small, large := io(256), io(2048)
+	if large > small*2 {
+		t.Fatalf("selection I/O per block grew from %.1f to %.1f — superlinear", small, large)
+	}
+}
+
+func TestSelectFailureRate(t *testing.T) {
+	// The bracketing succeeds with high probability; measure it.
+	fails := 0
+	const trials = 30
+	for tr := 0; tr < trials; tr++ {
+		env := newTestEnv(1<<13, 8, 128, uint64(100+tr))
+		a := env.D.Alloc(128)
+		r := rand.New(rand.NewPCG(uint64(tr), 9))
+		keys := make([]uint64, 1024)
+		for i := range keys {
+			keys[i] = r.Uint64()
+		}
+		sorted := buildKeyArray(a, keys)
+		e, err := Select(env, a, 512)
+		if err != nil {
+			fails++
+			continue
+		}
+		if e.Key != sorted[511] {
+			t.Fatalf("trial %d: wrong answer %d vs %d", tr, e.Key, sorted[511])
+		}
+	}
+	if fails > 3 {
+		t.Fatalf("selection failed %d/%d trials", fails, trials)
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"oblivext/internal/extmem"
+	"oblivext/internal/obsort"
+)
+
+// ShuffleBlocksForTest exposes the block-level Fisher–Yates shuffle for the
+// E11 experiment and external tests.
+func ShuffleBlocksForTest(env *extmem.Env, a extmem.Array) { shuffleBlocks(env, a) }
+
+// DealForTest exposes the deal step for the E11 experiment; it reports
+// whether the deal completed without a Corollary 19 overflow.
+func DealForTest(env *extmem.Env, a extmem.Array, colors, batch, quota int) bool {
+	_, ok := deal(env, a, colors, batch, quota)
+	return ok
+}
+
+// consolidateColors is §5's (q+1)-way data consolidation: scan the array in
+// groups of `colors` blocks, keep per-color staging lists in the cache, and
+// emit exactly `colors` blocks per group — as many monochromatic full
+// blocks as available (up to the group quota), padded with empty blocks —
+// plus a fixed 2·colors-block flush of the partial remainders. Every block
+// of the output is monochromatic; all but the flush blocks are full. The
+// trace is a strict left-to-right read/write sequence.
+func consolidateColors(env *extmem.Env, a extmem.Array, colors int) extmem.Array {
+	n := a.Len()
+	b := a.B()
+	groups := extmem.CeilDiv(n, colors)
+	out := env.D.Alloc(groups*colors + 2*colors)
+
+	// Staging: held elements never exceed colors*(2B-1) by the group
+	// accounting invariant (see package tests), plus one I/O block.
+	env.Cache.Acquire(colors * (2*b - 1))
+	hold := make([][]extmem.Element, colors+1) // 1-based colors
+	blk := env.Cache.Buf(b)
+
+	w := 0
+	emit := func(quota int) {
+		emitted := 0
+		for c := 1; c <= colors && emitted < quota; c++ {
+			for len(hold[c]) >= b && emitted < quota {
+				copy(blk, hold[c][:b])
+				hold[c] = hold[c][b:]
+				out.Write(w, blk)
+				w++
+				emitted++
+			}
+		}
+		for ; emitted < quota; emitted++ {
+			for t := range blk {
+				blk[t] = extmem.Element{}
+			}
+			out.Write(w, blk)
+			w++
+		}
+	}
+
+	for g := 0; g < groups; g++ {
+		lo := g * colors
+		hi := lo + colors
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			a.Read(i, blk)
+			for _, e := range blk {
+				if e.Occupied() {
+					hold[e.Color()] = append(hold[e.Color()], e)
+				}
+			}
+		}
+		emit(colors)
+	}
+	// Flush: partial blocks, padded to exactly 2·colors outputs.
+	flushed := 0
+	for c := 1; c <= colors; c++ {
+		for len(hold[c]) > 0 && flushed < 2*colors {
+			take := len(hold[c])
+			if take > b {
+				take = b
+			}
+			for t := 0; t < b; t++ {
+				if t < take {
+					blk[t] = hold[c][t]
+				} else {
+					blk[t] = extmem.Element{}
+				}
+			}
+			hold[c] = hold[c][take:]
+			out.Write(w, blk)
+			w++
+			flushed++
+		}
+	}
+	for ; flushed < 2*colors; flushed++ {
+		for t := range blk {
+			blk[t] = extmem.Element{}
+		}
+		out.Write(w, blk)
+		w++
+	}
+	env.Cache.Free(blk)
+	env.Cache.Release(colors * (2*b - 1))
+	return out
+}
+
+// deal distributes the shuffled monochromatic blocks into one array per
+// color: each batch of `batch` blocks is read into the cache and exactly
+// `quota` blocks are written to every color array (full blocks first,
+// empties after). A batch holding more than quota full blocks of one color
+// is the Corollary 19 overflow event: the excess is dropped and dealOK
+// returns false, with the trace unchanged.
+func deal(env *extmem.Env, a extmem.Array, colors, batch, quota int) ([]extmem.Array, bool) {
+	n := a.Len()
+	b := a.B()
+	batches := extmem.CeilDiv(n, batch)
+	out := make([]extmem.Array, colors)
+	for c := range out {
+		out[c] = env.D.Alloc(batches * quota)
+	}
+
+	buf := env.Cache.Buf(batch * b)
+	blk := env.Cache.Buf(b)
+	ok := true
+	for g := 0; g < batches; g++ {
+		lo := g * batch
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		cnt := hi - lo
+		for i := 0; i < cnt; i++ {
+			a.Read(lo+i, buf[i*b:(i+1)*b])
+		}
+		// Index the batch's full blocks by color (private).
+		perColor := make([][]int, colors+1)
+		for i := 0; i < cnt; i++ {
+			cell := buf[i*b : (i+1)*b]
+			if cell[0].Occupied() {
+				c := cell[0].Color()
+				perColor[c] = append(perColor[c], i)
+			}
+		}
+		for c := 1; c <= colors; c++ {
+			if len(perColor[c]) > quota {
+				ok = false // Corollary 19 overflow; excess blocks dropped
+			}
+			for s := 0; s < quota; s++ {
+				if s < len(perColor[c]) {
+					copy(blk, buf[perColor[c][s]*b:(perColor[c][s]+1)*b])
+				} else {
+					for t := range blk {
+						blk[t] = extmem.Element{}
+					}
+				}
+				out[c-1].Write(g*quota+s, blk)
+			}
+		}
+	}
+	env.Cache.Free(blk)
+	env.Cache.Free(buf)
+	return out, ok
+}
+
+// sweepFailures is the data-oblivious failure sweeping of §5. It runs the
+// same trace whether zero, one, or several buckets failed: copy the failed
+// cells (marked with FlagFailed) into a scratch array, tightly compact them
+// with the butterfly network, record each compacted cell's fill count and
+// origin, sort the prefix deterministically, repack the sorted elements
+// into cells with the original fill shape, route them back with the
+// expansion network, and merge. Returns false if the failure set exceeded
+// capD cells (irreparable; probability bounded by Lemma 20's argument).
+func sweepFailures(env *extmem.Env, res extmem.Array, capD int) bool {
+	n := res.Len()
+	if n == 0 || capD == 0 {
+		return true
+	}
+	b := res.B()
+	mark := env.D.Mark()
+	defer env.D.Release(mark)
+
+	// Copy failed cells; everything else becomes empty.
+	cpy := env.D.Alloc(n)
+	blk := env.Cache.Buf(b)
+	for i := 0; i < n; i++ {
+		res.Read(i, blk)
+		if !PredFailed(blk) {
+			for t := range blk {
+				blk[t] = extmem.Element{}
+			}
+		} else {
+			for t := range blk {
+				blk[t].Flags &^= extmem.FlagFailed
+			}
+		}
+		cpy.Write(i, blk)
+	}
+
+	failedCells := CompactBlocksTight(env, cpy, PredOccupied, 0)
+	ok := failedCells <= capD
+
+	// Record fill counts and origins of the compacted prefix.
+	fo := env.D.Alloc(extmem.CeilDiv(capD, b))
+	ent := env.Cache.Buf(b)
+	for i := range ent {
+		ent[i] = extmem.Element{}
+	}
+	for i := 0; i < capD; i++ {
+		cpy.Read(i, blk)
+		cnt := 0
+		for _, e := range blk {
+			if e.Occupied() {
+				cnt++
+			}
+		}
+		ent[i%b] = extmem.Element{Val: uint64(cnt), Pos: uint64(blk[0].Aux())}
+		if (i+1)%b == 0 || i == capD-1 {
+			fo.Write(i/b, ent)
+			for t := range ent {
+				ent[t] = extmem.Element{}
+			}
+		}
+	}
+
+	// Deterministic sort of the prefix (Lemma 2).
+	obsort.Bitonic(env, cpy.Slice(0, capD), obsort.ByKey)
+
+	// Repack the dense sorted stream into cells with the recorded fill
+	// shape, stamping each cell's expansion target. The schedule is
+	// lockstep — at step s read stream block s and write output cell s —
+	// so the trace never depends on the fill pattern. Feasibility: output
+	// cell s needs at most (s+1)·B elements, and the dense stream's first
+	// s+1 blocks hold at least that many when they exist. The private
+	// queue absorbs the lag, which stays small because almost every failed
+	// cell is full (only consolidation flush blocks are partial).
+	d2 := env.D.Alloc(capD)
+	stream := env.Cache.Buf(b)
+	queueCap := env.M / 4
+	queue := env.Cache.Buf(queueCap)
+	qh, qt := 0, 0 // ring indices: head (consume), tail (produce)
+	qlen := 0
+	for s := 0; s < capD; s++ {
+		cpy.Read(s, stream)
+		for _, e := range stream {
+			if !e.Occupied() {
+				continue
+			}
+			if qlen == queueCap {
+				ok = false // queue overflow: drop, keep the trace fixed
+				continue
+			}
+			queue[qt] = e
+			qt = (qt + 1) % queueCap
+			qlen++
+		}
+		if s%b == 0 {
+			fo.Read(s/b, ent)
+		}
+		fill := int(ent[s%b].Val)
+		origin := int(ent[s%b].Pos)
+		for t := 0; t < b; t++ {
+			blk[t] = extmem.Element{}
+			if t < fill && qlen > 0 {
+				blk[t] = queue[qh]
+				qh = (qh + 1) % queueCap
+				qlen--
+			}
+			blk[t].SetAux(origin)
+		}
+		d2.Write(s, blk)
+	}
+	env.Cache.Free(queue)
+	env.Cache.Free(stream)
+	env.Cache.Free(ent)
+
+	// Install the repacked prefix and route everything home.
+	for i := 0; i < capD; i++ {
+		d2.Read(i, blk)
+		cpy.Write(i, blk)
+	}
+	ExpandBlocks(env, cpy, PredOccupied, 0)
+
+	// Merge: failed cells take the repaired copy.
+	cblk := env.Cache.Buf(b)
+	for i := 0; i < n; i++ {
+		res.Read(i, blk)
+		cpy.Read(i, cblk)
+		if PredFailed(blk) {
+			copy(blk, cblk)
+		}
+		for t := range blk {
+			blk[t].Flags &^= extmem.FlagFailed
+		}
+		res.Write(i, blk)
+	}
+	env.Cache.Free(cblk)
+	env.Cache.Free(blk)
+	return ok
+}

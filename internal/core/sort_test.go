@@ -1,0 +1,376 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/obsort"
+	"oblivext/internal/trace"
+)
+
+func checkSorted(t *testing.T, a extmem.Array, wantKeys []uint64) {
+	t.Helper()
+	elems := readElems(a)
+	var got []uint64
+	seenEmpty := false
+	for i, e := range elems {
+		if !e.Occupied() {
+			seenEmpty = true
+			continue
+		}
+		if seenEmpty {
+			t.Fatalf("occupied cell after empty at element %d (not tight)", i)
+		}
+		got = append(got, e.Key)
+	}
+	want := append([]uint64(nil), wantKeys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("%d keys out, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortSmall(t *testing.T) {
+	env := newTestEnv(256, 4, 256, 3)
+	a := env.D.Alloc(8)
+	keys := []uint64{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	buildKeyArray(a, keys)
+	if err := Sort(env, a, SortParams{}); err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, a, keys)
+}
+
+func TestSortRecursivePipeline(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	for _, cfg := range []struct {
+		nBlocks, b, m int
+		kind          string
+	}{
+		{256, 8, 256, "rand"}, // N=2048, M=256: real recursion
+		{256, 8, 256, "sorted"},
+		{256, 8, 256, "reverse"},
+		{256, 8, 256, "dup"},
+		{512, 8, 512, "rand"},
+		{100, 4, 128, "rand"}, // non-power-of-two blocks
+	} {
+		env := newTestEnv(1<<16, cfg.b, cfg.m, uint64(cfg.nBlocks))
+		a := env.D.Alloc(cfg.nBlocks)
+		total := cfg.nBlocks * cfg.b * 3 / 4
+		keys := make([]uint64, total)
+		for i := range keys {
+			switch cfg.kind {
+			case "sorted":
+				keys[i] = uint64(i)
+			case "reverse":
+				keys[i] = uint64(total - i)
+			case "dup":
+				keys[i] = uint64(i % 7)
+			default:
+				keys[i] = r.Uint64() % (1 << 48)
+			}
+		}
+		buildKeyArray(a, keys)
+		if err := Sort(env, a, SortParams{}); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		checkSorted(t, a, keys)
+	}
+}
+
+func TestSortPreservesPayload(t *testing.T) {
+	env := newTestEnv(1<<14, 8, 256, 5)
+	a := env.D.Alloc(128)
+	elems := make([]extmem.Element, 1024)
+	for i := range elems {
+		elems[i] = extmem.Element{Key: uint64(1024 - i), Val: uint64(1024-i) * 31, Pos: uint64(i), Flags: extmem.FlagOccupied}
+	}
+	writeElems(a, elems)
+	if err := Sort(env, a, SortParams{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range readElems(a) {
+		if i >= 1024 {
+			break
+		}
+		if !e.Occupied() || e.Key != uint64(i+1) || e.Val != e.Key*31 {
+			t.Fatalf("element %d: %+v", i, e)
+		}
+	}
+}
+
+func TestSortOblivious(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	run := func(keys []uint64) trace.Summary {
+		return traceOf(t, 1<<15, 8, 256, 123, func(env *extmem.Env) {
+			a := env.D.Alloc(256)
+			buildKeyArray(a, keys)
+			if err := Sort(env, a, SortParams{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	total := 2048
+	uniform := make([]uint64, total)
+	for i := range uniform {
+		uniform[i] = r.Uint64()
+	}
+	constant := make([]uint64, total)
+	for i := range constant {
+		constant[i] = 99
+	}
+	sortedK := make([]uint64, total)
+	for i := range sortedK {
+		sortedK[i] = uint64(i)
+	}
+	s1, s2, s3 := run(uniform), run(constant), run(sortedK)
+	if !s1.Equal(s2) || !s1.Equal(s3) {
+		t.Fatalf("sort trace depends on data: %v %v %v", s1, s2, s3)
+	}
+}
+
+func TestSortCacheBound(t *testing.T) {
+	env := newTestEnv(1<<15, 8, 256, 7)
+	a := env.D.Alloc(256)
+	r := rand.New(rand.NewPCG(5, 5))
+	keys := make([]uint64, 2048)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	buildKeyArray(a, keys)
+	env.Cache.ResetHighWater()
+	if err := Sort(env, a, SortParams{}); err != nil {
+		t.Fatal(err)
+	}
+	if hw := env.Cache.HighWater(); hw > env.M {
+		t.Fatalf("sort used %d private elements > M=%d", hw, env.M)
+	}
+}
+
+// TestSweepRepairsInjectedFailure injects a deliberately scrambled, flagged
+// bucket into a concatenated result and checks the sweep restores global
+// sorted order — the §5 failure-sweeping mechanism in isolation.
+func TestSweepRepairsInjectedFailure(t *testing.T) {
+	env := newTestEnv(4096, 4, 512, 9)
+	// Three "buckets" of 8 blocks each over disjoint key ranges; bucket 1
+	// is unsorted and failed.
+	res := env.D.Alloc(24)
+	blk := make([]extmem.Element, 4)
+	write := func(cell int, keys [4]uint64, failed, occupied bool) {
+		for t := range blk {
+			blk[t] = extmem.Element{}
+			if occupied {
+				blk[t] = extmem.Element{Key: keys[t], Pos: uint64(cell*4 + t), Flags: extmem.FlagOccupied}
+				if failed {
+					blk[t].Flags |= extmem.FlagFailed
+				}
+			}
+		}
+		res.Write(cell, blk)
+	}
+	// Bucket 0 (cells 0-7): sorted keys 0..27, some cells empty.
+	k := uint64(0)
+	for c := 0; c < 8; c++ {
+		if c == 7 {
+			write(c, [4]uint64{}, false, false)
+			continue
+		}
+		write(c, [4]uint64{k, k + 1, k + 2, k + 3}, false, true)
+		k += 4
+	}
+	// Bucket 1 (cells 8-15): keys 100..131 scrambled, failed.
+	scr := []uint64{117, 103, 128, 111, 131, 100, 124, 107, 119, 102, 126, 113, 105, 121, 109, 130, 101, 122, 115, 127, 108, 104, 129, 110, 118, 106, 123, 112, 120, 114, 125, 116}
+	for c := 0; c < 8; c++ {
+		write(c+8, [4]uint64{scr[c*4], scr[c*4+1], scr[c*4+2], scr[c*4+3]}, true, true)
+	}
+	// Bucket 2 (cells 16-23): sorted keys 200..219, trailing empties.
+	k = 200
+	for c := 0; c < 8; c++ {
+		if c >= 5 {
+			write(c+16, [4]uint64{}, false, false)
+			continue
+		}
+		write(c+16, [4]uint64{k, k + 1, k + 2, k + 3}, false, true)
+		k += 4
+	}
+
+	if !sweepFailures(env, res, 16) {
+		t.Fatal("sweep reported irreparable failure")
+	}
+	elems := readElems(res)
+	// Bucket 1's region (cells 8-15) must now be sorted 100..131.
+	var got []uint64
+	for _, e := range elems[32:64] {
+		if e.Occupied() {
+			got = append(got, e.Key)
+		}
+	}
+	if len(got) != 32 {
+		t.Fatalf("bucket 1 has %d elements after sweep, want 32", len(got))
+	}
+	for i := range got {
+		if got[i] != uint64(100+i) {
+			t.Fatalf("bucket 1 position %d = %d, want %d", i, got[i], 100+i)
+		}
+	}
+	// Buckets 0 and 2 untouched.
+	for i, e := range elems[:28] {
+		if !e.Occupied() || e.Key != uint64(i) {
+			t.Fatalf("bucket 0 damaged at %d: %+v", i, e)
+		}
+	}
+	for i, e := range elems[64:84] {
+		if !e.Occupied() || e.Key != uint64(200+i) {
+			t.Fatalf("bucket 2 damaged at %d: %+v", i, e)
+		}
+	}
+	// No FlagFailed bits remain.
+	for i, e := range elems {
+		if e.Flags&extmem.FlagFailed != 0 {
+			t.Fatalf("FlagFailed left at element %d", i)
+		}
+	}
+}
+
+// TestSweepNoFailuresIsIdentity: with nothing flagged the sweep must leave
+// the array bit-identical (after FlagFailed clearing, which is a no-op).
+func TestSweepNoFailuresIsIdentity(t *testing.T) {
+	env := newTestEnv(2048, 4, 512, 11)
+	res := env.D.Alloc(16)
+	r := rand.New(rand.NewPCG(3, 3))
+	keys := make([]uint64, 48)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	buildKeyArray(res, keys)
+	before := readElems(res)
+	if !sweepFailures(env, res, 12) {
+		t.Fatal("sweep failed with no failures")
+	}
+	after := readElems(res)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("sweep modified healthy element %d: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestSweepTraceIndependentOfFailures: the sweep's trace must not reveal
+// whether anything failed.
+func TestSweepTraceIndependentOfFailures(t *testing.T) {
+	run := func(fail bool) trace.Summary {
+		return traceOf(t, 2048, 4, 512, 13, func(env *extmem.Env) {
+			res := env.D.Alloc(16)
+			blk := make([]extmem.Element, 4)
+			for c := 0; c < 16; c++ {
+				for t := range blk {
+					blk[t] = extmem.Element{Key: uint64(100 - c*4 - t), Pos: uint64(c*4 + t), Flags: extmem.FlagOccupied}
+					if fail && c < 8 {
+						blk[t].Flags |= extmem.FlagFailed
+					}
+				}
+				res.Write(c, blk)
+			}
+			sweepFailures(env, res, 12)
+		})
+	}
+	if !run(false).Equal(run(true)) {
+		t.Fatal("sweep trace depends on the failure set")
+	}
+}
+
+func TestConsolidateColorsStructure(t *testing.T) {
+	env := newTestEnv(1024, 4, 256, 15)
+	a := env.D.Alloc(32)
+	r := rand.New(rand.NewPCG(6, 6))
+	elems := make([]extmem.Element, 128)
+	counts := map[int]int{}
+	for i := range elems {
+		c := 1 + r.IntN(4)
+		elems[i] = extmem.Element{Key: uint64(i), Pos: uint64(i), Flags: extmem.FlagOccupied}
+		elems[i].SetColor(c)
+		counts[c]++
+	}
+	writeElems(a, elems)
+	out := consolidateColors(env, a, 4)
+	gotCounts := map[int]int{}
+	buf := make([]extmem.Element, 4)
+	for i := 0; i < out.Len(); i++ {
+		out.Read(i, buf)
+		blockColor := -1
+		for _, e := range buf {
+			if !e.Occupied() {
+				continue
+			}
+			if blockColor == -1 {
+				blockColor = e.Color()
+			}
+			if e.Color() != blockColor {
+				t.Fatalf("block %d not monochromatic", i)
+			}
+			gotCounts[e.Color()]++
+		}
+	}
+	for c, want := range counts {
+		if gotCounts[c] != want {
+			t.Fatalf("color %d: %d elements out, want %d", c, gotCounts[c], want)
+		}
+	}
+}
+
+func TestDealQuotasAndOverflow(t *testing.T) {
+	env := newTestEnv(2048, 4, 256, 17)
+	a := env.D.Alloc(32)
+	// All 32 blocks the same color: with quota 2 and batch 8 every batch
+	// overflows.
+	blk := make([]extmem.Element, 4)
+	for c := 0; c < 32; c++ {
+		for t := range blk {
+			blk[t] = extmem.Element{Key: uint64(c), Pos: uint64(c*4 + t), Flags: extmem.FlagOccupied}
+			blk[t].SetColor(1)
+		}
+		a.Write(c, blk)
+	}
+	arrs, ok := deal(env, a, 2, 8, 2)
+	if ok {
+		t.Fatal("overflow not reported")
+	}
+	if arrs[0].Len() != 8 || arrs[1].Len() != 8 {
+		t.Fatalf("deal output sizes %d/%d, want 8/8", arrs[0].Len(), arrs[1].Len())
+	}
+	// Generous quota: no overflow, all blocks present.
+	arrs, ok = deal(env, a, 2, 8, 8)
+	if !ok {
+		t.Fatal("unexpected overflow")
+	}
+	occ := 0
+	for i := 0; i < arrs[0].Len(); i++ {
+		arrs[0].Read(i, blk)
+		if blk[0].Occupied() {
+			occ++
+		}
+	}
+	if occ != 32 {
+		t.Fatalf("color 1 received %d blocks, want 32", occ)
+	}
+}
+
+func TestRandomizedSorterInterface(t *testing.T) {
+	env := newTestEnv(1<<14, 8, 256, 19)
+	a := env.D.Alloc(64)
+	r := rand.New(rand.NewPCG(7, 7))
+	keys := make([]uint64, 512)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	buildKeyArray(a, keys)
+	RandomizedSorter(env, a, obsort.ByKey)
+	checkSorted(t, a, keys)
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/iblt"
+	"oblivext/internal/obsort"
+	"oblivext/internal/oram"
+	"oblivext/internal/rng"
+)
+
+// This file implements Theorem 4: tight order-preserving compaction of a
+// sparse array through an invertible Bloom lookup table. Every position i
+// of the input touches the same k table cells whether or not cell i is
+// occupied — the semi-oblivious property of IBLT insertion (§2) — after
+// which the table is peeled: privately when it fits Alice's cache, or
+// through the ORAM substrate with a fully padded schedule (the paper's
+// "RAM simulation of the listEntries method").
+
+// ErrCompactionFailed reports that IBLT peeling did not recover every
+// occupied cell (probability bounded by Lemma 1) or that the occupied count
+// exceeded the declared capacity. The trace up to the failure is exactly
+// the success trace — Monte-Carlo semantics, no data-dependent retry.
+var ErrCompactionFailed = errors.New("core: sparse compaction failed")
+
+// SparseParams tunes Theorem 4's table geometry.
+type SparseParams struct {
+	// K is the number of hash functions (default 4).
+	K int
+	// TableFactor is m/r, the cells per unit capacity (default 3, the
+	// paper's "table of size 3r").
+	TableFactor int
+	// ForceORAM forces the ORAM peeling path even when the table would fit
+	// in cache (used by tests and the E3 ablation).
+	ForceORAM bool
+}
+
+func (p *SparseParams) setDefaults() {
+	if p.K == 0 {
+		p.K = 4
+	}
+	if p.TableFactor == 0 {
+		p.TableFactor = 3
+	}
+}
+
+// cellWords returns the serialized width of one IBLT cell for block values:
+// count and keySum plus ElementWords words per element of the block.
+func cellWords(b int) int { return 2 + extmem.ElementWords*b }
+
+// SparseTableFits reports whether Theorem 4's table for capacity rCap would
+// fit Alice's cache, i.e. whether CompactBlocksSparse would peel privately.
+func SparseTableFits(env *extmem.Env, rCap int, p SparseParams) bool {
+	p.setDefaults()
+	m := p.TableFactor * max(rCap, 1)
+	if m < p.K {
+		m = p.K
+	}
+	return m*(cellWords(env.B())+2) <= env.M-4*env.B()
+}
+
+// CompactMarkedTight consolidates the marked elements of a (Lemma 3) and
+// tightly compacts the resulting full blocks into a fresh array of exactly
+// rCap blocks, preserving element order. It chooses Theorem 4's IBLT path
+// when the table fits in cache — the regime where Theorem 13's strictly
+// linear I/O bound is realized — and otherwise falls back to Theorem 6's
+// butterfly network, paying a log_{M/B}(n) factor but no ORAM overhead.
+// (The fully general Theorem 4 path through the ORAM substrate remains
+// available via CompactBlocksSparse with ForceORAM.)
+func CompactMarkedTight(env *extmem.Env, a extmem.Array, rCap int) (extmem.Array, int64, error) {
+	cons, marked := Consolidate(env, a)
+	need := extmem.CeilDiv(int(marked), env.B())
+	if marked > 0 && need > rCap {
+		return cons, marked, fmt.Errorf("%w: %d marked blocks exceed capacity %d", ErrCompactionFailed, need, rCap)
+	}
+	if SparseTableFits(env, rCap, SparseParams{}) {
+		out, _, err := CompactBlocksSparse(env, cons, rCap, SparseParams{})
+		return out, marked, err
+	}
+	CompactBlocksTight(env, cons, PredOccupied, 0)
+	if cons.Len() < rCap {
+		// Pad: allocate the full capacity and copy the prefix.
+		out := env.D.Alloc(rCap)
+		blk := env.Cache.Buf(env.B())
+		for i := 0; i < rCap; i++ {
+			if i < cons.Len() {
+				cons.Read(i, blk)
+			} else {
+				for t := range blk {
+					blk[t] = extmem.Element{}
+				}
+			}
+			out.Write(i, blk)
+		}
+		env.Cache.Free(blk)
+		return out, marked, nil
+	}
+	return cons.Slice(0, rCap), marked, nil
+}
+
+// CompactBlocksSparse compacts the occupied block-cells of a — at most rCap
+// of them — into a fresh array of exactly rCap blocks, occupied cells
+// first in their original element order (by the Pos field), empties after.
+// It uses O(n + rCap·polylog) I/Os: one insertion scan with k cell touches
+// per input position, a peel, and an order-restoring oblivious sort.
+//
+// The occupied count is returned privately. If more than rCap cells are
+// occupied, or peeling fails (Lemma 1's low-probability event), the full
+// fixed-length trace is still produced and ErrCompactionFailed is returned.
+func CompactBlocksSparse(env *extmem.Env, a extmem.Array, rCap int, p SparseParams) (extmem.Array, int, error) {
+	p.setDefaults()
+	n := a.Len()
+	b := a.B()
+	if rCap < 1 {
+		rCap = 1
+	}
+	m := p.TableFactor * rCap
+	if m < p.K {
+		m = p.K
+	}
+	seed := env.Tape.Uint64() // hash family seed: one draw, data-independent
+	hasher := rng.NewHasher(seed, p.K, m)
+
+	mark := env.D.Mark()
+	out := env.D.Alloc(rCap)
+
+	// Table storage: one sum block per cell plus packed (count, keySum)
+	// headers, B per block.
+	sums := env.D.Alloc(m)
+	hdrs := env.D.Alloc(extmem.CeilDiv(m, b))
+	zero := env.Cache.Buf(b)
+	for i := range zero {
+		zero[i] = extmem.Element{}
+	}
+	for i := 0; i < sums.Len(); i++ {
+		sums.Write(i, zero)
+	}
+	for i := 0; i < hdrs.Len(); i++ {
+		hdrs.Write(i, zero)
+	}
+	env.Cache.Free(zero)
+
+	// Insertion pass: each position touches its k cells; unoccupied
+	// positions write the cells back unchanged (re-encrypted in the real
+	// deployment — indistinguishable either way).
+	ablk := env.Cache.Buf(b)
+	sblk := env.Cache.Buf(b)
+	hblk := env.Cache.Buf(b)
+	occCount := 0
+	for i := 0; i < n; i++ {
+		a.Read(i, ablk)
+		occ := PredOccupied(ablk)
+		if occ {
+			occCount++
+		}
+		for j := 0; j < p.K; j++ {
+			// Keys are positions offset by one so that a zero keySum is
+			// never a valid key; the peeler subtracts the offset back.
+			c := hasher.Index(j, uint64(i)+1)
+			sums.Read(c, sblk)
+			hdrs.Read(c/b, hblk)
+			if occ {
+				for t := 0; t < b; t++ {
+					sblk[t].Key += ablk[t].Key
+					sblk[t].Val += ablk[t].Val
+					sblk[t].Pos += ablk[t].Pos
+					sblk[t].Flags += ablk[t].Flags
+				}
+				hblk[c%b].Val++                // count
+				hblk[c%b].Key += uint64(i) + 1 // keySum (keys offset by 1 so key 0 is distinguishable)
+			}
+			sums.Write(c, sblk)
+			hdrs.Write(c/b, hblk)
+		}
+	}
+	env.Cache.Free(hblk)
+	env.Cache.Free(sblk)
+	env.Cache.Free(ablk)
+
+	// Peel: private if the whole table fits comfortably in cache,
+	// otherwise through the ORAM substrate.
+	footprint := m * (cellWords(b) + 2)
+	var recovered int
+	var err error
+	if !p.ForceORAM && footprint <= env.M-4*b {
+		recovered, err = peelPrivate(env, sums, hdrs, hasher, m, rCap, out)
+	} else {
+		recovered, err = peelViaORAM(env, sums, hdrs, hasher, m, rCap, out)
+	}
+	if err == nil && (recovered != occCount || occCount > rCap) {
+		err = fmt.Errorf("%w: recovered %d of %d occupied cells (capacity %d)",
+			ErrCompactionFailed, recovered, occCount, rCap)
+	}
+
+	// Order restoration: sort the fixed-size output by original position.
+	obsort.Bitonic(env, out, obsort.ByPos)
+
+	// Reclaim the table arenas but keep out: it was allocated first, so
+	// releasing to its end preserves it.
+	env.D.Release(mark + rCap)
+	return out, occCount, err
+}
+
+// peelPrivate loads the table into Alice's memory, peels it there (no trace
+// at all), and writes exactly rCap output blocks.
+func peelPrivate(env *extmem.Env, sums, hdrs extmem.Array, h *rng.Hasher, m, rCap int, out extmem.Array) (int, error) {
+	b := sums.B()
+	w := cellWords(b) - 2
+	env.Cache.Acquire(m * (w + 2))
+	cells := make([]iblt.Cell, m)
+	flat := make([]uint64, m*w)
+	for i := range cells {
+		cells[i].ValSum = flat[i*w : (i+1)*w]
+	}
+
+	blk := env.Cache.Buf(b)
+	for c := 0; c < m; c++ {
+		sums.Read(c, blk)
+		encodeBlockWords(cells[c].ValSum, blk)
+	}
+	for hb := 0; hb < hdrs.Len(); hb++ {
+		hdrs.Read(hb, blk)
+		for t := 0; t < b; t++ {
+			c := hb*b + t
+			if c >= m {
+				break
+			}
+			cells[c].Count = int64(blk[t].Val)
+			cells[c].KeySum = blk[t].Key
+		}
+	}
+
+	type rec struct {
+		key   uint64
+		words []uint64
+	}
+	var recs []rec
+	env.Cache.Acquire(rCap * (w + 1))
+	iblt.Peel(iblt.SliceStore(cells), h, 0, false, func(key uint64, val []uint64) {
+		v := make([]uint64, len(val))
+		copy(v, val)
+		if len(recs) < rCap {
+			recs = append(recs, rec{key: key - 1, words: v})
+		}
+	}, nil)
+
+	// Emit exactly rCap blocks: recovered cells then empties.
+	for i := 0; i < rCap; i++ {
+		if i < len(recs) {
+			decodeBlockWords(blk, recs[i].words)
+		} else {
+			for t := range blk {
+				blk[t] = extmem.Element{}
+			}
+		}
+		out.Write(i, blk)
+	}
+	env.Cache.Free(blk)
+	env.Cache.Release(rCap * (w + 1))
+	env.Cache.Release(m * (w + 2))
+	return len(recs), nil
+}
+
+// peelViaORAM is Theorem 4's general case: the table cells live behind an
+// ORAM, the peeling schedule is fully padded (every pass visits every cell
+// with identical operation counts), and recovered pairs go into a second
+// ORAM so emission times stay hidden.
+func peelViaORAM(env *extmem.Env, sums, hdrs extmem.Array, h *rng.Hasher, m, rCap int, out extmem.Array) (int, error) {
+	b := sums.B()
+	cw := cellWords(b)
+	cb := extmem.CeilDiv(cw, b) // ORAM blocks per cell
+	ob := extmem.ElementWords   // ORAM blocks per output block value
+
+	cellRAM, err := oram.New(env, m*cb, oram.Options{})
+	if err != nil {
+		return 0, err
+	}
+	outRAM, err := oram.New(env, rCap*ob, oram.Options{})
+	if err != nil {
+		return 0, err
+	}
+
+	// Load the table into the cell ORAM.
+	blk := env.Cache.Buf(b)
+	hdr := env.Cache.Buf(b)
+	words := make([]uint64, cb*b)
+	env.Cache.Acquire(cb * b)
+	for c := 0; c < m; c++ {
+		sums.Read(c, blk)
+		hdrs.Read(c/b, hdr)
+		words[0] = uint64(hdr[c%b].Val)
+		words[1] = hdr[c%b].Key
+		encodeBlockWords(words[2:2+extmem.ElementWords*b], blk)
+		for j := 0; j < cb; j++ {
+			if err := cellRAM.Write(c*cb+j, words[j*b:(j+1)*b]); err != nil {
+				env.Cache.Free(hdr)
+				env.Cache.Free(blk)
+				env.Cache.Release(cb * b)
+				return 0, err
+			}
+		}
+	}
+	env.Cache.Free(hdr)
+
+	cs := &oramCells{ram: cellRAM, m: m, cb: cb, b: b, cw: cw}
+	emitted := 0
+	var oramErr error
+	outWords := make([]uint64, ob*b)
+	env.Cache.Acquire(ob * b)
+	iblt.Peel(cs, h, 0, true, func(key uint64, val []uint64) {
+		copy(outWords, val)
+		for j := 0; j < ob; j++ {
+			var e error
+			if emitted < rCap {
+				e = outRAM.Write(emitted*ob+j, outWords[j*b:(j+1)*b])
+			} else {
+				e = outRAM.Dummy()
+			}
+			if e != nil && oramErr == nil {
+				oramErr = e
+			}
+		}
+		emitted++
+	}, func() {
+		for j := 0; j < ob; j++ {
+			if e := outRAM.Dummy(); e != nil && oramErr == nil {
+				oramErr = e
+			}
+		}
+	})
+	if cs.err != nil && oramErr == nil {
+		oramErr = cs.err
+	}
+
+	// Dump the output ORAM into the result array.
+	for i := 0; i < rCap; i++ {
+		for j := 0; j < ob; j++ {
+			v, e := outRAM.Read(i*ob + j)
+			if e != nil && oramErr == nil {
+				oramErr = e
+			}
+			if e == nil {
+				copy(outWords[j*b:(j+1)*b], v)
+			}
+		}
+		if i < emitted {
+			decodeBlockWords(blk, outWords)
+		} else {
+			for t := range blk {
+				blk[t] = extmem.Element{}
+			}
+		}
+		out.Write(i, blk)
+	}
+	env.Cache.Free(blk)
+	env.Cache.Release(cb * b)
+	env.Cache.Release(ob * b)
+	if emitted > rCap {
+		emitted = rCap
+	}
+	return emitted, oramErr
+}
+
+// oramCells adapts the cell ORAM to the peeler's CellStore interface with
+// fixed per-operation costs.
+type oramCells struct {
+	ram *oram.ORAM
+	m   int
+	cb  int
+	b   int
+	cw  int
+	err error
+}
+
+func (o *oramCells) Len() int { return o.m }
+
+func (o *oramCells) Load(i int) iblt.Cell {
+	words := make([]uint64, o.cb*o.b)
+	for j := 0; j < o.cb; j++ {
+		v, err := o.ram.Read(i*o.cb + j)
+		if err != nil {
+			if o.err == nil {
+				o.err = err
+			}
+			return iblt.Cell{ValSum: make([]uint64, o.cw-2)}
+		}
+		copy(words[j*o.b:(j+1)*o.b], v)
+	}
+	return iblt.Cell{
+		Count:  int64(words[0]),
+		KeySum: words[1],
+		ValSum: words[2:o.cw],
+	}
+}
+
+func (o *oramCells) Store(i int, c iblt.Cell) {
+	words := make([]uint64, o.cb*o.b)
+	words[0] = uint64(c.Count)
+	words[1] = c.KeySum
+	copy(words[2:o.cw], c.ValSum)
+	for j := 0; j < o.cb; j++ {
+		if err := o.ram.Write(i*o.cb+j, words[j*o.b:(j+1)*o.b]); err != nil && o.err == nil {
+			o.err = err
+		}
+	}
+}
+
+func (o *oramCells) Dummy() {
+	for j := 0; j < 2*o.cb; j++ {
+		if err := o.ram.Dummy(); err != nil && o.err == nil {
+			o.err = err
+		}
+	}
+}
+
+// encodeBlockWords flattens a block's elements into words.
+func encodeBlockWords(dst []uint64, blk []extmem.Element) {
+	for t, e := range blk {
+		dst[t*4+0] = e.Key
+		dst[t*4+1] = e.Val
+		dst[t*4+2] = e.Pos
+		dst[t*4+3] = e.Flags
+	}
+}
+
+// decodeBlockWords unflattens words into a block's elements.
+func decodeBlockWords(blk []extmem.Element, src []uint64) {
+	for t := range blk {
+		blk[t] = extmem.Element{
+			Key:   src[t*4+0],
+			Val:   src[t*4+1],
+			Pos:   src[t*4+2],
+			Flags: src[t*4+3],
+		}
+	}
+}

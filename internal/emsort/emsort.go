@@ -1,0 +1,288 @@
+// Package emsort provides classical, non-oblivious external-memory
+// baselines: the I/O-optimal (M/B−1)-way mergesort of Aggarwal–Vitter and a
+// pivot-based external quickselect. Both leak their access patterns — their
+// traces depend on the data — which is exactly their role here: the paper's
+// algorithms are measured against them to show the price of obliviousness
+// (E9, E7) and the leak itself is demonstrated in E13.
+package emsort
+
+import (
+	"errors"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/obsort"
+)
+
+// MergeSort sorts the array with run formation followed by (M/B−1)-way
+// merge passes: the I/O-optimal Θ((N/B)·log_{M/B}(N/B)) non-oblivious sort.
+// Padded semantics: unoccupied cells sort last under less.
+func MergeSort(env *extmem.Env, a extmem.Array, less obsort.Less) {
+	n := a.Len()
+	if n == 0 {
+		return
+	}
+	b := a.B()
+	m := env.MBlocks()
+	if m < 3 {
+		panic("emsort: MergeSort requires M >= 3B")
+	}
+	runBlocks := m // a full cache of blocks per initial run
+	mark := env.D.Mark()
+	defer env.D.Release(mark)
+
+	// Run formation.
+	chunk := env.Cache.Buf(runBlocks * b)
+	for start := 0; start < n; start += runBlocks {
+		cnt := runBlocks
+		if start+cnt > n {
+			cnt = n - start
+		}
+		for i := 0; i < cnt; i++ {
+			a.Read(start+i, chunk[i*b:(i+1)*b])
+		}
+		obsort.InCache(chunk[:cnt*b], less)
+		for i := 0; i < cnt; i++ {
+			a.Write(start+i, chunk[i*b:(i+1)*b])
+		}
+	}
+	env.Cache.Free(chunk)
+
+	fan := m - 1
+	src, dst := a, env.D.Alloc(n)
+	runLen := runBlocks
+	for runLen < n {
+		mergePass(env, src, dst, runLen, fan, less)
+		src, dst = dst, src
+		runLen *= fan
+	}
+	if src.Base() != a.Base() {
+		buf := env.Cache.Buf(b)
+		for i := 0; i < n; i++ {
+			src.Read(i, buf)
+			a.Write(i, buf)
+		}
+		env.Cache.Free(buf)
+	}
+}
+
+// mergePass merges consecutive groups of fan runs of runLen blocks from src
+// into dst.
+func mergePass(env *extmem.Env, src, dst extmem.Array, runLen, fan int, less obsort.Less) {
+	n := src.Len()
+	b := src.B()
+	bufs := env.Cache.Buf(fan * b)
+	outBuf := env.Cache.Buf(b)
+	for group := 0; group < n; group += runLen * fan {
+		// Per-run cursors within this group.
+		type cursor struct {
+			next, end int // block range remaining
+			pos, lim  int // element position within bufs[i]
+		}
+		curs := make([]cursor, 0, fan)
+		for r := 0; r < fan; r++ {
+			lo := group + r*runLen
+			if lo >= n {
+				break
+			}
+			hi := lo + runLen
+			if hi > n {
+				hi = n
+			}
+			c := cursor{next: lo, end: hi}
+			curs = append(curs, c)
+		}
+		// Prime buffers.
+		for i := range curs {
+			if curs[i].next < curs[i].end {
+				src.Read(curs[i].next, bufs[i*b:(i+1)*b])
+				curs[i].next++
+				curs[i].lim = b
+			}
+		}
+		out := group
+		op := 0
+		total := 0
+		for i := range curs {
+			total += (curs[i].end - (group + i*runLen)) * b
+		}
+		for written := 0; written < total; written++ {
+			best := -1
+			for i := range curs {
+				if curs[i].pos >= curs[i].lim {
+					continue
+				}
+				if best < 0 || less(bufs[i*b+curs[i].pos], bufs[best*b+curs[best].pos]) {
+					best = i
+				}
+			}
+			outBuf[op] = bufs[best*b+curs[best].pos]
+			curs[best].pos++
+			if curs[best].pos == curs[best].lim && curs[best].next < curs[best].end {
+				src.Read(curs[best].next, bufs[best*b:(best+1)*b])
+				curs[best].next++
+				curs[best].pos, curs[best].lim = 0, b
+			}
+			op++
+			if op == b {
+				dst.Write(out, outBuf)
+				out++
+				op = 0
+			}
+		}
+	}
+	env.Cache.Free(outBuf)
+	env.Cache.Free(bufs)
+}
+
+// ErrNotFound reports a selection rank outside the number of occupied
+// elements.
+var ErrNotFound = errors.New("emsort: selection rank out of range")
+
+// QuickSelect returns the k-th smallest occupied element (k is 1-based)
+// under (Key, Pos) order, using randomized pivoting. Its trace and I/O
+// count depend on the data — it is the non-oblivious baseline.
+func QuickSelect(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
+	n := a.Len()
+	b := a.B()
+	mark := env.D.Mark()
+	defer env.D.Release(mark)
+
+	// Compact occupied elements into a dense scratch array (non-oblivious:
+	// writes only as many blocks as there are items).
+	cur := env.D.Alloc(n)
+	buf := env.Cache.Buf(b)
+	out := env.Cache.Buf(b)
+	cnt := int64(0)
+	op := 0
+	outBlk := 0
+	flush := func() {
+		for i := op; i < b; i++ {
+			out[i] = extmem.Element{}
+		}
+		cur.Write(outBlk, out)
+		outBlk++
+		op = 0
+	}
+	for i := 0; i < n; i++ {
+		a.Read(i, buf)
+		for _, e := range buf {
+			if e.Occupied() {
+				out[op] = e
+				op++
+				cnt++
+				if op == b {
+					flush()
+				}
+			}
+		}
+	}
+	if op > 0 {
+		flush()
+	}
+	env.Cache.Free(out)
+
+	if k < 1 || k > cnt {
+		env.Cache.Free(buf)
+		return extmem.Element{}, ErrNotFound
+	}
+
+	next := env.D.Alloc(n)
+	rank := k
+	length := cnt // elements in cur
+	for {
+		blocks := int(extmem.CeilDiv64(length, int64(b)))
+		if length <= int64(env.M-env.B()) {
+			all := env.Cache.Buf(int(length))
+			got := 0
+			for i := 0; i < blocks; i++ {
+				cur.Read(i, buf)
+				for _, e := range buf {
+					if e.Occupied() && got < int(length) {
+						all[got] = e
+						got++
+					}
+				}
+			}
+			obsort.InCache(all[:got], obsort.ByKey)
+			e := all[rank-1]
+			env.Cache.Free(all)
+			env.Cache.Free(buf)
+			return e, nil
+		}
+		// Pick a pivot: first occupied element of a random block.
+		var pivot extmem.Element
+		for {
+			cur.Read(env.Tape.IntN(blocks), buf)
+			found := false
+			for _, e := range buf {
+				if e.Occupied() {
+					pivot = e
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		// Partition pass: write the side of interest to next.
+		var below, equal int64
+		for i := 0; i < blocks; i++ {
+			cur.Read(i, buf)
+			for _, e := range buf {
+				if !e.Occupied() {
+					continue
+				}
+				switch {
+				case e.Less(pivot):
+					below++
+				case e.Key == pivot.Key && e.Pos == pivot.Pos:
+					equal++
+				}
+			}
+		}
+		if rank <= below {
+			length = keepSide(env, cur, next, blocks, b, func(e extmem.Element) bool { return e.Less(pivot) })
+		} else if rank <= below+equal {
+			env.Cache.Free(buf)
+			return pivot, nil
+		} else {
+			rank -= below + equal
+			length = keepSide(env, cur, next, blocks, b, func(e extmem.Element) bool { return pivot.Less(e) })
+		}
+		cur, next = next, cur
+	}
+}
+
+// keepSide streams the elements satisfying pred from src into dst and
+// returns how many were kept.
+func keepSide(env *extmem.Env, src, dst extmem.Array, blocks, b int, pred func(extmem.Element) bool) int64 {
+	in := env.Cache.Buf(b)
+	out := env.Cache.Buf(b)
+	kept := int64(0)
+	op, outBlk := 0, 0
+	for i := 0; i < blocks; i++ {
+		src.Read(i, in)
+		for _, e := range in {
+			if e.Occupied() && pred(e) {
+				out[op] = e
+				op++
+				kept++
+				if op == b {
+					dst.Write(outBlk, out)
+					outBlk++
+					op = 0
+				}
+			}
+		}
+	}
+	if op > 0 {
+		for i := op; i < b; i++ {
+			out[i] = extmem.Element{}
+		}
+		dst.Write(outBlk, out)
+	}
+	env.Cache.Free(out)
+	env.Cache.Free(in)
+	return kept
+}

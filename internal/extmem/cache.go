@@ -1,0 +1,71 @@
+package extmem
+
+import "fmt"
+
+// Cache is the accountant for Alice's private memory. The paper's bounds
+// hold only when the client really uses at most M words of private state;
+// rather than assume that, every algorithm checks buffers out of the Cache
+// and tests assert HighWater() <= Capacity().
+//
+// Accounting is at buffer granularity (the dominant private state: block
+// buffers, sample windows, counters); loop variables and other O(1) state
+// are covered by the slack callers are expected to leave.
+type Cache struct {
+	capacity int
+	used     int
+	high     int
+	strict   bool
+}
+
+// NewCache returns an accountant for M elements of private memory. In
+// strict mode, exceeding the capacity panics immediately; otherwise it is
+// recorded in the high-water mark for tests to inspect.
+func NewCache(m int, strict bool) *Cache {
+	if m <= 0 {
+		panic("extmem: cache capacity must be positive")
+	}
+	return &Cache{capacity: m, strict: strict}
+}
+
+// Capacity returns M in elements.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Used returns the elements currently checked out.
+func (c *Cache) Used() int { return c.used }
+
+// HighWater returns the peak concurrent usage observed.
+func (c *Cache) HighWater() int { return c.high }
+
+// ResetHighWater clears the peak marker (usage is unaffected).
+func (c *Cache) ResetHighWater() { c.high = c.used }
+
+// Acquire records a checkout of n elements of private memory.
+func (c *Cache) Acquire(n int) {
+	if n < 0 {
+		panic("extmem: negative cache acquire")
+	}
+	c.used += n
+	if c.used > c.high {
+		c.high = c.used
+	}
+	if c.strict && c.used > c.capacity {
+		panic(fmt.Sprintf("extmem: private cache overflow: %d used > %d capacity", c.used, c.capacity))
+	}
+}
+
+// Release returns n elements of private memory.
+func (c *Cache) Release(n int) {
+	if n < 0 || n > c.used {
+		panic("extmem: unbalanced cache release")
+	}
+	c.used -= n
+}
+
+// Buf checks out an n-element buffer.
+func (c *Cache) Buf(n int) []Element {
+	c.Acquire(n)
+	return make([]Element, n)
+}
+
+// Free returns a buffer checked out with Buf.
+func (c *Cache) Free(buf []Element) { c.Release(cap(buf)) }

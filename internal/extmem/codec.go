@@ -1,0 +1,28 @@
+package extmem
+
+import "encoding/binary"
+
+// encodeBlock serializes a block of elements little-endian into dst, which
+// must have room for len(src)*ElementBytes bytes.
+func encodeBlock(dst []byte, src []Element) {
+	for i, e := range src {
+		off := i * ElementBytes
+		binary.LittleEndian.PutUint64(dst[off:], e.Key)
+		binary.LittleEndian.PutUint64(dst[off+8:], e.Val)
+		binary.LittleEndian.PutUint64(dst[off+16:], e.Pos)
+		binary.LittleEndian.PutUint64(dst[off+24:], e.Flags)
+	}
+}
+
+// decodeBlock deserializes a block of elements from src into dst.
+func decodeBlock(dst []Element, src []byte) {
+	for i := range dst {
+		off := i * ElementBytes
+		dst[i] = Element{
+			Key:   binary.LittleEndian.Uint64(src[off:]),
+			Val:   binary.LittleEndian.Uint64(src[off+8:]),
+			Pos:   binary.LittleEndian.Uint64(src[off+16:]),
+			Flags: binary.LittleEndian.Uint64(src[off+24:]),
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package extmem
+
+import (
+	"fmt"
+
+	"oblivext/internal/trace"
+)
+
+// Stats counts the block I/Os an algorithm performed — the quantity every
+// theorem in the paper bounds.
+type Stats struct {
+	Reads  int64
+	Writes int64
+}
+
+// Total returns reads plus writes.
+func (s Stats) Total() int64 { return s.Reads + s.Writes }
+
+// Sub returns the difference s - o, for measuring a phase.
+func (s Stats) Sub(o Stats) Stats { return Stats{s.Reads - o.Reads, s.Writes - o.Writes} }
+
+// Disk is Bob's storage as the algorithms see it: a block store instrumented
+// with I/O counters, an optional trace recorder capturing the adversary's
+// view, and a bump allocator handing out scratch arenas. All methods panic
+// on geometry violations: in this simulator an out-of-range access is a bug
+// in the algorithm, not an environmental error.
+type Disk struct {
+	store BlockStore
+	b     int
+	stats Stats
+	rec   *trace.Recorder
+	top   int
+}
+
+// NewDisk wraps a block store. The allocator starts at block 0.
+func NewDisk(store BlockStore) *Disk {
+	return &Disk{store: store, b: store.BlockSize()}
+}
+
+// B returns the block size in elements.
+func (d *Disk) B() int { return d.b }
+
+// Stats returns the cumulative I/O counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the I/O counters.
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// SetRecorder attaches (or with nil detaches) a trace recorder.
+func (d *Disk) SetRecorder(r *trace.Recorder) { d.rec = r }
+
+// Recorder returns the attached trace recorder, if any.
+func (d *Disk) Recorder() *trace.Recorder { return d.rec }
+
+// Read copies block addr into dst and logs the access.
+func (d *Disk) Read(addr int, dst []Element) {
+	if err := d.store.ReadBlock(addr, dst); err != nil {
+		panic(fmt.Sprintf("extmem: read: %v", err))
+	}
+	d.stats.Reads++
+	d.rec.Record(trace.Read, int64(addr))
+}
+
+// Write copies src into block addr and logs the access.
+func (d *Disk) Write(addr int, src []Element) {
+	if err := d.store.WriteBlock(addr, src); err != nil {
+		panic(fmt.Sprintf("extmem: write: %v", err))
+	}
+	d.stats.Writes++
+	d.rec.Record(trace.Write, int64(addr))
+}
+
+// Alloc reserves n fresh blocks and returns them as an Array. Allocation is
+// a client-side bookkeeping operation (no I/O, no trace): the request
+// pattern of every algorithm here depends only on N, M and B, so allocation
+// reveals nothing. In-memory stores grow on demand.
+func (d *Disk) Alloc(n int) Array {
+	if n < 0 {
+		panic("extmem: negative allocation")
+	}
+	if d.top+n > d.store.NumBlocks() {
+		g, ok := d.store.(Growable)
+		if !ok {
+			panic(fmt.Sprintf("extmem: allocation of %d blocks exceeds store capacity %d (top %d)",
+				n, d.store.NumBlocks(), d.top))
+		}
+		grow := d.store.NumBlocks() * 2
+		if grow < d.top+n {
+			grow = d.top + n
+		}
+		if err := g.GrowTo(grow); err != nil {
+			panic(fmt.Sprintf("extmem: store growth failed: %v", err))
+		}
+	}
+	a := Array{d: d, base: d.top, n: n}
+	d.top += n
+	return a
+}
+
+// Mark returns the current allocation watermark; pass it to Release to free
+// every arena allocated since (stack discipline, as the recursive algorithms
+// need).
+func (d *Disk) Mark() int { return d.top }
+
+// Release frees all arenas allocated after the given watermark.
+func (d *Disk) Release(mark int) {
+	if mark < 0 || mark > d.top {
+		panic("extmem: bad release watermark")
+	}
+	d.top = mark
+}
+
+// Allocated returns the number of blocks currently allocated.
+func (d *Disk) Allocated() int { return d.top }
+
+// Array is a view over a contiguous run of blocks on a Disk. All the
+// paper's algorithms operate on Arrays; Slice carves subarrays without
+// copying, exactly as the paper reuses regions of A.
+type Array struct {
+	d    *Disk
+	base int
+	n    int
+}
+
+// Len returns the array length in blocks.
+func (a Array) Len() int { return a.n }
+
+// B returns the block size in elements.
+func (a Array) B() int { return a.d.b }
+
+// Base returns the absolute block address of the array's first block.
+func (a Array) Base() int { return a.base }
+
+// Disk returns the underlying disk.
+func (a Array) Disk() *Disk { return a.d }
+
+// Read copies block i of the array into dst.
+func (a Array) Read(i int, dst []Element) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("extmem: array read index %d out of range [0,%d)", i, a.n))
+	}
+	a.d.Read(a.base+i, dst)
+}
+
+// Write copies src into block i of the array.
+func (a Array) Write(i int, src []Element) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("extmem: array write index %d out of range [0,%d)", i, a.n))
+	}
+	a.d.Write(a.base+i, src)
+}
+
+// Slice returns the subarray [lo, hi).
+func (a Array) Slice(lo, hi int) Array {
+	if lo < 0 || hi < lo || hi > a.n {
+		panic(fmt.Sprintf("extmem: bad slice [%d,%d) of %d", lo, hi, a.n))
+	}
+	return Array{d: a.d, base: a.base + lo, n: hi - lo}
+}

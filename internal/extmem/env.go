@@ -1,0 +1,80 @@
+package extmem
+
+import (
+	"oblivext/internal/rng"
+)
+
+// Env bundles what every algorithm in the paper runs against: Bob's disk,
+// Alice's private-cache accountant, and the random tape. M is the private
+// memory size in elements; M/B ("m" in the paper) must be at least 2 for
+// the scan-based algorithms, at least 3 for butterfly compaction, and large
+// enough for the wide-block/tall-cache assumptions where a theorem needs
+// them (each algorithm documents and checks its own requirement).
+type Env struct {
+	D     *Disk
+	Cache *Cache
+	Tape  *rng.Tape
+	M     int
+}
+
+// NewEnv builds an environment over an in-memory store.
+//
+// startBlocks is an initial capacity hint; the store grows on demand.
+func NewEnv(startBlocks, b, m int, seed uint64) *Env {
+	if m < 2*b {
+		panic("extmem: need M >= 2B")
+	}
+	return &Env{
+		D:     NewDisk(NewMemStore(startBlocks, b)),
+		Cache: NewCache(m, false),
+		Tape:  rng.NewTape(seed, seed^0x9e3779b97f4a7c15),
+		M:     m,
+	}
+}
+
+// NewEnvOn builds an environment over an arbitrary block store.
+func NewEnvOn(store BlockStore, m int, seed uint64) *Env {
+	if m < 2*store.BlockSize() {
+		panic("extmem: need M >= 2B")
+	}
+	return &Env{
+		D:     NewDisk(store),
+		Cache: NewCache(m, false),
+		Tape:  rng.NewTape(seed, seed^0x9e3779b97f4a7c15),
+		M:     m,
+	}
+}
+
+// B returns the block size in elements.
+func (e *Env) B() int { return e.D.B() }
+
+// MBlocks returns m = M/B, the private cache size in blocks.
+func (e *Env) MBlocks() int { return e.M / e.B() }
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }
+
+// CeilDiv64 returns ceil(a/b) for positive b.
+func CeilDiv64(a, b int64) int64 { return (a + b - 1) / b }
+
+// CeilLog2 returns ceil(log2(n)) for n >= 1, and 0 for n <= 1.
+func CeilLog2(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+// FloorLog2 returns floor(log2(n)) for n >= 1.
+func FloorLog2(n int) int {
+	if n < 1 {
+		panic("extmem: FloorLog2 of non-positive value")
+	}
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

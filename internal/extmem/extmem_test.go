@@ -1,0 +1,331 @@
+package extmem
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"oblivext/internal/trace"
+)
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore(4, 3)
+	in := []Element{{Key: 1, Val: 2, Pos: 3, Flags: 4}, {Key: 5}, {Key: 6}}
+	if err := s.WriteBlock(2, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Element, 3)
+	if err := s.ReadBlock(2, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("element %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestMemStoreErrors(t *testing.T) {
+	s := NewMemStore(2, 4)
+	if err := s.ReadBlock(2, make([]Element, 4)); err == nil {
+		t.Error("expected out-of-range read error")
+	}
+	if err := s.ReadBlock(-1, make([]Element, 4)); err == nil {
+		t.Error("expected negative-address read error")
+	}
+	if err := s.WriteBlock(0, make([]Element, 3)); err == nil {
+		t.Error("expected wrong-size write error")
+	}
+}
+
+func TestMemStoreGrow(t *testing.T) {
+	s := NewMemStore(1, 2)
+	in := []Element{{Key: 7}, {Key: 8}}
+	if err := s.WriteBlock(0, in); err != nil {
+		t.Fatal(err)
+	}
+	s.Grow(10)
+	if s.NumBlocks() != 10 {
+		t.Fatalf("NumBlocks = %d, want 10", s.NumBlocks())
+	}
+	out := make([]Element, 2)
+	if err := s.ReadBlock(0, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Key != 7 || out[1].Key != 8 {
+		t.Fatalf("grow lost data: %+v", out)
+	}
+}
+
+func TestDiskCountsAndTrace(t *testing.T) {
+	d := NewDisk(NewMemStore(8, 2))
+	rec := trace.NewRecorder(100)
+	d.SetRecorder(rec)
+	buf := make([]Element, 2)
+	d.Write(3, buf)
+	d.Read(3, buf)
+	d.Read(5, buf)
+	st := d.Stats()
+	if st.Reads != 2 || st.Writes != 1 {
+		t.Fatalf("stats = %+v, want 2 reads 1 write", st)
+	}
+	ops := rec.Ops()
+	want := []trace.Op{{Kind: trace.Write, Addr: 3}, {Kind: trace.Read, Addr: 3}, {Kind: trace.Read, Addr: 5}}
+	if len(ops) != len(want) {
+		t.Fatalf("trace len = %d, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d = %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestDiskAllocatorStackDiscipline(t *testing.T) {
+	d := NewDisk(NewMemStore(4, 2))
+	a := d.Alloc(3)
+	if a.Base() != 0 || a.Len() != 3 {
+		t.Fatalf("first alloc = base %d len %d", a.Base(), a.Len())
+	}
+	mark := d.Mark()
+	b := d.Alloc(10) // forces growth
+	if b.Base() != 3 {
+		t.Fatalf("second alloc base = %d, want 3", b.Base())
+	}
+	d.Release(mark)
+	c := d.Alloc(2)
+	if c.Base() != 3 {
+		t.Fatalf("post-release alloc base = %d, want 3", c.Base())
+	}
+}
+
+func TestArraySliceAndBounds(t *testing.T) {
+	d := NewDisk(NewMemStore(10, 2))
+	a := d.Alloc(10)
+	s := a.Slice(4, 8)
+	buf := []Element{{Key: 42}, {Key: 43}}
+	s.Write(0, buf)
+	got := make([]Element, 2)
+	a.Read(4, got)
+	if got[0].Key != 42 {
+		t.Fatalf("slice write not visible through parent: %+v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range array access")
+		}
+	}()
+	s.Read(4, buf)
+}
+
+func TestCacheAccounting(t *testing.T) {
+	c := NewCache(100, false)
+	b1 := c.Buf(60)
+	b2 := c.Buf(60) // over capacity, non-strict: recorded not fatal
+	if c.HighWater() != 120 {
+		t.Fatalf("high water = %d, want 120", c.HighWater())
+	}
+	c.Free(b1)
+	c.Free(b2)
+	if c.Used() != 0 {
+		t.Fatalf("used = %d after frees, want 0", c.Used())
+	}
+}
+
+func TestCacheStrictPanics(t *testing.T) {
+	c := NewCache(10, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected strict cache overflow panic")
+		}
+	}()
+	c.Acquire(11)
+}
+
+func TestElementLessOrdering(t *testing.T) {
+	occ := func(k, p uint64) Element { return Element{Key: k, Pos: p, Flags: FlagOccupied} }
+	empty := Element{}
+	cases := []struct {
+		a, b Element
+		want bool
+	}{
+		{occ(1, 0), occ(2, 0), true},
+		{occ(2, 0), occ(1, 0), false},
+		{occ(1, 3), occ(1, 5), true}, // tie broken by Pos
+		{occ(1, 5), occ(1, 3), false},
+		{occ(99, 0), empty, true}, // occupied before empty
+		{empty, occ(0, 0), false},
+		{empty, empty, false},
+	}
+	for i, tc := range cases {
+		if got := tc.a.Less(tc.b); got != tc.want {
+			t.Errorf("case %d: Less(%+v,%+v) = %v, want %v", i, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestElementColor(t *testing.T) {
+	var e Element
+	e.Flags = FlagOccupied | FlagMarked
+	e.SetColor(12345)
+	if e.Color() != 12345 {
+		t.Fatalf("color = %d, want 12345", e.Color())
+	}
+	if !e.Occupied() || !e.Marked() {
+		t.Fatal("SetColor clobbered flag bits")
+	}
+	e.SetColor(7)
+	if e.Color() != 7 {
+		t.Fatalf("recolor = %d, want 7", e.Color())
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(k, v, p, fl uint64, k2, v2 uint64) bool {
+		in := []Element{{k, v, p, fl}, {k2, v2, k ^ v, fl >> 1}}
+		buf := make([]byte, 2*ElementBytes)
+		encodeBlock(buf, in)
+		out := make([]Element, 2)
+		decodeBlock(out, buf)
+		return out[0] == in[0] && out[1] == in[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blocks.dat")
+	s, err := NewFileStore(path, 6, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	in := []Element{{Key: 10}, {Key: 20, Flags: FlagOccupied}, {Key: 30}, {Key: 40}}
+	if err := s.WriteBlock(5, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Element, 4)
+	if err := s.ReadBlock(5, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+	// Unwritten blocks read back zeroed.
+	if err := s.ReadBlock(0, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != (Element{}) {
+		t.Fatalf("unwritten block not zero: %+v", out[0])
+	}
+}
+
+func TestEncryptedFileStore(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	enc, err := NewEncryptor(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "enc.dat")
+	s, err := NewFileStore(path, 3, 2, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	in := []Element{{Key: 77, Flags: FlagOccupied}, {Key: 88}}
+	if err := s.WriteBlock(1, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Element, 2)
+	if err := s.ReadBlock(1, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != in[0] || out[1] != in[1] {
+		t.Fatal("encrypted round trip mismatch")
+	}
+}
+
+// TestReEncryptionIndistinguishable checks the semantic-security property
+// the paper assumes: writing the same plaintext twice produces different
+// ciphertext bytes on the wire.
+func TestReEncryptionIndistinguishable(t *testing.T) {
+	key := make([]byte, 32)
+	enc, err := NewEncryptor(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "reenc.dat")
+	s, err := NewFileStore(path, 1, 2, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	in := []Element{{Key: 1}, {Key: 2}}
+	read := func() []byte {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if err := s.WriteBlock(0, in); err != nil {
+		t.Fatal(err)
+	}
+	w1 := read()
+	if err := s.WriteBlock(0, in); err != nil {
+		t.Fatal(err)
+	}
+	w2 := read()
+	if bytes.Equal(w1, w2) {
+		t.Fatal("re-encryption of identical plaintext produced identical wire bytes")
+	}
+}
+
+func TestEncryptorTamperDetection(t *testing.T) {
+	key := make([]byte, 32)
+	enc, _ := NewEncryptor(key)
+	wire, err := enc.Seal(nil, []byte("hello block"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Open(nil, wire); err != nil {
+		t.Fatalf("honest open failed: %v", err)
+	}
+	wire[len(wire)/2] ^= 1
+	if _, err := enc.Open(nil, wire); err == nil {
+		t.Fatal("tampered block authenticated")
+	}
+}
+
+func TestEnvGeometry(t *testing.T) {
+	e := NewEnv(16, 8, 64, 1)
+	if e.B() != 8 || e.MBlocks() != 8 {
+		t.Fatalf("B=%d m=%d, want 8 and 8", e.B(), e.MBlocks())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for M < 2B")
+		}
+	}()
+	NewEnv(16, 8, 15, 1)
+}
+
+func TestHelperMath(t *testing.T) {
+	if CeilDiv(7, 3) != 3 || CeilDiv(6, 3) != 2 || CeilDiv(1, 3) != 1 {
+		t.Error("CeilDiv wrong")
+	}
+	if CeilLog2(1) != 0 || CeilLog2(2) != 1 || CeilLog2(3) != 2 || CeilLog2(1024) != 10 {
+		t.Error("CeilLog2 wrong")
+	}
+	if FloorLog2(1) != 0 || FloorLog2(7) != 2 || FloorLog2(8) != 3 {
+		t.Error("FloorLog2 wrong")
+	}
+}

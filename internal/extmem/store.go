@@ -1,0 +1,92 @@
+package extmem
+
+import "fmt"
+
+// BlockStore is Bob's storage: a flat array of fixed-size blocks addressed
+// by index. Implementations must copy data on both reads and writes; callers
+// own their buffers.
+type BlockStore interface {
+	// ReadBlock copies block addr into dst (len(dst) == BlockSize()).
+	ReadBlock(addr int, dst []Element) error
+	// WriteBlock copies src into block addr (len(src) == BlockSize()).
+	WriteBlock(addr int, src []Element) error
+	// NumBlocks returns the store capacity in blocks.
+	NumBlocks() int
+	// BlockSize returns B, the number of elements per block.
+	BlockSize() int
+	// Close releases any resources held by the store.
+	Close() error
+}
+
+// MemStore is an in-memory BlockStore: the default substrate for tests and
+// benchmarks, where only I/O counts and traces matter.
+type MemStore struct {
+	b    int
+	data []Element
+}
+
+// NewMemStore returns a zeroed in-memory store of n blocks of b elements.
+func NewMemStore(n, b int) *MemStore {
+	if n < 0 || b <= 0 {
+		panic("extmem: invalid MemStore geometry")
+	}
+	return &MemStore{b: b, data: make([]Element, n*b)}
+}
+
+// ReadBlock implements BlockStore.
+func (s *MemStore) ReadBlock(addr int, dst []Element) error {
+	if err := s.check(addr, len(dst)); err != nil {
+		return err
+	}
+	copy(dst, s.data[addr*s.b:(addr+1)*s.b])
+	return nil
+}
+
+// WriteBlock implements BlockStore.
+func (s *MemStore) WriteBlock(addr int, src []Element) error {
+	if err := s.check(addr, len(src)); err != nil {
+		return err
+	}
+	copy(s.data[addr*s.b:(addr+1)*s.b], src)
+	return nil
+}
+
+// NumBlocks implements BlockStore.
+func (s *MemStore) NumBlocks() int { return len(s.data) / s.b }
+
+// BlockSize implements BlockStore.
+func (s *MemStore) BlockSize() int { return s.b }
+
+// Close implements BlockStore.
+func (s *MemStore) Close() error { return nil }
+
+// Growable is implemented by stores that can extend their capacity; the
+// Disk allocator grows such stores on demand.
+type Growable interface {
+	GrowTo(n int) error
+}
+
+// Grow extends the store to hold at least n blocks.
+func (s *MemStore) Grow(n int) {
+	if need := n * s.b; need > len(s.data) {
+		nd := make([]Element, need)
+		copy(nd, s.data)
+		s.data = nd
+	}
+}
+
+// GrowTo implements Growable.
+func (s *MemStore) GrowTo(n int) error {
+	s.Grow(n)
+	return nil
+}
+
+func (s *MemStore) check(addr, l int) error {
+	if l != s.b {
+		return fmt.Errorf("extmem: buffer length %d != block size %d", l, s.b)
+	}
+	if addr < 0 || (addr+1)*s.b > len(s.data) {
+		return fmt.Errorf("extmem: block address %d out of range [0,%d)", addr, s.NumBlocks())
+	}
+	return nil
+}

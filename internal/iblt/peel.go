@@ -1,0 +1,118 @@
+package iblt
+
+import "oblivext/internal/rng"
+
+// CellStore abstracts where the table's cells live during peeling: in
+// private memory (fast path), or behind an ORAM so that the whole
+// listEntries computation is data-oblivious (Theorem 4's "RAM simulation").
+// Dummy performs an access indistinguishable from a real Load+Store pair,
+// letting the padded schedule hide which cells were extractable.
+type CellStore interface {
+	Len() int
+	Load(i int) Cell
+	Store(i int, c Cell)
+	Dummy()
+}
+
+// DefaultPasses returns the pass budget used when peeling m cells: the
+// peeling depth of a sparse random k-uniform hypergraph is O(log m) with
+// high probability, so a small multiple of log2(m) suffices.
+func DefaultPasses(m int) int {
+	l := 0
+	for v := 1; v < m; v <<= 1 {
+		l++
+	}
+	return 2*l + 8
+}
+
+// Peel runs pass-based peeling over the cells: each pass scans every cell
+// in index order and, when a cell is pure (count 1, key hashes back),
+// extracts its pair and deletes it from the key's k cells. emit is called
+// once per recovered pair; skip (if non-nil) is called once per visited
+// cell that was not pure, so callers can mirror emit's work with dummy
+// operations. Peel returns true if the table emptied.
+//
+// The schedule is deliberately rigid — passes × cells iterations, each
+// doing one Load plus exactly k Load/Store pairs (real or Dummy) — so that
+// when cells live behind an ORAM the access pattern reveals nothing about
+// which cells were pure. With maxPasses <= 0 a DefaultPasses budget is
+// used. In padded mode every pass runs to the full budget with no
+// early exit, making even the pass count data-independent — the mode
+// Theorem 4's oblivious listEntries simulation requires.
+//
+// Unlike the classic queue-driven peeler this costs O(passes·m·k) cell
+// accesses rather than O(m + n·k); the queue version is what Table.Get
+// users want in RAM, but the paper's oblivious setting needs the fixed
+// schedule. Both recover exactly the same set (peeling is confluent).
+func Peel(cs CellStore, h *rng.Hasher, maxPasses int, padded bool, emit func(key uint64, val []uint64), skip func()) bool {
+	m := cs.Len()
+	if maxPasses <= 0 {
+		maxPasses = DefaultPasses(m)
+	}
+	k := h.K()
+	idx := make([]int, 0, k)
+	for pass := 0; pass < maxPasses; pass++ {
+		extracted := false
+		remaining := false
+		for i := 0; i < m; i++ {
+			c := cs.Load(i)
+			if c.Count != 0 {
+				remaining = true
+			}
+			if c.pure(h, i) {
+				key := c.KeySum
+				// c.ValSum aliases cell storage for in-memory stores and the
+				// deletion below mutates it, so snapshot before emitting.
+				snap := make([]uint64, len(c.ValSum))
+				copy(snap, c.ValSum)
+				emit(key, snap)
+				idx = h.Indices(idx[:0], key)
+				for _, j := range idx {
+					cj := cs.Load(j)
+					cj.add(key, snap, -1)
+					cs.Store(j, cj)
+				}
+				extracted = true
+			} else {
+				for j := 0; j < k; j++ {
+					cs.Dummy()
+				}
+				if skip != nil {
+					skip()
+				}
+			}
+		}
+		if padded {
+			continue
+		}
+		if !remaining {
+			return true
+		}
+		if !extracted {
+			return false // stuck: 2-core is non-empty
+		}
+	}
+	// Budget exhausted; check emptiness.
+	for i := 0; i < m; i++ {
+		if cs.Load(i).Count != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SliceStore is a CellStore over a private slice of cells; Dummy is a no-op
+// since private memory is invisible to the adversary.
+type SliceStore []Cell
+
+// Len implements CellStore.
+func (s SliceStore) Len() int { return len(s) }
+
+// Load implements CellStore.
+func (s SliceStore) Load(i int) Cell { return s[i] }
+
+// Store implements CellStore.
+func (s SliceStore) Store(i int, c Cell) { s[i] = c }
+
+// Dummy implements CellStore.
+func (s SliceStore) Dummy() {}

@@ -1,0 +1,32 @@
+// Package integration holds cross-package tests that would create import
+// cycles if they lived next to the code they exercise (core depends on
+// oram; these tests drive oram with core's randomized sorter).
+package integration
+
+import (
+	"testing"
+
+	"oblivext/internal/core"
+	"oblivext/internal/extmem"
+	"oblivext/internal/obsort"
+	"oblivext/internal/oram"
+)
+
+// TestORAMWithRandomizedRebuilds runs the E10 configuration: an ORAM whose
+// level rebuilds use the paper's randomized sort.
+func TestORAMWithRandomizedRebuilds(t *testing.T) {
+	for _, n := range []int{32, 64} {
+		for si, s := range []obsort.Sorter{obsort.BitonicSorter, core.RandomizedSorter} {
+			env := extmem.NewEnv(64, 8, 512, uint64(n))
+			o, err := oram.New(env, n, oram.Options{Sorter: s})
+			if err != nil {
+				t.Fatalf("n=%d sorter=%d: %v", n, si, err)
+			}
+			for i := 0; i < 2*n; i++ {
+				if err := o.Write(i%n, make([]uint64, 8)); err != nil {
+					t.Fatalf("n=%d sorter=%d write %d: %v", n, si, i, err)
+				}
+			}
+		}
+	}
+}

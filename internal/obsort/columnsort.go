@@ -1,0 +1,191 @@
+package obsort
+
+import (
+	"errors"
+	"fmt"
+
+	"oblivext/internal/extmem"
+)
+
+// ErrTooLarge reports that the input exceeds columnsort's size limit: with
+// in-cache column sorts the algorithm needs an r×s matrix with r ≤ M-ish
+// and r ≥ 2(s−1)², capping N at roughly M^{3/2}/√2. This is exactly the
+// size limitation the paper attributes to the Chaudhry–Cormen approach.
+var ErrTooLarge = errors.New("obsort: input exceeds columnsort size limit (r >= 2(s-1)^2 with r <= cache unsatisfiable)")
+
+// ColumnSortGeometry reports the r×s matrix columnsort would use for an
+// array of n blocks of b elements under cache m, or an error if the size
+// limit is exceeded.
+func ColumnSortGeometry(nBlocks, b, m int) (r, s int, err error) {
+	ne := nBlocks * b
+	if ne == 0 {
+		return 0, 0, nil
+	}
+	// Budget: a column of r elements plus one block in cache during sorts,
+	// and 2s blocks during the transpose bands.
+	maxR := m - b
+	if maxR < 2*b {
+		return 0, 0, fmt.Errorf("obsort: cache too small for columnsort (M=%d, B=%d)", m, b)
+	}
+	// Round r down to a multiple of 2B for block alignment of half-columns.
+	maxR -= maxR % (2 * b)
+	s = extmem.CeilDiv(ne, maxR)
+	r = extmem.CeilDiv(extmem.CeilDiv(ne, s), 2*b) * (2 * b)
+	if r > maxR {
+		r = maxR
+	}
+	for r*s < ne {
+		s++
+	}
+	if r < 2*(s-1)*(s-1) {
+		return 0, 0, ErrTooLarge
+	}
+	if 2*s*b > m {
+		return 0, 0, ErrTooLarge
+	}
+	return r, s, nil
+}
+
+// ColumnSort sorts the array with Leighton's eight-step columnsort, using
+// in-cache column sorts. The matrix is held column-major, so every column
+// sort and every shifted-column sort is a contiguous range; the transpose
+// steps are banded streaming passes. The address trace depends only on
+// (len, B, M). Returns ErrTooLarge beyond the r ≥ 2(s−1)² limit.
+func ColumnSort(env *extmem.Env, a extmem.Array, less Less) error {
+	n := a.Len()
+	if n == 0 {
+		return nil
+	}
+	b := a.B()
+	ne := n * b
+	r, s, err := ColumnSortGeometry(n, b, env.M)
+	if err != nil {
+		return err
+	}
+	if s <= 1 {
+		// Single column: one in-cache sort of the whole array.
+		buf := env.Cache.Buf(ne)
+		for i := 0; i < n; i++ {
+			a.Read(i, buf[i*b:(i+1)*b])
+		}
+		InCache(buf, less)
+		for i := 0; i < n; i++ {
+			a.Write(i, buf[i*b:(i+1)*b])
+		}
+		env.Cache.Free(buf)
+		return nil
+	}
+
+	mark := env.D.Mark()
+	defer env.D.Release(mark)
+	rb := r / b // blocks per column
+	work := env.D.Alloc(r * s / b)
+	aux := env.D.Alloc(r * s / b)
+
+	// Load input, padding the tail with empty (+inf) cells.
+	buf := env.Cache.Buf(b)
+	for i := 0; i < n; i++ {
+		a.Read(i, buf)
+		work.Write(i, buf)
+	}
+	for i := range buf {
+		buf[i] = extmem.Element{}
+	}
+	for i := n; i < r*s/b; i++ {
+		work.Write(i, buf)
+	}
+	env.Cache.Free(buf)
+
+	sortRange := func(arr extmem.Array, startBlk int) {
+		col := env.Cache.Buf(r)
+		for i := 0; i < rb; i++ {
+			arr.Read(startBlk+i, col[i*b:(i+1)*b])
+		}
+		InCache(col, less)
+		for i := 0; i < rb; i++ {
+			arr.Write(startBlk+i, col[i*b:(i+1)*b])
+		}
+		env.Cache.Free(col)
+	}
+	sortCols := func(arr extmem.Array) {
+		for j := 0; j < s; j++ {
+			sortRange(arr, j*rb)
+		}
+	}
+
+	// transpose: element at column-major flat f moves to flat
+	// (f mod s)*r + (f div s) — "pick up by columns, lay down by rows".
+	transpose := func(src, dst extmem.Array) {
+		band := env.Cache.Buf(s * b)
+		out := env.Cache.Buf(s * b)
+		for t := 0; t < rb; t++ {
+			for j := 0; j < s; j++ {
+				src.Read(t*s+j, band[j*b:(j+1)*b])
+			}
+			for li := 0; li < s*b; li++ {
+				f := t*s*b + li
+				j2 := f % s
+				i2 := (f / s) - t*b // row offset within this band: in [0,B)
+				out[j2*b+i2] = band[li]
+			}
+			for j2 := 0; j2 < s; j2++ {
+				dst.Write(j2*rb+t, out[j2*b:(j2+1)*b])
+			}
+		}
+		env.Cache.Free(out)
+		env.Cache.Free(band)
+	}
+	// untranspose: the inverse permutation — "pick up by rows, lay down by
+	// columns": destination flat g takes the element at source flat
+	// (g mod s)*r + (g div s).
+	untranspose := func(src, dst extmem.Array) {
+		band := env.Cache.Buf(s * b)
+		out := env.Cache.Buf(s * b)
+		for t := 0; t < rb; t++ {
+			for j := 0; j < s; j++ {
+				src.Read(j*rb+t, band[j*b:(j+1)*b])
+			}
+			for li := 0; li < s*b; li++ {
+				g := t*s*b + li
+				j := g % s
+				i := g/s - t*b
+				out[li] = band[j*b+i]
+			}
+			for u := 0; u < s; u++ {
+				dst.Write(t*s+u, out[u*b:(u+1)*b])
+			}
+		}
+		env.Cache.Free(out)
+		env.Cache.Free(band)
+	}
+
+	sortCols(work)         // step 1
+	transpose(work, aux)   // step 2
+	sortCols(aux)          // step 3
+	untranspose(aux, work) // step 4
+	sortCols(work)         // step 5
+	for j := 0; j < s-1; j++ {
+		// steps 6-8: sorting ranges offset by r/2 is the shift / sort /
+		// unshift triple (the boundary half-columns are already in place).
+		sortRange(work, j*rb+rb/2)
+	}
+
+	buf = env.Cache.Buf(b)
+	for i := 0; i < n; i++ {
+		work.Read(i, buf)
+		a.Write(i, buf)
+	}
+	env.Cache.Free(buf)
+	return nil
+}
+
+// ColumnSorter adapts ColumnSort to the Sorter interface; it panics on
+// ErrTooLarge (callers choosing columnsort must respect its size limit).
+func ColumnSorter(env *extmem.Env, a extmem.Array, less Less) {
+	if err := ColumnSort(env, a, less); err != nil {
+		panic(err)
+	}
+}
+
+// BitonicSorter adapts Bitonic to the Sorter interface.
+func BitonicSorter(env *extmem.Env, a extmem.Array, less Less) { Bitonic(env, a, less) }

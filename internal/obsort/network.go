@@ -1,0 +1,64 @@
+package obsort
+
+import "oblivext/internal/extmem"
+
+// This file implements Batcher's odd-even merge sorting network for
+// in-memory slices. The paper's model (§1) lists "simulating a circuit with
+// its inputs taken in order from A" as the canonical data-oblivious access
+// pattern; this network is that circuit, and the example application uses
+// it to demonstrate circuit simulation. All comparators point ascending, so
+// indices beyond the slice act as virtual +infinity pads and can simply be
+// skipped — unlike bitonic, no physical padding is needed.
+
+// ForEachComparator enumerates the comparator pairs (i, j), i < j, of
+// Batcher's odd-even merge sorting network on n wires, in execution order.
+func ForEachComparator(n int, visit func(i, j int)) {
+	np := 1 << extmem.CeilLog2(n)
+	var sortRec func(lo, m int)
+	var mergeRec func(lo, m, step int)
+	mergeRec = func(lo, m, step int) {
+		next := step * 2
+		if next < m {
+			mergeRec(lo, m, next)
+			mergeRec(lo+step, m, next)
+			for i := lo + step; i+step < lo+m; i += next {
+				emit(n, i, i+step, visit)
+			}
+		} else {
+			emit(n, lo, lo+step, visit)
+		}
+	}
+	sortRec = func(lo, m int) {
+		if m <= 1 {
+			return
+		}
+		h := m / 2
+		sortRec(lo, h)
+		sortRec(lo+h, h)
+		mergeRec(lo, m, 1)
+	}
+	sortRec(0, np)
+}
+
+func emit(n, i, j int, visit func(i, j int)) {
+	if j < n {
+		visit(i, j)
+	}
+}
+
+// OddEvenSort sorts a private buffer by running Batcher's network.
+func OddEvenSort(buf []extmem.Element, less Less) {
+	ForEachComparator(len(buf), func(i, j int) {
+		if less(buf[j], buf[i]) {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+	})
+}
+
+// OddEvenComparatorCount returns the number of comparators the network uses
+// on n wires (Θ(n log² n)).
+func OddEvenComparatorCount(n int) int {
+	c := 0
+	ForEachComparator(n, func(_, _ int) { c++ })
+	return c
+}

@@ -1,0 +1,220 @@
+// Package obsort provides deterministic data-oblivious sorting in the
+// external-memory model.
+//
+// It realizes Lemma 2 of the paper (the deterministic oblivious sort of
+// Goodrich–Mitzenmacher used as a subroutine throughout) as an external
+// bitonic sort whose in-cache stages are free: every network level with
+// stride < C (the cache window) is executed privately, so the I/O cost is
+// O((N/B)·(1 + log²(N/C))) with a fixed, data-independent address trace.
+// It also provides Leighton's columnsort (the Chaudhry–Cormen baseline the
+// paper discusses, size-limited to N ≤ s·r with r ≥ 2(s−1)²) and an
+// in-memory Batcher odd-even merge network used for in-cache circuit sorts.
+//
+// Sorting here always has padded semantics: occupied elements ascend by
+// (Key, Pos) — or a caller-supplied order — and unoccupied cells sink to
+// the end, implementing the paper's "+infinity" empty cells.
+package obsort
+
+import (
+	"fmt"
+	"sort"
+
+	"oblivext/internal/extmem"
+)
+
+// Less orders elements. Implementations must be strict weak orderings and
+// should sort unoccupied elements after occupied ones when used with padded
+// arrays.
+type Less func(a, b extmem.Element) bool
+
+// ByKey is the default order: occupied before empty, then (Key, Pos).
+func ByKey(a, b extmem.Element) bool { return a.Less(b) }
+
+// ByPos orders occupied elements by their Pos field (original position),
+// with empties last — the order-restoration sort of Theorem 4.
+func ByPos(a, b extmem.Element) bool {
+	ao, bo := a.Occupied(), b.Occupied()
+	if ao != bo {
+		return ao
+	}
+	return a.Pos < b.Pos
+}
+
+// ByRawKey orders strictly by (Key, Pos) with no occupancy special-casing;
+// used when dummy records carry meaningful sort keys (ORAM rebuilds).
+func ByRawKey(a, b extmem.Element) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Pos < b.Pos
+}
+
+// Sorter is a pluggable oblivious external-memory sort over an array of
+// blocks. The ORAM simulation and several experiments swap Sorters to
+// compare the paper's randomized sort against this package's deterministic
+// ones.
+type Sorter func(env *extmem.Env, a extmem.Array, less Less)
+
+// InCache sorts a private buffer. Computation inside Alice's cache is
+// invisible to the adversary, so no circuit is needed; this is the base
+// case every external algorithm bottoms out in.
+func InCache(buf []extmem.Element, less Less) {
+	sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+}
+
+// Bitonic sorts the array element-wise with a data-oblivious external
+// bitonic network. The address trace depends only on (len, B, M).
+//
+// Requirements: B a power of two and M ≥ 4B. Arrays whose block count is
+// not a power of two are padded into a scratch arena (empty cells sort
+// last, so the copy-back keeps padded semantics).
+func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
+	n := a.Len()
+	if n == 0 {
+		return
+	}
+	b := a.B()
+	if b&(b-1) != 0 {
+		panic(fmt.Sprintf("obsort: block size %d not a power of two", b))
+	}
+	if env.M < 4*b {
+		panic("obsort: Bitonic requires M >= 4B")
+	}
+	mark := env.D.Mark()
+	defer env.D.Release(mark)
+
+	np := 1 << extmem.CeilLog2(n)
+	work := a
+	if np != n {
+		work = env.D.Alloc(np)
+		buf := env.Cache.Buf(b)
+		for i := 0; i < n; i++ {
+			a.Read(i, buf)
+			work.Write(i, buf)
+		}
+		for i := range buf {
+			buf[i] = extmem.Element{}
+		}
+		for i := n; i < np; i++ {
+			work.Write(i, buf)
+		}
+		env.Cache.Free(buf)
+	}
+
+	ne := np * b // element count, a power of two
+	c := 1 << extmem.FloorLog2(env.M/2)
+	if c > ne {
+		c = ne
+	}
+	if c < 2*b && ne > c {
+		panic("obsort: cache window smaller than two blocks")
+	}
+
+	win := env.Cache.Buf(c)
+	wblocks := c / b
+	loadWin := func(w int) {
+		for i := 0; i < wblocks; i++ {
+			work.Read(w*wblocks+i, win[i*b:(i+1)*b])
+		}
+	}
+	storeWin := func(w int) {
+		for i := 0; i < wblocks; i++ {
+			work.Write(w*wblocks+i, win[i*b:(i+1)*b])
+		}
+	}
+
+	// Stage A: all network stages with size <= c act within c-aligned
+	// windows; run them per window in one pass.
+	for w := 0; w < ne/c; w++ {
+		loadWin(w)
+		base := w * c
+		for size := 2; size <= c; size <<= 1 {
+			for stride := size / 2; stride >= 1; stride >>= 1 {
+				levelInCache(win, base, size, stride, less)
+			}
+		}
+		storeWin(w)
+	}
+
+	// Stages with size > c: strides >= c stream block pairs; the remaining
+	// strides < c finish within windows.
+	bufA := env.Cache.Buf(b)
+	bufB := env.Cache.Buf(b)
+	for size := 2 * c; size <= ne; size <<= 1 {
+		for stride := size / 2; stride >= c; stride >>= 1 {
+			sb := stride / b
+			for blk := 0; blk < np; blk++ {
+				if blk&sb != 0 {
+					continue
+				}
+				work.Read(blk, bufA)
+				work.Read(blk+sb, bufB)
+				for t := 0; t < b; t++ {
+					i := blk*b + t
+					asc := i&size == 0
+					if asc == less(bufB[t], bufA[t]) {
+						bufA[t], bufB[t] = bufB[t], bufA[t]
+					}
+				}
+				work.Write(blk, bufA)
+				work.Write(blk+sb, bufB)
+			}
+		}
+		for w := 0; w < ne/c; w++ {
+			loadWin(w)
+			base := w * c
+			for stride := c / 2; stride >= 1; stride >>= 1 {
+				levelInCache(win, base, size, stride, less)
+			}
+			storeWin(w)
+		}
+	}
+	env.Cache.Free(bufB)
+	env.Cache.Free(bufA)
+	env.Cache.Free(win)
+
+	if np != n {
+		buf := env.Cache.Buf(b)
+		for i := 0; i < n; i++ {
+			work.Read(i, buf)
+			a.Write(i, buf)
+		}
+		env.Cache.Free(buf)
+	}
+}
+
+// levelInCache applies one bitonic network level to a private window whose
+// first element has the given global index.
+func levelInCache(win []extmem.Element, base, size, stride int, less Less) {
+	for li := 0; li < len(win); li++ {
+		i := base + li
+		if i&stride != 0 || li+stride >= len(win) {
+			continue
+		}
+		asc := i&size == 0
+		if asc == less(win[li+stride], win[li]) {
+			win[li], win[li+stride] = win[li+stride], win[li]
+		}
+	}
+}
+
+// BitonicPassCount predicts the number of full-array passes Bitonic makes
+// (excluding the padding copies): 1 for stage A plus, per stage above the
+// window size, one streaming pass per stride >= C and one windowed pass.
+// The E9 experiment checks measured I/Os against this.
+func BitonicPassCount(nBlocks, b, m int) int {
+	np := 1 << extmem.CeilLog2(nBlocks)
+	ne := np * b
+	c := 1 << extmem.FloorLog2(m/2)
+	if c > ne {
+		c = ne
+	}
+	passes := 1
+	for size := 2 * c; size <= ne; size <<= 1 {
+		for stride := size / 2; stride >= c; stride >>= 1 {
+			passes++
+		}
+		passes++
+	}
+	return passes
+}

@@ -1,0 +1,300 @@
+package obsort
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/trace"
+)
+
+// fillArray writes the given keys (all occupied) into the array, padding
+// remaining cells as empty, and returns the number of occupied elements.
+func fillArray(env *extmem.Env, a extmem.Array, keys []uint64) {
+	b := a.B()
+	buf := make([]extmem.Element, b)
+	idx := 0
+	for blk := 0; blk < a.Len(); blk++ {
+		for t := 0; t < b; t++ {
+			if idx < len(keys) {
+				buf[t] = extmem.Element{Key: keys[idx], Val: keys[idx] * 3, Pos: uint64(idx), Flags: extmem.FlagOccupied}
+				idx++
+			} else {
+				buf[t] = extmem.Element{}
+			}
+		}
+		a.Write(blk, buf)
+	}
+}
+
+// readAll returns all elements of the array in order.
+func readAll(a extmem.Array) []extmem.Element {
+	b := a.B()
+	out := make([]extmem.Element, 0, a.Len()*b)
+	buf := make([]extmem.Element, b)
+	for blk := 0; blk < a.Len(); blk++ {
+		a.Read(blk, buf)
+		out = append(out, buf...)
+	}
+	return out
+}
+
+// checkSortedPadded verifies padded sort semantics: occupied elements
+// non-decreasing and all empties after all occupied; returns the occupied
+// keys in order.
+func checkSortedPadded(t *testing.T, elems []extmem.Element) []uint64 {
+	t.Helper()
+	var keys []uint64
+	seenEmpty := false
+	for i, e := range elems {
+		if !e.Occupied() {
+			seenEmpty = true
+			continue
+		}
+		if seenEmpty {
+			t.Fatalf("occupied element at %d after an empty cell", i)
+		}
+		if len(keys) > 0 && keys[len(keys)-1] > e.Key {
+			t.Fatalf("out of order at %d: %d > %d", i, keys[len(keys)-1], e.Key)
+		}
+		keys = append(keys, e.Key)
+	}
+	return keys
+}
+
+func multiset(keys []uint64) map[uint64]int {
+	m := map[uint64]int{}
+	for _, k := range keys {
+		m[k]++
+	}
+	return m
+}
+
+func sameMultiset(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ma, mb := multiset(a), multiset(b)
+	for k, v := range ma {
+		if mb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func genKeys(r *rand.Rand, n int, kind string) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		switch kind {
+		case "sorted":
+			keys[i] = uint64(i)
+		case "reverse":
+			keys[i] = uint64(n - i)
+		case "dup":
+			keys[i] = uint64(r.IntN(4))
+		case "equal":
+			keys[i] = 7
+		default:
+			keys[i] = r.Uint64() % 1_000_000
+		}
+	}
+	return keys
+}
+
+func TestBitonicSortCorrectness(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for _, b := range []int{2, 8} {
+		for _, nBlocks := range []int{1, 2, 3, 5, 8, 17, 64} {
+			for _, kind := range []string{"rand", "sorted", "reverse", "dup", "equal"} {
+				for _, frac := range []int{100, 60} { // occupancy percent
+					env := extmem.NewEnv(4*nBlocks+16, b, 8*b, 7)
+					a := env.D.Alloc(nBlocks)
+					nk := nBlocks * b * frac / 100
+					keys := genKeys(r, nk, kind)
+					fillArray(env, a, keys)
+					Bitonic(env, a, ByKey)
+					got := checkSortedPadded(t, readAll(a))
+					if !sameMultiset(got, keys) {
+						t.Fatalf("b=%d n=%d kind=%s frac=%d: multiset changed", b, nBlocks, kind, frac)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBitonicRespectsCacheBound(t *testing.T) {
+	env := extmem.NewEnv(64, 4, 32, 3)
+	a := env.D.Alloc(32)
+	r := rand.New(rand.NewPCG(5, 5))
+	fillArray(env, a, genKeys(r, 128, "rand"))
+	env.Cache.ResetHighWater()
+	Bitonic(env, a, ByKey)
+	if hw := env.Cache.HighWater(); hw > env.M {
+		t.Fatalf("bitonic used %d private elements, budget %d", hw, env.M)
+	}
+}
+
+// TestBitonicOblivious is the core security property: with the same
+// geometry, two different inputs produce bit-identical traces.
+func TestBitonicOblivious(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 9))
+	run := func(keys []uint64) trace.Summary {
+		env := extmem.NewEnv(64, 4, 32, 3)
+		a := env.D.Alloc(24)
+		fillArray(env, a, keys)
+		rec := trace.NewRecorder(0)
+		env.D.SetRecorder(rec)
+		Bitonic(env, a, ByKey)
+		return rec.Summarize()
+	}
+	s1 := run(genKeys(r, 96, "rand"))
+	s2 := run(genKeys(r, 96, "equal"))
+	s3 := run(genKeys(r, 96, "reverse"))
+	if !s1.Equal(s2) || !s1.Equal(s3) {
+		t.Fatalf("bitonic trace depends on data: %v %v %v", s1, s2, s3)
+	}
+}
+
+func TestBitonicSortsByPos(t *testing.T) {
+	env := extmem.NewEnv(32, 4, 32, 3)
+	a := env.D.Alloc(4)
+	// Occupied elements with positions in reverse order.
+	b := a.B()
+	buf := make([]extmem.Element, b)
+	pos := uint64(16)
+	for blk := 0; blk < 4; blk++ {
+		for tt := 0; tt < b; tt++ {
+			pos--
+			buf[tt] = extmem.Element{Key: 5, Pos: pos, Flags: extmem.FlagOccupied}
+		}
+		a.Write(blk, buf)
+	}
+	Bitonic(env, a, ByPos)
+	elems := readAll(a)
+	for i, e := range elems {
+		if e.Pos != uint64(i) {
+			t.Fatalf("pos order broken at %d: %d", i, e.Pos)
+		}
+	}
+}
+
+func TestBitonicPassCountMatchesMeasuredIO(t *testing.T) {
+	for _, cfg := range []struct{ n, b, m int }{{16, 4, 16}, {64, 4, 32}, {128, 8, 64}} {
+		env := extmem.NewEnv(cfg.n*2, cfg.b, cfg.m, 1)
+		a := env.D.Alloc(cfg.n)
+		r := rand.New(rand.NewPCG(2, 2))
+		fillArray(env, a, genKeys(r, cfg.n*cfg.b, "rand"))
+		env.D.ResetStats()
+		Bitonic(env, a, ByKey)
+		st := env.D.Stats()
+		want := int64(BitonicPassCount(cfg.n, cfg.b, cfg.m)) * int64(cfg.n) * 2
+		if st.Total() != want {
+			t.Errorf("n=%d b=%d m=%d: measured %d I/Os, predicted %d", cfg.n, cfg.b, cfg.m, st.Total(), want)
+		}
+	}
+}
+
+func TestColumnSortCorrectness(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for _, cfg := range []struct{ n, b, m int }{
+		{4, 4, 64}, {16, 4, 64}, {32, 4, 64}, {60, 4, 96}, {17, 2, 48},
+	} {
+		for _, kind := range []string{"rand", "reverse", "dup"} {
+			env := extmem.NewEnv(4*cfg.n+16, cfg.b, cfg.m, 7)
+			a := env.D.Alloc(cfg.n)
+			keys := genKeys(r, cfg.n*cfg.b, kind)
+			fillArray(env, a, keys)
+			if err := ColumnSort(env, a, ByKey); err != nil {
+				t.Fatalf("n=%d: %v", cfg.n, err)
+			}
+			got := checkSortedPadded(t, readAll(a))
+			if !sameMultiset(got, keys) {
+				t.Fatalf("n=%d b=%d kind=%s: multiset changed", cfg.n, cfg.b, kind)
+			}
+		}
+	}
+}
+
+func TestColumnSortSizeLimit(t *testing.T) {
+	// Tiny cache, big input: r >= 2(s-1)^2 must fail — the paper's point
+	// about Chaudhry–Cormen being size-limited.
+	if _, _, err := ColumnSortGeometry(1<<16, 4, 64); err == nil {
+		t.Fatal("expected ErrTooLarge for N >> M^{3/2}")
+	}
+	// Comfortable geometry succeeds.
+	if _, _, err := ColumnSortGeometry(64, 4, 1024); err != nil {
+		t.Fatalf("unexpected geometry error: %v", err)
+	}
+}
+
+func TestColumnSortOblivious(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 12))
+	run := func(keys []uint64) trace.Summary {
+		env := extmem.NewEnv(128, 4, 64, 3)
+		a := env.D.Alloc(32)
+		fillArray(env, a, keys)
+		rec := trace.NewRecorder(0)
+		env.D.SetRecorder(rec)
+		if err := ColumnSort(env, a, ByKey); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Summarize()
+	}
+	if !run(genKeys(r, 128, "rand")).Equal(run(genKeys(r, 128, "sorted"))) {
+		t.Fatal("columnsort trace depends on data")
+	}
+}
+
+// TestOddEvenNetworkZeroOne verifies the Batcher network sorts via the 0-1
+// principle: a comparator network sorts all inputs iff it sorts all 0-1
+// inputs, checked exhaustively for n <= 12.
+func TestOddEvenNetworkZeroOne(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for mask := 0; mask < 1<<n; mask++ {
+			buf := make([]extmem.Element, n)
+			ones := 0
+			for i := range buf {
+				k := uint64(mask >> i & 1)
+				ones += int(k)
+				buf[i] = extmem.Element{Key: k, Flags: extmem.FlagOccupied}
+			}
+			OddEvenSort(buf, ByKey)
+			for i, e := range buf {
+				want := uint64(0)
+				if i >= n-ones {
+					want = 1
+				}
+				if e.Key != want {
+					t.Fatalf("n=%d mask=%b: position %d = %d, want %d", n, mask, i, e.Key, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOddEvenComparatorCountGrowth(t *testing.T) {
+	// Θ(n log² n): ratios between successive powers of two stay modest.
+	c8 := OddEvenComparatorCount(8)
+	c64 := OddEvenComparatorCount(64)
+	if c8 != 19 { // known value for Batcher odd-even mergesort on 8 wires
+		t.Fatalf("comparators(8) = %d, want 19", c8)
+	}
+	if c64 <= c8*8 {
+		t.Fatalf("comparator growth too slow: %d vs %d", c64, c8)
+	}
+}
+
+func TestInCacheStability(t *testing.T) {
+	buf := []extmem.Element{
+		{Key: 2, Val: 1, Flags: extmem.FlagOccupied},
+		{Key: 1, Val: 1, Flags: extmem.FlagOccupied},
+		{Key: 2, Val: 2, Flags: extmem.FlagOccupied},
+		{Key: 1, Val: 2, Flags: extmem.FlagOccupied},
+	}
+	InCache(buf, func(a, b extmem.Element) bool { return a.Key < b.Key })
+	if buf[0].Val != 1 || buf[1].Val != 2 || buf[2].Val != 1 || buf[3].Val != 2 {
+		t.Fatalf("InCache not stable: %+v", buf)
+	}
+}

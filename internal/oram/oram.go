@@ -1,0 +1,298 @@
+// Package oram implements a hierarchical oblivious RAM simulation in the
+// external-memory model, in the style of Goldreich–Ostrovsky as adapted by
+// Goodrich–Mitzenmacher [24]: a hierarchy of bucket hash tables, each
+// rebuilt on a deterministic binary-counter schedule by a data-oblivious
+// sort. The sort is pluggable — running the hierarchy with the
+// deterministic Lemma-2 sort versus the paper's randomized optimal sort is
+// experiment E10, which demonstrates the paper's headline claim that its
+// sorting result improves the amortized I/O overhead of oblivious RAM
+// simulation by a logarithmic factor.
+//
+// The ORAM stores n logical blocks of B words each, addressed 0..n-1, all
+// initialized to zero. Every logical access probes one bucket per live
+// level (real key at the first level that might hold it, PRF-driven dummies
+// elsewhere), so the address trace is independent of the access sequence's
+// keys and of the stored values.
+package oram
+
+import (
+	"errors"
+	"fmt"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/obsort"
+	"oblivext/internal/rng"
+)
+
+// Options configures the hierarchy.
+type Options struct {
+	// Sorter rebuilds levels; nil defaults to obsort.Bitonic.
+	Sorter obsort.Sorter
+	// BucketSize is the number of entry blocks per hash bucket; 0 chooses
+	// max(3, ceil(log2 n)).
+	BucketSize int
+	// TopLevel is l0: the private buffer holds 2^l0 entries; 0 chooses a
+	// cache-appropriate default.
+	TopLevel int
+}
+
+// ErrOverflow reports a hash-bucket overflow during a rebuild; per the
+// library's Monte-Carlo convention the structure keeps a fixed trace and
+// reports failure afterwards.
+var ErrOverflow = errors.New("oram: bucket overflow during rebuild")
+
+// entry flag layout: the color bits carry the logical key, the dest bits
+// carry the freshness timestamp, FlagOccupied marks live entries, and
+// FlagMarked marks entries dropped during a rebuild.
+
+// ORAM is a hierarchical oblivious RAM. Not safe for concurrent use.
+type ORAM struct {
+	env     *extmem.Env
+	n       int
+	b       int
+	sorter  obsort.Sorter
+	beta    int
+	l0      int
+	lmax    int
+	levels  []level
+	buf     []extmem.Element // private top buffer, bufCap entry blocks
+	bufLen  int
+	bufCap  int
+	t       int64 // accesses since creation
+	ts      uint64
+	seed    uint64
+	failed  bool
+	rebuild RebuildStats
+}
+
+type level struct {
+	table  extmem.Array // buckets * beta entry blocks
+	epoch  uint64
+	live   bool
+	bucket int // number of buckets = capacity in entries
+}
+
+// RebuildStats counts rebuild work for the E10 analysis.
+type RebuildStats struct {
+	Count       int64
+	EntryBlocks int64
+}
+
+// New creates an ORAM of n zeroed logical blocks.
+func New(env *extmem.Env, n int, opts Options) (*ORAM, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("oram: need n >= 1, got %d", n)
+	}
+	o := &ORAM{env: env, n: n, b: env.B(), seed: env.Tape.Uint64()}
+	o.sorter = opts.Sorter
+	if o.sorter == nil {
+		o.sorter = obsort.BitonicSorter
+	}
+	o.beta = opts.BucketSize
+	if o.beta <= 0 {
+		// Level l holds at most 2^(l-1) live entries in 2^l buckets; beta of
+		// roughly 2·log2(n) makes the per-rebuild overflow probability
+		// negligible (balls-in-bins tail), matching the w.h.p. claims.
+		o.beta = max(4, 2*extmem.CeilLog2(n))
+	}
+	o.l0 = opts.TopLevel
+	if o.l0 <= 0 {
+		o.l0 = 2
+		for (1<<(o.l0+1))*o.b*4 <= env.M && 1<<(o.l0+1) <= n {
+			o.l0++
+		}
+	}
+	o.bufCap = 1 << o.l0
+	// The buffer shares the cache with the rebuild sorter's window, so it
+	// may claim at most a quarter of M.
+	if o.bufCap*o.b > env.M/4 && o.bufCap > 4 {
+		return nil, fmt.Errorf("oram: top buffer 2^%d blocks exceeds a quarter of the cache", o.l0)
+	}
+	o.lmax = extmem.CeilLog2(n) + 1
+	if o.lmax <= o.l0 {
+		o.lmax = o.l0 + 1
+	}
+	o.buf = env.Cache.Buf(o.bufCap * o.b)
+	for l := o.l0 + 1; l <= o.lmax; l++ {
+		buckets := 1 << l
+		o.levels = append(o.levels, level{
+			table:  env.D.Alloc(buckets * o.beta),
+			bucket: buckets,
+		})
+	}
+	// Initial build: load all n zeroed entries into the top level.
+	if err := o.initialBuild(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// N returns the number of logical blocks.
+func (o *ORAM) N() int { return o.n }
+
+// BlockWords returns the payload width of one logical block.
+func (o *ORAM) BlockWords() int { return o.b }
+
+// Accesses returns the number of logical accesses performed.
+func (o *ORAM) Accesses() int64 { return o.t }
+
+// Rebuilds returns rebuild statistics.
+func (o *ORAM) Rebuilds() RebuildStats { return o.rebuild }
+
+// LevelRanges returns the absolute block-address range [base, base+len) of
+// each level's table, smallest level first — a diagnostic for tests that
+// check the structural shape of the probe trace.
+func (o *ORAM) LevelRanges() [][2]int {
+	out := make([][2]int, len(o.levels))
+	for i, lv := range o.levels {
+		out[i] = [2]int{lv.table.Base(), lv.table.Base() + lv.table.Len()}
+	}
+	return out
+}
+
+// Failed reports whether an internal rebuild overflowed (Monte-Carlo
+// failure); subsequent accesses return ErrOverflow.
+func (o *ORAM) Failed() bool { return o.failed }
+
+func (o *ORAM) lvl(l int) *level { return &o.levels[l-o.l0-1] }
+
+// bucketOf returns the PRF bucket for a key at a level epoch.
+func (o *ORAM) bucketOf(lv *level, l int, key uint64) int {
+	h := rng.Mix(o.seed, uint64(l)<<56^lv.epoch<<28^rng.Mix(lv.epoch+1, key))
+	return int(h % uint64(lv.bucket))
+}
+
+// Read returns the payload of logical block i.
+func (o *ORAM) Read(i int) ([]uint64, error) { return o.access(i, nil) }
+
+// Write replaces the payload of logical block i (len(words) == B).
+func (o *ORAM) Write(i int, words []uint64) error {
+	if len(words) != o.b {
+		return fmt.Errorf("oram: payload width %d != %d", len(words), o.b)
+	}
+	_, err := o.access(i, words)
+	return err
+}
+
+// Dummy performs an access indistinguishable from a real one without
+// touching any logical block — the padding operation data-oblivious
+// callers (Theorem 4's padded peeling schedule) rely on.
+func (o *ORAM) Dummy() error {
+	_, err := o.access(-1, nil)
+	return err
+}
+
+// access probes the hierarchy for key i (or performs a pure dummy access
+// for i < 0), optionally replacing the payload, then appends the result to
+// the top buffer and rebuilds on schedule.
+func (o *ORAM) access(i int, newData []uint64) ([]uint64, error) {
+	if o.failed {
+		return nil, ErrOverflow
+	}
+	if i >= o.n {
+		return nil, fmt.Errorf("oram: index %d out of range [0,%d)", i, o.n)
+	}
+	o.ts++
+	found := false
+	var payload []uint64
+
+	// Probe the private buffer (free: it is cache-resident).
+	if i >= 0 {
+		for e := 0; e < o.bufLen; e++ {
+			blk := o.buf[e*o.b : (e+1)*o.b]
+			if blk[0].Occupied() && blk[0].Color() == i {
+				payload = extractPayload(blk)
+				found = true
+				// Supersede in place: mark stale; the fresh copy is
+				// appended below.
+				for t := range blk {
+					blk[t].Flags &^= extmem.FlagOccupied
+				}
+				break
+			}
+		}
+	}
+
+	// Probe one bucket per live level; real key until found, dummies after.
+	blkbuf := o.env.Cache.Buf(o.b)
+	for l := o.l0 + 1; l <= o.lmax; l++ {
+		lv := o.lvl(l)
+		if !lv.live {
+			continue
+		}
+		var bkt int
+		if i >= 0 && !found {
+			bkt = o.bucketOf(lv, l, uint64(i))
+		} else {
+			bkt = o.bucketOf(lv, l, 1<<40|o.ts)
+		}
+		for s := 0; s < o.beta; s++ {
+			lv.table.Read(bkt*o.beta+s, blkbuf)
+			if i >= 0 && !found && blkbuf[0].Occupied() && blkbuf[0].Color() == i {
+				payload = extractPayload(blkbuf)
+				found = true
+				// Erase the found entry so future epochs cannot hold two
+				// live copies (content-only change; the write below is
+				// performed for every probed block to keep the trace
+				// fixed).
+				for t := range blkbuf {
+					blkbuf[t].Flags &^= extmem.FlagOccupied
+				}
+			}
+			lv.table.Write(bkt*o.beta+s, blkbuf)
+		}
+	}
+	o.env.Cache.Free(blkbuf)
+
+	if i >= 0 {
+		if payload == nil {
+			payload = make([]uint64, o.b)
+		}
+		if newData != nil {
+			copy(payload, newData)
+		}
+		o.appendBuf(uint64(i), payload)
+	} else {
+		o.appendBuf(1<<23-1, nil) // dummy filler entry, never matched
+	}
+
+	o.t++
+	if o.bufLen == o.bufCap {
+		if err := o.rebuildOnSchedule(); err != nil {
+			return nil, err
+		}
+	}
+	if !found && i >= 0 {
+		// Key absent from every level: cannot happen after initialBuild.
+		return nil, fmt.Errorf("oram: key %d vanished", i)
+	}
+	return payload, nil
+}
+
+// extractPayload copies the Val words out of an entry block.
+func extractPayload(blk []extmem.Element) []uint64 {
+	out := make([]uint64, len(blk))
+	for t := range blk {
+		out[t] = blk[t].Val
+	}
+	return out
+}
+
+// appendBuf adds an entry to the private top buffer. key 1<<23-1 with nil
+// payload is the dummy filler.
+func (o *ORAM) appendBuf(key uint64, payload []uint64) {
+	blk := o.buf[o.bufLen*o.b : (o.bufLen+1)*o.b]
+	for t := range blk {
+		var v uint64
+		if payload != nil {
+			v = payload[t]
+		}
+		blk[t] = extmem.Element{Val: v}
+		if payload != nil {
+			blk[t].Flags = extmem.FlagOccupied
+			blk[t].SetColor(int(key))
+			blk[t].SetCellDest(int(o.ts & 0x7fffffff))
+		}
+	}
+	o.bufLen++
+}

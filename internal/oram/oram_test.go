@@ -1,0 +1,267 @@
+package oram
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/trace"
+)
+
+func newEnv(b, m int, seed uint64) *extmem.Env {
+	return extmem.NewEnv(256, b, m, seed)
+}
+
+func TestReadAfterInitIsZero(t *testing.T) {
+	env := newEnv(4, 64, 1)
+	o, err := New(env, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		v, err := o.Read(i)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		for _, w := range v {
+			if w != 0 {
+				t.Fatalf("block %d not zero-initialized: %v", i, v)
+			}
+		}
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	env := newEnv(4, 64, 2)
+	o, err := New(env, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i int) []uint64 {
+		return []uint64{uint64(i) * 7, uint64(i) + 1, uint64(i) * uint64(i), 42}
+	}
+	for i := 0; i < 16; i++ {
+		if err := o.Write(i, payload(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i := 15; i >= 0; i-- {
+		v, err := o.Read(i)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		want := payload(i)
+		for j := range want {
+			if v[j] != want[j] {
+				t.Fatalf("block %d word %d = %d, want %d", i, j, v[j], want[j])
+			}
+		}
+	}
+}
+
+// TestAgainstReferenceModel drives the ORAM with a long random workload and
+// checks every read against a plain map.
+func TestAgainstReferenceModel(t *testing.T) {
+	env := newEnv(4, 64, 3)
+	const n = 24
+	o, err := New(env, n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[int][]uint64)
+	r := rand.New(rand.NewPCG(7, 7))
+	for step := 0; step < 600; step++ {
+		i := r.IntN(n)
+		switch r.IntN(3) {
+		case 0:
+			v := []uint64{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()}
+			if err := o.Write(i, v); err != nil {
+				t.Fatalf("step %d write: %v", step, err)
+			}
+			ref[i] = v
+		case 1:
+			got, err := o.Read(i)
+			if err != nil {
+				t.Fatalf("step %d read: %v", step, err)
+			}
+			want := ref[i]
+			if want == nil {
+				want = make([]uint64, 4)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("step %d: block %d word %d = %d want %d", step, i, j, got[j], want[j])
+				}
+			}
+		default:
+			if err := o.Dummy(); err != nil {
+				t.Fatalf("step %d dummy: %v", step, err)
+			}
+		}
+	}
+	if o.Failed() {
+		t.Fatal("ORAM failed during workload")
+	}
+}
+
+// TestObliviousness checks the ORAM security property. Unlike the scan and
+// circuit algorithms, hierarchical ORAM gives *distributional* trace
+// independence: each (epoch, key) pair is probed at most once, so bucket
+// choices are fresh PRF outputs. We therefore check (a) trace length is a
+// function of the access count alone, and (b) even the most revealing
+// workload — hammering one logical block — produces well-spread bucket
+// probes rather than repeated addresses.
+func TestObliviousness(t *testing.T) {
+	run := func(pattern func(step int) int) (trace.Summary, []trace.Op) {
+		env := newEnv(4, 64, 99)
+		rec := trace.NewRecorder(1 << 20)
+		env.D.SetRecorder(rec)
+		o, err := New(env, 16, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Enable(1 << 20) // drop the build trace, keep the access trace
+		for step := 0; step < 200; step++ {
+			i := pattern(step)
+			if step%2 == 0 {
+				if err := o.Write(i, []uint64{uint64(step), 0, 0, 0}); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if _, err := o.Read(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return rec.Summarize(), rec.Ops()
+	}
+	sameBlock, opsSame := run(func(int) int { return 3 })
+	scan, _ := run(func(s int) int { return s % 16 })
+	random, _ := run(func(s int) int { return (s*7 + 3) % 16 })
+	if sameBlock.Len != scan.Len || sameBlock.Len != random.Len {
+		t.Fatalf("ORAM trace length depends on the access pattern: %d %d %d",
+			sameBlock.Len, scan.Len, random.Len)
+	}
+	// Hammering block 3 must not hammer any disk address: no single block
+	// address may dominate the probe trace.
+	freq := map[int64]int{}
+	for _, op := range opsSame {
+		freq[op.Addr]++
+	}
+	maxFreq, total := 0, len(opsSame)
+	for _, f := range freq {
+		if f > maxFreq {
+			maxFreq = f
+		}
+	}
+	if maxFreq > total/10 {
+		t.Fatalf("one address receives %d of %d accesses under a repeated-key workload", maxFreq, total)
+	}
+}
+
+// TestDummyIndistinguishable: a dummy access has the same structural trace
+// as a real one — identical length, identical read/write kind sequence, and
+// an identical sequence of level visits; only the (PRF-fresh) bucket index
+// within each level differs.
+func TestDummyIndistinguishable(t *testing.T) {
+	shape := func(dummy bool) []string {
+		env := newEnv(4, 64, 42)
+		rec := trace.NewRecorder(1 << 20)
+		env.D.SetRecorder(rec)
+		o, err := New(env, 8, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Enable(1 << 20)
+		for step := 0; step < 100; step++ {
+			if dummy {
+				err = o.Dummy()
+			} else {
+				_, err = o.Read(step % 8)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		ranges := o.LevelRanges()
+		var out []string
+		for _, op := range rec.Ops() {
+			lvl := -1
+			for li, r := range ranges {
+				if op.Addr >= int64(r[0]) && op.Addr < int64(r[1]) {
+					lvl = li
+					break
+				}
+			}
+			out = append(out, string(op.Kind)+rune2s(lvl))
+		}
+		return out
+	}
+	d, r := shape(true), shape(false)
+	if len(d) != len(r) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(d), len(r))
+	}
+	for i := range d {
+		if d[i] != r[i] {
+			t.Fatalf("trace shape diverges at op %d: %s vs %s", i, d[i], r[i])
+		}
+	}
+}
+
+func rune2s(l int) string { return string(rune('a' + l + 1)) }
+
+func TestCacheBudgetRespected(t *testing.T) {
+	env := newEnv(4, 64, 5)
+	o, err := New(env, 32, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Cache.ResetHighWater()
+	for step := 0; step < 300; step++ {
+		if err := o.Write(step%32, []uint64{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hw := env.Cache.HighWater(); hw > env.M {
+		t.Fatalf("ORAM used %d private elements > M=%d", hw, env.M)
+	}
+}
+
+func TestAmortizedCostGrowsWithN(t *testing.T) {
+	cost := func(n int) float64 {
+		env := newEnv(4, 64, 5)
+		o, err := New(env, n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.D.ResetStats()
+		steps := 4 * n
+		for step := 0; step < steps; step++ {
+			if _, err := o.Read(step % n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(env.D.Stats().Total()) / float64(steps)
+	}
+	small, large := cost(8), cost(128)
+	if large <= small {
+		t.Fatalf("amortized cost should grow with n: %f vs %f", small, large)
+	}
+}
+
+func TestIndexOutOfRange(t *testing.T) {
+	env := newEnv(4, 64, 6)
+	o, err := New(env, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Read(4); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := o.Write(99, []uint64{0, 0, 0, 0}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := o.Write(0, []uint64{1}); err == nil {
+		t.Fatal("expected width error")
+	}
+}

@@ -1,0 +1,73 @@
+package rng
+
+// Hasher is the keyed hash family h_1..h_k used by the invertible Bloom
+// lookup table (paper §2). The paper assumes the random-oracle model and
+// that the k values h_i(x) are distinct, "which can be achieved by a number
+// of methods, including partitioning" — we partition: the table of m cells
+// is split into k subtables and h_i maps into subtable i, so the k cell
+// indices are always distinct.
+type Hasher struct {
+	seed uint64
+	k    int
+	m    int
+}
+
+// NewHasher returns a hash family of k functions over a table of m cells.
+// It panics unless 1 <= k <= m. Subtable i spans cells
+// [floor(i·m/k), floor((i+1)·m/k)) — a balanced partition in which every
+// subtable is non-empty for any m >= k.
+func NewHasher(seed uint64, k, m int) *Hasher {
+	if k < 1 || m < k {
+		panic("rng: NewHasher requires 1 <= k <= m")
+	}
+	return &Hasher{seed: seed, k: k, m: m}
+}
+
+// K returns the number of hash functions.
+func (h *Hasher) K() int { return h.k }
+
+// M returns the table size the family maps into.
+func (h *Hasher) M() int { return h.m }
+
+// mix64 is the splitmix64 finalizer: a strong 64-bit mixing permutation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Index returns h_i(key): a cell index inside subtable i. The k indices for
+// a fixed key are pairwise distinct because subtables are disjoint.
+func (h *Hasher) Index(i int, key uint64) int {
+	if i < 0 || i >= h.k {
+		panic("rng: hash function index out of range")
+	}
+	lo := i * h.m / h.k
+	hi := (i + 1) * h.m / h.k
+	v := mix64(h.seed ^ mix64(key+uint64(i)*0x9e3779b97f4a7c15))
+	return lo + int(v%uint64(hi-lo))
+}
+
+// Subtable returns which hash function's subtable the given cell index
+// belongs to: the smallest i with cell < floor((i+1)·m/k).
+func (h *Hasher) Subtable(cell int) int {
+	if cell < 0 || cell >= h.m {
+		panic("rng: cell index out of range")
+	}
+	return (cell*h.k+h.k+h.m-1)/h.m - 1
+}
+
+// Indices appends the k distinct cell indices for key to dst and returns it.
+func (h *Hasher) Indices(dst []int, key uint64) []int {
+	for i := 0; i < h.k; i++ {
+		dst = append(dst, h.Index(i, key))
+	}
+	return dst
+}
+
+// Mix returns a data-independent 64-bit mix of the seed and x; used for
+// deterministic dummy addresses and tie-breaking.
+func Mix(seed, x uint64) uint64 { return mix64(seed ^ mix64(x)) }

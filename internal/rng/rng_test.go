@@ -1,0 +1,183 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTapeDeterminism(t *testing.T) {
+	a := NewTape(42, 43)
+	b := NewTape(42, 43)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("draw %d diverged for equal seeds", i)
+		}
+	}
+	if a.Draws() != 1000 {
+		t.Fatalf("draws = %d, want 1000", a.Draws())
+	}
+}
+
+func TestTapeSeedsDiffer(t *testing.T) {
+	a := NewTape(1, 2)
+	b := NewTape(1, 3)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Fatalf("different seeds produced %d/64 equal draws", same)
+	}
+}
+
+// TestCoinConsumptionIsOutcomeIndependent verifies the property that makes
+// trace-equality testing sound: every Coin costs exactly one draw whether it
+// lands heads or tails.
+func TestCoinConsumptionIsOutcomeIndependent(t *testing.T) {
+	tp := NewTape(7, 8)
+	for i := 0; i < 100; i++ {
+		before := tp.Draws()
+		tp.Coin(1, 1000) // almost always false
+		tp.CoinP(0.999)  // almost always true
+		if tp.Draws() != before+2 {
+			t.Fatal("coin draw count depended on outcome")
+		}
+	}
+}
+
+func TestCoinBias(t *testing.T) {
+	tp := NewTape(9, 10)
+	n, hits := 200000, 0
+	for i := 0; i < n; i++ {
+		if tp.Coin(1, 4) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.24 || got > 0.26 {
+		t.Fatalf("Coin(1,4) frequency = %.4f, want ~0.25", got)
+	}
+}
+
+func TestCoinPEdges(t *testing.T) {
+	tp := NewTape(1, 1)
+	if tp.CoinP(0) {
+		t.Error("CoinP(0) returned true")
+	}
+	if !tp.CoinP(1) {
+		t.Error("CoinP(1) returned false")
+	}
+	if tp.CoinP(-0.5) {
+		t.Error("CoinP(-0.5) returned true")
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	tp := NewTape(5, 6)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := tp.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("IntN(7) hit only %d/7 values in 1000 draws", len(seen))
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewTape(11, 12)
+	b := NewTape(11, 12)
+	fa := a.Fork()
+	fb := b.Fork()
+	for i := 0; i < 100; i++ {
+		if fa.Uint64() != fb.Uint64() {
+			t.Fatal("forks of identical tapes diverged")
+		}
+	}
+}
+
+func TestHasherDistinctIndices(t *testing.T) {
+	h := NewHasher(99, 4, 100)
+	idx := make([]int, 0, 4)
+	for key := uint64(0); key < 500; key++ {
+		idx = h.Indices(idx[:0], key)
+		seen := map[int]bool{}
+		for _, v := range idx {
+			if v < 0 || v >= 100 {
+				t.Fatalf("index %d out of table", v)
+			}
+			if seen[v] {
+				t.Fatalf("key %d: duplicate cell index %d", key, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestHasherSubtablePartition(t *testing.T) {
+	for _, cfg := range []struct{ k, m int }{{4, 103}, {4, 6}, {3, 3}, {4, 100}, {5, 17}} {
+		h := NewHasher(3, cfg.k, cfg.m)
+		for key := uint64(0); key < 200; key++ {
+			for i := 0; i < cfg.k; i++ {
+				v := h.Index(i, key)
+				lo := i * cfg.m / cfg.k
+				hi := (i + 1) * cfg.m / cfg.k
+				if v < lo || v >= hi {
+					t.Fatalf("k=%d m=%d: h_%d(%d) = %d outside subtable [%d,%d)", cfg.k, cfg.m, i, key, v, lo, hi)
+				}
+				if h.Subtable(v) != i {
+					t.Fatalf("k=%d m=%d: Subtable(%d) = %d, want %d", cfg.k, cfg.m, v, h.Subtable(v), i)
+				}
+			}
+		}
+	}
+}
+
+func TestHasherDeterminism(t *testing.T) {
+	f := func(seed, key uint64) bool {
+		h1 := NewHasher(seed, 3, 50)
+		h2 := NewHasher(seed, 3, 50)
+		for i := 0; i < 3; i++ {
+			if h1.Index(i, key) != h2.Index(i, key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasherSpread(t *testing.T) {
+	h := NewHasher(17, 1, 64)
+	counts := make([]int, 64)
+	for key := uint64(0); key < 6400; key++ {
+		counts[h.Index(0, key)]++
+	}
+	for c, v := range counts {
+		if v == 0 {
+			t.Fatalf("cell %d never hit in 6400 draws over 64 cells", c)
+		}
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Flipping one input bit should change roughly half the output bits.
+	base := Mix(1, 12345)
+	flipped := Mix(1, 12345^1)
+	diff := base ^ flipped
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 16 || bits > 48 {
+		t.Fatalf("avalanche bits = %d, want ~32", bits)
+	}
+}

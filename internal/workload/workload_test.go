@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+
+	"oblivext/internal/extmem"
+)
+
+func TestKeysDeterministic(t *testing.T) {
+	for _, k := range Kinds() {
+		a, err := Keys(k, 100, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Keys(k, 100, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: draw %d differs across equal seeds", k, i)
+			}
+		}
+	}
+}
+
+func TestKeysShapes(t *testing.T) {
+	srt, _ := Keys(Sorted, 50, 1)
+	for i := 1; i < 50; i++ {
+		if srt[i] < srt[i-1] {
+			t.Fatal("sorted keys not sorted")
+		}
+	}
+	rev, _ := Keys(Reverse, 50, 1)
+	for i := 1; i < 50; i++ {
+		if rev[i] > rev[i-1] {
+			t.Fatal("reverse keys not descending")
+		}
+	}
+	few, _ := Keys(FewDup, 1000, 1)
+	distinct := map[uint64]bool{}
+	for _, k := range few {
+		distinct[k] = true
+	}
+	if len(distinct) > 5 {
+		t.Fatalf("fewdup produced %d distinct keys", len(distinct))
+	}
+	eq, _ := Keys(Equal, 10, 1)
+	for _, k := range eq {
+		if k != 7 {
+			t.Fatal("equal keys not constant")
+		}
+	}
+	if _, err := Keys(Kind("nope"), 5, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	keys, _ := Keys(Zipf, 10000, 3)
+	zero := 0
+	for _, k := range keys {
+		if k == 0 {
+			zero++
+		}
+	}
+	if zero < 1000 {
+		t.Fatalf("zipf head frequency %d/10000 — not skewed", zero)
+	}
+}
+
+func TestFillAndMark(t *testing.T) {
+	env := extmem.NewEnv(16, 4, 16, 1)
+	a := env.D.Alloc(8)
+	keys, _ := Keys(Uniform, 20, 5)
+	if err := Fill(a, keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := MarkFraction(a, 7, 9); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]extmem.Element, 4)
+	occ, mk := 0, 0
+	for i := 0; i < 8; i++ {
+		a.Read(i, buf)
+		for _, e := range buf {
+			if e.Occupied() {
+				occ++
+			}
+			if e.Marked() {
+				mk++
+			}
+		}
+	}
+	if occ != 20 {
+		t.Fatalf("occupied = %d, want 20", occ)
+	}
+	if mk == 0 || mk > 7 {
+		t.Fatalf("marked = %d, want in (0,7]", mk)
+	}
+	if err := Fill(a, make([]uint64, 100)); err == nil {
+		t.Fatal("overfill accepted")
+	}
+	if err := MarkFraction(a, 100, 1); err == nil {
+		t.Fatal("overmark accepted")
+	}
+}

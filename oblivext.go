@@ -1,0 +1,338 @@
+// Package oblivext is a data-oblivious external-memory toolkit: an
+// implementation of Goodrich, "Data-Oblivious External-Memory Algorithms
+// for the Compaction, Selection, and Sorting of Outsourced Data"
+// (SPAA 2011).
+//
+// A Client models the paper's setting: your process is Alice, with a small
+// private cache; the block store is Bob, an honest-but-curious storage
+// server that sees every block address you touch but none of the (possibly
+// encrypted) contents. Every operation on an outsourced Array — Sort,
+// Select, Quantiles, the compactions — produces an access trace whose
+// distribution is independent of the stored values, so the server learns
+// nothing from watching you work.
+//
+//	client, _ := oblivext.New(oblivext.Config{BlockSize: 8, CacheWords: 512})
+//	arr, _ := client.Store(records)
+//	_ = arr.Sort()
+//	median, _ := arr.Select(arr.Len()/2 + 1)
+//
+// The ORAM type provides general-purpose oblivious reads and writes on top
+// of the same machinery, with the paper's sorting algorithm accelerating
+// its rebuilds.
+package oblivext
+
+import (
+	"errors"
+	"fmt"
+
+	"oblivext/internal/core"
+	"oblivext/internal/extmem"
+	"oblivext/internal/obsort"
+	"oblivext/internal/oram"
+	"oblivext/internal/trace"
+)
+
+// Record is one key-value item of outsourced data.
+type Record struct {
+	Key uint64
+	Val uint64
+}
+
+// Config describes the external-memory geometry and backing store.
+type Config struct {
+	// BlockSize is B: elements per block. Must be a power of two. Default 8.
+	BlockSize int
+	// CacheWords is M: the private cache size in elements. Default 64·B.
+	CacheWords int
+	// Seed seeds the random tape; runs with equal seeds are reproducible.
+	Seed uint64
+	// Path, when non-empty, backs the store with a real file at that path
+	// instead of memory.
+	Path string
+	// EncryptionKey, when 32 bytes long, encrypts every block with
+	// AES-CTR + HMAC under a fresh IV per write (file-backed stores only):
+	// the semantically secure re-encryption the paper assumes.
+	EncryptionKey []byte
+	// StartBlocks is the initial store capacity in blocks (file stores are
+	// fixed at this size; memory stores grow). Default 1024.
+	StartBlocks int
+}
+
+// Client is Alice: a private cache plus a connection to the block store.
+// Not safe for concurrent use.
+type Client struct {
+	env   *extmem.Env
+	store extmem.BlockStore
+}
+
+// New creates a client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 8
+	}
+	if cfg.BlockSize < 2 || cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		return nil, fmt.Errorf("oblivext: BlockSize must be a power of two >= 2, got %d", cfg.BlockSize)
+	}
+	if cfg.CacheWords == 0 {
+		cfg.CacheWords = 64 * cfg.BlockSize
+	}
+	if cfg.CacheWords < 4*cfg.BlockSize {
+		return nil, fmt.Errorf("oblivext: CacheWords must be at least 4·BlockSize")
+	}
+	if cfg.StartBlocks == 0 {
+		cfg.StartBlocks = 1024
+	}
+	var store extmem.BlockStore
+	if cfg.Path != "" {
+		var enc *extmem.Encryptor
+		if len(cfg.EncryptionKey) > 0 {
+			var err error
+			enc, err = extmem.NewEncryptor(cfg.EncryptionKey)
+			if err != nil {
+				return nil, err
+			}
+		}
+		fs, err := extmem.NewFileStore(cfg.Path, cfg.StartBlocks, cfg.BlockSize, enc)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	} else {
+		if len(cfg.EncryptionKey) > 0 {
+			return nil, errors.New("oblivext: encryption requires a file-backed store (set Path)")
+		}
+		store = extmem.NewMemStore(cfg.StartBlocks, cfg.BlockSize)
+	}
+	env := extmem.NewEnvOn(store, cfg.CacheWords, cfg.Seed)
+	return &Client{env: env, store: store}, nil
+}
+
+// Close releases the backing store.
+func (c *Client) Close() error { return c.store.Close() }
+
+// IOStats counts block I/Os — the quantity all of the paper's bounds are
+// stated in.
+type IOStats struct {
+	Reads  int64
+	Writes int64
+}
+
+// Total returns reads plus writes.
+func (s IOStats) Total() int64 { return s.Reads + s.Writes }
+
+// Stats returns cumulative I/O counters.
+func (c *Client) Stats() IOStats {
+	st := c.env.D.Stats()
+	return IOStats{Reads: st.Reads, Writes: st.Writes}
+}
+
+// ResetStats zeroes the I/O counters.
+func (c *Client) ResetStats() { c.env.D.ResetStats() }
+
+// EnableTrace starts recording the adversary's view (block addresses).
+// keep bounds how many operations are retained verbatim; the running hash
+// covers the full trace regardless.
+func (c *Client) EnableTrace(keep int) {
+	c.env.D.SetRecorder(trace.NewRecorder(keep))
+}
+
+// TraceSummary fingerprints the recorded trace: two runs with the same
+// seed and geometry produce equal summaries regardless of the data values.
+type TraceSummary struct {
+	Len  int64
+	Hash uint64
+}
+
+// TraceSummary returns the current trace fingerprint.
+func (c *Client) TraceSummary() TraceSummary {
+	s := c.env.D.Recorder().Summarize()
+	return TraceSummary{Len: s.Len, Hash: s.Hash}
+}
+
+// CacheHighWater reports the peak private-memory use in elements; it never
+// exceeds Config.CacheWords plus a small constant.
+func (c *Client) CacheHighWater() int { return c.env.Cache.HighWater() }
+
+// Array is an outsourced array of records held on the server in blocks.
+type Array struct {
+	c   *Client
+	arr extmem.Array
+	n   int64
+}
+
+// Store uploads records to the server, one element per record, padding the
+// final block. The upload is a sequential write scan.
+func (c *Client) Store(recs []Record) (*Array, error) {
+	b := c.env.B()
+	nBlocks := extmem.CeilDiv(len(recs), b)
+	if nBlocks == 0 {
+		nBlocks = 1
+	}
+	arr := c.env.D.Alloc(nBlocks)
+	buf := c.env.Cache.Buf(b)
+	idx := 0
+	for blk := 0; blk < nBlocks; blk++ {
+		for t := 0; t < b; t++ {
+			if idx < len(recs) {
+				buf[t] = extmem.Element{Key: recs[idx].Key, Val: recs[idx].Val,
+					Pos: uint64(idx), Flags: extmem.FlagOccupied}
+				idx++
+			} else {
+				buf[t] = extmem.Element{}
+			}
+		}
+		arr.Write(blk, buf)
+	}
+	c.env.Cache.Free(buf)
+	return &Array{c: c, arr: arr, n: int64(len(recs))}, nil
+}
+
+// Len returns the number of records stored.
+func (a *Array) Len() int64 { return a.n }
+
+// Blocks returns the array footprint in blocks.
+func (a *Array) Blocks() int { return a.arr.Len() }
+
+// Records downloads the occupied records in array order.
+func (a *Array) Records() ([]Record, error) {
+	b := a.c.env.B()
+	buf := a.c.env.Cache.Buf(b)
+	out := make([]Record, 0, a.n)
+	for i := 0; i < a.arr.Len(); i++ {
+		a.arr.Read(i, buf)
+		for _, e := range buf {
+			if e.Occupied() {
+				out = append(out, Record{Key: e.Key, Val: e.Val})
+			}
+		}
+	}
+	a.c.env.Cache.Free(buf)
+	return out, nil
+}
+
+// Sort sorts the array by key (ties broken by insertion order) with the
+// paper's randomized oblivious sort: O((N/B)·log_{M/B}(N/B)) I/Os and a
+// data-independent trace, succeeding with high probability (a rare
+// internal failure returns an error with the array unchanged in
+// distribution-visible ways but possibly permuted).
+func (a *Array) Sort() error {
+	return core.Sort(a.c.env, a.arr, core.SortParams{})
+}
+
+// SortDeterministic sorts with the deterministic oblivious sort (Lemma 2's
+// role, realized as external bitonic): never fails, one log factor more
+// I/Os at scale.
+func (a *Array) SortDeterministic() {
+	obsort.Bitonic(a.c.env, a.arr, obsort.ByKey)
+}
+
+// Select returns the k-th smallest record (1-based, by key with insertion-
+// order ties) in O(N/B) I/Os without modifying or revealing anything about
+// the data (Theorem 13).
+func (a *Array) Select(k int64) (Record, error) {
+	e, err := core.Select(a.c.env, a.arr, k)
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{Key: e.Key, Val: e.Val}, nil
+}
+
+// Quantiles returns the q quantile records (ranks round(i·N/(q+1))) in
+// O(N/B) I/Os (Theorem 17).
+func (a *Array) Quantiles(q int) ([]Record, error) {
+	es, err := core.Quantiles(a.c.env, a.arr, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, len(es))
+	for i, e := range es {
+		out[i] = Record{Key: e.Key, Val: e.Val}
+	}
+	return out, nil
+}
+
+// Mark applies pred to every record privately (a sequential re-encryption
+// scan: the server cannot tell which records matched) and returns the
+// number marked.
+func (a *Array) Mark(pred func(Record) bool) (int64, error) {
+	b := a.c.env.B()
+	buf := a.c.env.Cache.Buf(b)
+	var marked int64
+	for i := 0; i < a.arr.Len(); i++ {
+		a.arr.Read(i, buf)
+		for t := range buf {
+			buf[t].Flags &^= extmem.FlagMarked
+			if buf[t].Occupied() && pred(Record{Key: buf[t].Key, Val: buf[t].Val}) {
+				buf[t].Flags |= extmem.FlagMarked
+				marked++
+			}
+		}
+		a.arr.Write(i, buf)
+	}
+	a.c.env.Cache.Free(buf)
+	return marked, nil
+}
+
+// CompactTight produces a new array holding exactly the records marked by
+// the last Mark call, in their original order, using tight order-preserving
+// compaction (Lemma 3 + Theorem 4/6). capacity bounds the marked count; it
+// is public (the server sees the output size), so choose it from workload
+// knowledge, not the data.
+func (a *Array) CompactTight(capacity int64) (*Array, error) {
+	rCap := extmem.CeilDiv(int(capacity), a.c.env.B()) + 1
+	out, marked, err := core.CompactMarkedTight(a.c.env, a.arr, rCap)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{c: a.c, arr: out, n: marked}, nil
+}
+
+// CompactLoose produces a new array of 5×capacity blocks holding the marked
+// records scattered among empties, in O(N/B) I/Os (Theorem 8). Order is
+// not preserved.
+func (a *Array) CompactLoose(capacity int64) (*Array, error) {
+	cons, marked := core.Consolidate(a.c.env, a.arr)
+	rCap := extmem.CeilDiv(int(capacity), a.c.env.B()) + 1
+	out, _, err := core.CompactBlocksLoose(a.c.env, cons, rCap, core.LooseParams{})
+	if err != nil {
+		return nil, err
+	}
+	return &Array{c: a.c, arr: out, n: marked}, nil
+}
+
+// ORAM is an oblivious RAM over fixed-size word blocks: arbitrary reads
+// and writes whose trace reveals nothing about the access pattern.
+type ORAM struct {
+	o *oram.ORAM
+}
+
+// NewORAM creates an oblivious RAM of n logical blocks of BlockSize words
+// each, zero-initialized.
+func (c *Client) NewORAM(n int) (*ORAM, error) {
+	o, err := oram.New(c.env, n, oram.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &ORAM{o: o}, nil
+}
+
+// NewORAMWithRandomizedSort creates an ORAM whose level rebuilds use the
+// paper's randomized optimal sort instead of the deterministic one — the
+// configuration whose amortized overhead improvement is the paper's
+// headline ORAM claim.
+func (c *Client) NewORAMWithRandomizedSort(n int) (*ORAM, error) {
+	o, err := oram.New(c.env, n, oram.Options{Sorter: core.RandomizedSorter})
+	if err != nil {
+		return nil, err
+	}
+	return &ORAM{o: o}, nil
+}
+
+// Read returns the payload of logical block i.
+func (r *ORAM) Read(i int) ([]uint64, error) { return r.o.Read(i) }
+
+// Write replaces the payload of logical block i.
+func (r *ORAM) Write(i int, words []uint64) error { return r.o.Write(i, words) }
+
+// Size returns the number of logical blocks.
+func (r *ORAM) Size() int { return r.o.N() }
