@@ -78,6 +78,8 @@ func main() {
 	fmt.Printf("sorted %d records (B=%d, M=%d) in %v\n", *n, *b, *m, elapsed.Round(time.Millisecond))
 	fmt.Printf("block I/O: %d reads + %d writes = %d (%.2f per data block)\n",
 		st.Reads, st.Writes, st.Total(), float64(st.Total())/float64(arr.Blocks()))
+	fmt.Printf("round trips: %d (%.1f blocks per store interaction)\n",
+		st.RoundTrips, float64(st.Total())/float64(st.RoundTrips))
 	fmt.Printf("adversary's view: %d accesses, trace hash %016x\n", ts.Len, ts.Hash)
 	fmt.Printf("peak private memory: %d records (budget %d)\n", client.CacheHighWater(), *m)
 }

@@ -1,0 +1,3 @@
+module oblivext
+
+go 1.24

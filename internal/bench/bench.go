@@ -60,6 +60,7 @@ func All() []Experiment {
 		{"E11", "Shuffle-and-deal overflow vs c (Lemma 18/Cor 19)", E11},
 		{"E12", "Thinning-pass survivor decay (Lemma 7)", E12},
 		{"E13", "Input-invariance of oblivious traces (E13)", E13},
+		{"E14", "Vectored block I/O: round trips scalar vs batched", E14},
 	}
 }
 

@@ -61,26 +61,31 @@ func CompactBlocksTight(env *extmem.Env, a extmem.Array, pred BlockPred, levelsP
 		return 0
 	}
 	b := a.B()
-	buf := env.Cache.Buf(b)
+	k := env.ScanBatchN(1, n)
+	buf := env.Cache.Buf(k * b)
 
 	// Labelling scan: occupied cell j gets dest = rank(j), origin = j.
 	rank := 0
-	for j := 0; j < n; j++ {
-		a.Read(j, buf)
-		occ := pred(buf)
-		for t := range buf {
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for j := lo; j < hi; j++ {
+			blk := buf[(j-lo)*b : (j-lo+1)*b]
+			occ := pred(blk)
+			for t := range blk {
+				if occ {
+					blk[t].SetCellDest(rank)
+					blk[t].SetAux(j)
+				} else {
+					blk[t].SetCellDest(0)
+					blk[t].SetAux(0)
+				}
+			}
 			if occ {
-				buf[t].SetCellDest(rank)
-				buf[t].SetAux(j)
-			} else {
-				buf[t].SetCellDest(0)
-				buf[t].SetAux(0)
+				rank++
 			}
 		}
-		a.Write(j, buf)
-		if occ {
-			rank++
-		}
+		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	env.Cache.Free(buf)
 
@@ -99,27 +104,32 @@ func ExpandBlocks(env *extmem.Env, a extmem.Array, pred BlockPred, levelsPerPass
 		return
 	}
 	b := a.B()
-	buf := env.Cache.Buf(b)
+	k := env.ScanBatchN(1, n)
+	buf := env.Cache.Buf(k * b)
 	// Copy each occupied cell's Aux (target) into CellDest, validating
 	// monotonicity as we go.
 	prev := -1
-	for j := 0; j < n; j++ {
-		a.Read(j, buf)
-		if pred(buf) {
-			dest := buf[0].Aux()
-			if dest < j || dest <= prev {
-				panic(fmt.Sprintf("core: expansion targets not strictly increasing at cell %d (dest %d, prev %d)", j, dest, prev))
-			}
-			prev = dest
-			for t := range buf {
-				buf[t].SetCellDest(dest)
-			}
-		} else {
-			for t := range buf {
-				buf[t].SetCellDest(0)
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for j := lo; j < hi; j++ {
+			blk := buf[(j-lo)*b : (j-lo+1)*b]
+			if pred(blk) {
+				dest := blk[0].Aux()
+				if dest < j || dest <= prev {
+					panic(fmt.Sprintf("core: expansion targets not strictly increasing at cell %d (dest %d, prev %d)", j, dest, prev))
+				}
+				prev = dest
+				for t := range blk {
+					blk[t].SetCellDest(dest)
+				}
+			} else {
+				for t := range blk {
+					blk[t].SetCellDest(0)
+				}
 			}
 		}
-		a.Write(j, buf)
+		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	env.Cache.Free(buf)
 
@@ -184,30 +194,42 @@ func routeGroupLeft(env *extmem.Env, a extmem.Array, pred BlockPred, i0, gg int)
 
 	stash := env.Cache.Buf(2 * w * b)
 	live := make([]bool, 2*w)
-	io := env.Cache.Buf(b)
+	// Strided chunk buffer, shared between loads and write gathering (the
+	// two are never in flight at once): cb cells per vectored round trip.
+	cb := min(w, env.ScanBatch(1))
+	io := env.Cache.Buf(cb * b)
+	idx := make([]int, cb)
 
 	for c := 0; c < s && c < n; c++ {
 		lv := (n - c + s - 1) / s // virtual length of this residue class
 		loaded := 0
 		load := func(hi int) {
-			for ; loaded < hi; loaded++ {
-				j := c + loaded*s
-				a.Read(j, io)
-				if !pred(io) {
-					continue
+			for loaded < hi {
+				cnt := min(cb, hi-loaded)
+				for t := 0; t < cnt; t++ {
+					idx[t] = c + (loaded+t)*s
 				}
-				dist := j - io[0].CellDest()
-				if dist < 0 || dist%s != 0 {
-					panic("core: butterfly invariant violated (distance not multiple of stride)")
+				a.ReadMany(idx[:cnt], io[:cnt*b])
+				for t := 0; t < cnt; t++ {
+					blk := io[t*b : (t+1)*b]
+					if !pred(blk) {
+						continue
+					}
+					j := idx[t]
+					dist := j - blk[0].CellDest()
+					if dist < 0 || dist%s != 0 {
+						panic("core: butterfly invariant violated (distance not multiple of stride)")
+					}
+					move := dist % modulus / s
+					fin := loaded + t - move
+					slot := ((fin % (2 * w)) + 2*w) % (2 * w)
+					if live[slot] {
+						panic("core: butterfly collision (Lemma 5 violated)")
+					}
+					live[slot] = true
+					copy(stash[slot*b:(slot+1)*b], blk)
 				}
-				move := dist % modulus / s
-				fin := loaded - move
-				slot := ((fin % (2 * w)) + 2*w) % (2 * w)
-				if live[slot] {
-					panic("core: butterfly collision (Lemma 5 violated)")
-				}
-				live[slot] = true
-				copy(stash[slot*b:(slot+1)*b], io)
+				loaded += cnt
 			}
 		}
 		for t := 0; t*w < lv; t++ {
@@ -216,17 +238,26 @@ func routeGroupLeft(env *extmem.Env, a extmem.Array, pred BlockPred, i0, gg int)
 				hi = lv
 			}
 			load(hi)
-			for out := t * w; out < (t+1)*w && out < lv; out++ {
-				slot := out % (2 * w)
-				if live[slot] {
-					copy(io, stash[slot*b:(slot+1)*b])
-					live[slot] = false
-				} else {
-					for i := range io {
-						io[i] = extmem.Element{}
+			outHi := (t + 1) * w
+			if outHi > lv {
+				outHi = lv
+			}
+			for lo := t * w; lo < outHi; lo += cb {
+				chi := min(lo+cb, outHi)
+				for out := lo; out < chi; out++ {
+					slot := out % (2 * w)
+					dst := io[(out-lo)*b : (out-lo+1)*b]
+					if live[slot] {
+						copy(dst, stash[slot*b:(slot+1)*b])
+						live[slot] = false
+					} else {
+						for i := range dst {
+							dst[i] = extmem.Element{}
+						}
 					}
+					idx[out-lo] = c + out*s
 				}
-				a.Write(c+out*s, io)
+				a.WriteMany(idx[:chi-lo], io[:(chi-lo)*b])
 			}
 		}
 	}
@@ -269,39 +300,51 @@ func routeGroupRight(env *extmem.Env, a extmem.Array, pred BlockPred, i0, gg int
 
 	stash := env.Cache.Buf(2 * w * b)
 	live := make([]bool, 2*w)
-	io := env.Cache.Buf(b)
+	// Strided chunk buffer shared between loads and write gathering, as in
+	// routeGroupLeft; cells stream right-to-left here.
+	cb := min(w, env.ScanBatch(1))
+	io := env.Cache.Buf(cb * b)
+	idx := make([]int, cb)
 
 	for c := 0; c < s && c < n; c++ {
 		lv := (n - c + s - 1) / s
 		nt := (lv + w - 1) / w // number of output chunks
 		loaded := lv           // we load right-to-left: next virtual index+1
 		load := func(lo int) {
-			for ; loaded > lo; loaded-- {
-				v := loaded - 1
-				j := c + v*s
-				a.Read(j, io)
-				if !pred(io) {
-					continue
+			for loaded > lo {
+				cnt := min(cb, loaded-lo)
+				for t := 0; t < cnt; t++ {
+					idx[t] = c + (loaded-1-t)*s // descending virtual order
 				}
-				// Groups run in descending stride order, so the bits below
-				// this group's stride are consumed later: the invariant is
-				// that all bits at or above the group have been handled,
-				// i.e. the remaining distance fits inside the modulus.
-				dist := io[0].CellDest() - j
-				if dist < 0 || dist >= modulus {
-					panic("core: expansion invariant violated")
+				a.ReadMany(idx[:cnt], io[:cnt*b])
+				for t := 0; t < cnt; t++ {
+					blk := io[t*b : (t+1)*b]
+					if !pred(blk) {
+						continue
+					}
+					v := loaded - 1 - t
+					j := idx[t]
+					// Groups run in descending stride order, so the bits below
+					// this group's stride are consumed later: the invariant is
+					// that all bits at or above the group have been handled,
+					// i.e. the remaining distance fits inside the modulus.
+					dist := blk[0].CellDest() - j
+					if dist < 0 || dist >= modulus {
+						panic("core: expansion invariant violated")
+					}
+					move := dist / s
+					fin := v + move
+					if fin >= lv {
+						panic("core: expansion routed past array end")
+					}
+					slot := fin % (2 * w)
+					if live[slot] {
+						panic("core: expansion collision")
+					}
+					live[slot] = true
+					copy(stash[slot*b:(slot+1)*b], blk)
 				}
-				move := dist / s
-				fin := v + move
-				if fin >= lv {
-					panic("core: expansion routed past array end")
-				}
-				slot := fin % (2 * w)
-				if live[slot] {
-					panic("core: expansion collision")
-				}
-				live[slot] = true
-				copy(stash[slot*b:(slot+1)*b], io)
+				loaded -= cnt
 			}
 		}
 		for t := nt - 1; t >= 0; t-- {
@@ -314,17 +357,26 @@ func routeGroupRight(env *extmem.Env, a extmem.Array, pred BlockPred, i0, gg int
 			if hi > lv {
 				hi = lv
 			}
-			for out := hi - 1; out >= t*w; out-- {
-				slot := out % (2 * w)
-				if live[slot] {
-					copy(io, stash[slot*b:(slot+1)*b])
-					live[slot] = false
-				} else {
-					for i := range io {
-						io[i] = extmem.Element{}
-					}
+			for chi := hi; chi > t*w; chi -= cb {
+				clo := chi - cb
+				if clo < t*w {
+					clo = t * w
 				}
-				a.Write(c+out*s, io)
+				for out := chi - 1; out >= clo; out-- {
+					p := chi - 1 - out // descending virtual order
+					slot := out % (2 * w)
+					dst := io[p*b : (p+1)*b]
+					if live[slot] {
+						copy(dst, stash[slot*b:(slot+1)*b])
+						live[slot] = false
+					} else {
+						for i := range dst {
+							dst[i] = extmem.Element{}
+						}
+					}
+					idx[p] = c + out*s
+				}
+				a.WriteMany(idx[:chi-clo], io[:(chi-clo)*b])
 			}
 		}
 	}

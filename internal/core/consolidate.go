@@ -39,50 +39,47 @@ func Consolidate(env *extmem.Env, a extmem.Array) (extmem.Array, int64) {
 	}
 
 	hold := env.Cache.Buf(2 * b) // pending marked elements, always < B live + incoming B
-	in := env.Cache.Buf(b)
-	wr := env.Cache.Buf(b)
+	k := env.ScanBatch(2)
+	if k > n {
+		k = n
+	}
+	in := env.Cache.Buf(k * b)
+	wbuf := env.Cache.Buf(k * b)
+	wr := extmem.NewSeqWriter(out, 0, wbuf)
 	pending := 0
 	var marked int64
 
-	emit := func(dst int, full bool) {
-		if full {
-			copy(wr, hold[:b])
-			copy(hold, hold[b:b+pending-b])
-			pending -= b
-		} else {
-			for i := range wr {
-				wr[i] = extmem.Element{}
+	// The scan keeps the scalar lag structure — output block i-1 is decided
+	// only after input block i has been absorbed — but moves up to k blocks
+	// per round trip in each direction. The still-exact total is n reads
+	// and n writes (Lemma 3).
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		a.ReadRange(lo, hi, in[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			for _, e := range in[(i-lo)*b : (i-lo+1)*b] {
+				if e.Marked() {
+					hold[pending] = e
+					pending++
+					marked++
+				}
+			}
+			if i == 0 {
+				continue
+			}
+			slot := wr.Next()
+			if pending >= b {
+				copy(slot, hold[:b])
+				copy(hold, hold[b:pending])
+				pending -= b
+			} else {
+				for t := range slot {
+					slot[t] = extmem.Element{}
+				}
 			}
 		}
-		out.Write(dst, wr)
-	}
-
-	// Prime with block 0, then for each further block read one and write
-	// one; the final write flushes the partial remainder.
-	a.Read(0, in)
-	for _, e := range in {
-		if e.Marked() {
-			hold[pending] = e
-			pending++
-			marked++
-		}
-	}
-	for i := 1; i < n; i++ {
-		a.Read(i, in)
-		for _, e := range in {
-			if e.Marked() {
-				hold[pending] = e
-				pending++
-				marked++
-			}
-		}
-		emit(i-1, pending >= b)
 	}
 	// Final block: whatever remains (possibly a partial block).
-	for i := range wr {
-		wr[i] = extmem.Element{}
-	}
-	copy(wr, hold[:min(pending, b)])
 	if pending > b {
 		// Cannot happen: pending < B before the last read, so pending <
 		// 2B, and pending >= B would have emitted a full block — unless
@@ -90,9 +87,14 @@ func Consolidate(env *extmem.Env, a extmem.Array) (extmem.Array, int64) {
 		// remainder would be lost. Guard explicitly.
 		panic("core: consolidation invariant violated")
 	}
-	out.Write(n-1, wr)
+	slot := wr.Next()
+	for t := range slot {
+		slot[t] = extmem.Element{}
+	}
+	copy(slot, hold[:min(pending, b)])
+	wr.Flush()
 
-	env.Cache.Free(wr)
+	env.Cache.Free(wbuf)
 	env.Cache.Free(in)
 	env.Cache.Free(hold)
 	return out, marked

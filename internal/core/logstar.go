@@ -194,15 +194,3 @@ func CompactBlocksLogStar(env *extmem.Env, a extmem.Array, rCap int, p LogStarPa
 	env.D.Release(mark + out.Len())
 	return out, occ, phases, failed
 }
-
-// zeroArray fills an array with empty cells.
-func zeroArray(env *extmem.Env, a extmem.Array) {
-	blk := env.Cache.Buf(a.B())
-	for i := range blk {
-		blk[i] = extmem.Element{}
-	}
-	for i := 0; i < a.Len(); i++ {
-		a.Write(i, blk)
-	}
-	env.Cache.Free(blk)
-}

@@ -62,25 +62,16 @@ func CompactBlocksLoose(env *extmem.Env, a extmem.Array, rCap int, p LooseParams
 	tail := out.Slice(4*rCap, 5*rCap)
 
 	// Zero C.
-	blk := env.Cache.Buf(b)
-	for i := range blk {
-		blk[i] = extmem.Element{}
-	}
-	for i := 0; i < c.Len(); i++ {
-		c.Write(i, blk)
-	}
+	zeroArray(env, c)
 
 	// Working copy of A (the halving is destructive).
 	work := env.D.Alloc(n)
 	occ := 0
-	for i := 0; i < n; i++ {
-		a.Read(i, blk)
+	scanCopy(env, a, work, func(_ int, blk []extmem.Element) {
 		if PredOccupied(blk) {
 			occ++
 		}
-		work.Write(i, blk)
-	}
-	env.Cache.Free(blk)
+	})
 
 	var failed error
 	if occ > rCap {
@@ -140,24 +131,25 @@ func CompactBlocksLoose(env *extmem.Env, a extmem.Array, rCap int, p LooseParams
 
 	// Final deterministic compression of the residue into the tail.
 	obsort.Bitonic(env, cur.Slice(0, s), blockOccLess)
-	blk = env.Cache.Buf(b)
+	wbuf := env.Cache.Buf(env.ScanBatchN(2, tail.Len()) * b)
+	wr := extmem.NewSeqWriter(tail, 0, wbuf)
 	survivors := 0
-	for i := 0; i < s; i++ {
-		cur.Read(i, blk)
+	scanRead(env, cur.Slice(0, s), func(i int, blk []extmem.Element) {
 		if PredOccupied(blk) {
 			survivors++
 		}
 		if i < tail.Len() {
-			tail.Write(i, blk)
+			copy(wr.Next(), blk)
 		}
-	}
+	})
 	for i := s; i < tail.Len(); i++ {
+		blk := wr.Next()
 		for t := range blk {
 			blk[t] = extmem.Element{}
 		}
-		tail.Write(i, blk)
 	}
-	env.Cache.Free(blk)
+	wr.Flush()
+	env.Cache.Free(wbuf)
 	if survivors > tail.Len() && failed == nil {
 		failed = fmt.Errorf("%w: %d survivors exceed tail capacity %d", ErrLooseOverflow, survivors, tail.Len())
 	}
@@ -172,27 +164,51 @@ func ThinningPassForTest(env *extmem.Env, src, dst extmem.Array) { thinningPass(
 
 // thinningPass is one A-to-C pass: for every cell of src, draw a uniform
 // slot of dst, and move the cell there if the cell is occupied and the slot
-// empty — writing both locations back in all cases so the trace is a
-// deterministic scan with one tape-driven random probe per cell.
+// empty — the probe sequence is tape-driven, so the trace is
+// data-independent.
+//
+// The pass runs in windows: w source cells are fetched with one vectored
+// read, their w probe slots are drawn from the tape and fetched (distinct
+// slots only — a repeated probe reuses the cached copy, preserving the
+// scalar loop's sequential move semantics), the transfers happen privately,
+// and both sides go back with vectored writes.
 func thinningPass(env *extmem.Env, src, dst extmem.Array) {
 	b := src.B()
-	sblk := env.Cache.Buf(b)
-	dblk := env.Cache.Buf(b)
-	for i := 0; i < src.Len(); i++ {
-		src.Read(i, sblk)
-		j := env.Tape.IntN(dst.Len())
-		dst.Read(j, dblk)
-		if PredOccupied(sblk) && !PredOccupied(dblk) {
-			copy(dblk, sblk)
-			for t := range sblk {
-				sblk[t] = extmem.Element{}
+	w := env.ScanBatchN(2, src.Len())
+	sbuf := env.Cache.Buf(w * b)
+	dbuf := env.Cache.Buf(w * b)
+	js := make([]int, w)
+	idx := make([]int, 0, w)
+	slot := make(map[int]int, w)
+	for i0 := 0; i0 < src.Len(); i0 += w {
+		cnt := min(w, src.Len()-i0)
+		src.ReadRange(i0, i0+cnt, sbuf[:cnt*b])
+		idx = idx[:0]
+		clear(slot)
+		for t := 0; t < cnt; t++ {
+			j := env.Tape.IntN(dst.Len())
+			js[t] = j
+			if _, seen := slot[j]; !seen {
+				slot[j] = len(idx)
+				idx = append(idx, j)
 			}
 		}
-		dst.Write(j, dblk)
-		src.Write(i, sblk)
+		dst.ReadMany(idx, dbuf[:len(idx)*b])
+		for t := 0; t < cnt; t++ {
+			sblk := sbuf[t*b : (t+1)*b]
+			dblk := dbuf[slot[js[t]]*b : (slot[js[t]]+1)*b]
+			if PredOccupied(sblk) && !PredOccupied(dblk) {
+				copy(dblk, sblk)
+				for e := range sblk {
+					sblk[e] = extmem.Element{}
+				}
+			}
+		}
+		dst.WriteMany(idx, dbuf[:len(idx)*b])
+		src.WriteRange(i0, i0+cnt, sbuf[:cnt*b])
 	}
-	env.Cache.Free(dblk)
-	env.Cache.Free(sblk)
+	env.Cache.Free(dbuf)
+	env.Cache.Free(sbuf)
 }
 
 // blockOccLess orders elements so that blocks of occupied cells precede
@@ -207,9 +223,7 @@ func halveRegion(env *extmem.Env, region, dst extmem.Array) error {
 	g := region.Len()
 	if g*b <= env.M-env.B() {
 		buf := env.Cache.Buf(g * b)
-		for i := 0; i < g; i++ {
-			region.Read(i, buf[i*b:(i+1)*b])
-		}
+		region.ReadRange(0, g, buf)
 		// Private block-level sort: occupied cells first. Order within a
 		// block must be preserved, so sort at block granularity.
 		type cell struct {
@@ -222,25 +236,24 @@ func halveRegion(env *extmem.Env, region, dst extmem.Array) error {
 			cells[i] = cell{occ: PredOccupied(d), data: d}
 		}
 		surv := 0
-		wr := env.Cache.Buf(b)
-		w := 0
+		wbuf := env.Cache.Buf(env.ScanBatchN(1, dst.Len()) * b)
+		wr := extmem.NewSeqWriter(dst, 0, wbuf)
 		for _, cl := range cells {
-			if cl.occ && w < dst.Len() {
-				copy(wr, cl.data)
-				dst.Write(w, wr)
-				w++
+			if cl.occ && wr.Pos() < dst.Len() {
+				copy(wr.Next(), cl.data)
 			}
 			if cl.occ {
 				surv++
 			}
 		}
-		for ; w < dst.Len(); w++ {
-			for t := range wr {
-				wr[t] = extmem.Element{}
+		for wr.Pos() < dst.Len() {
+			blk := wr.Next()
+			for t := range blk {
+				blk[t] = extmem.Element{}
 			}
-			dst.Write(w, wr)
 		}
-		env.Cache.Free(wr)
+		wr.Flush()
+		env.Cache.Free(wbuf)
 		env.Cache.Free(buf)
 		if surv > dst.Len() {
 			return fmt.Errorf("%w: region with %d survivors > %d", ErrLooseOverflow, surv, dst.Len())
@@ -249,19 +262,19 @@ func halveRegion(env *extmem.Env, region, dst extmem.Array) error {
 	}
 	// Region exceeds cache (no wide-block assumption): sort it obliviously.
 	obsort.Bitonic(env, region, blockOccLess)
-	blk := env.Cache.Buf(b)
+	wbuf := env.Cache.Buf(env.ScanBatchN(2, dst.Len()) * b)
+	wr := extmem.NewSeqWriter(dst, 0, wbuf)
 	surv := 0
-	for i := 0; i < g; i++ {
-		region.Read(i, blk)
-		occ := PredOccupied(blk)
-		if occ {
+	scanRead(env, region, func(i int, blk []extmem.Element) {
+		if PredOccupied(blk) {
 			surv++
 		}
 		if i < dst.Len() {
-			dst.Write(i, blk)
+			copy(wr.Next(), blk)
 		}
-	}
-	env.Cache.Free(blk)
+	})
+	wr.Flush()
+	env.Cache.Free(wbuf)
 	if surv > dst.Len() {
 		return fmt.Errorf("%w: region with %d survivors > %d", ErrLooseOverflow, surv, dst.Len())
 	}
@@ -271,31 +284,21 @@ func halveRegion(env *extmem.Env, region, dst extmem.Array) error {
 // looseBySort is the tiny-input fallback: one deterministic sort.
 func looseBySort(env *extmem.Env, a extmem.Array, rCap int) (extmem.Array, int, error) {
 	n := a.Len()
-	b := a.B()
 	mark := env.D.Mark()
 	out := env.D.Alloc(5 * rCap)
 	work := env.D.Alloc(n)
-	blk := env.Cache.Buf(b)
 	occ := 0
-	for i := 0; i < n; i++ {
-		a.Read(i, blk)
+	scanCopy(env, a, work, func(_ int, blk []extmem.Element) {
 		if PredOccupied(blk) {
 			occ++
 		}
-		work.Write(i, blk)
-	}
+	})
 	obsort.Bitonic(env, work, blockOccLess)
-	for i := 0; i < out.Len(); i++ {
-		if i < n {
-			work.Read(i, blk)
-		} else {
-			for t := range blk {
-				blk[t] = extmem.Element{}
-			}
-		}
-		out.Write(i, blk)
+	cp := min(n, out.Len())
+	scanCopy(env, work.Slice(0, cp), out.Slice(0, cp), func(_ int, blk []extmem.Element) {})
+	if cp < out.Len() {
+		zeroArray(env, out.Slice(cp, out.Len()))
 	}
-	env.Cache.Free(blk)
 	var err error
 	if occ > rCap {
 		err = fmt.Errorf("%w: %d occupied > capacity %d", ErrLooseOverflow, occ, rCap)

@@ -42,12 +42,10 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 
 	// Pass 1: copy, count, find extremes.
 	work := env.D.Alloc(n)
-	blk := env.Cache.Buf(b)
 	var total int64
 	var lo, hi extmem.Element
 	first := true
-	for i := 0; i < n; i++ {
-		a.Read(i, blk)
+	scanCopy(env, a, work, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			blk[t].Flags &^= extmem.FlagMarked
 			if !blk[t].Occupied() {
@@ -66,10 +64,8 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 				hi = blk[t]
 			}
 		}
-		work.Write(i, blk)
-	}
+	})
 	if int64(q) > total {
-		env.Cache.Free(blk)
 		return nil, fmt.Errorf("%w: q=%d > N=%d", ErrQuantilesFailed, q, total)
 	}
 	ranks := make([]int64, q)
@@ -83,7 +79,6 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 	// Small inputs (or the paper's large-cache regime, where one
 	// deterministic sort is linear): sort and read the ranks off.
 	if int(total) <= env.M/2 || float64(env.MBlocks()) > math.Pow(float64(n), 0.25) {
-		env.Cache.Free(blk)
 		return quantilesBySort(env, work, ranks)
 	}
 
@@ -101,8 +96,7 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 	// Pass 2: Bernoulli(N^{-1/4}) sampling, one coin per slot.
 	p := 1 / math.Pow(nf, 0.25)
 	var sampled int64
-	for i := 0; i < n; i++ {
-		work.Read(i, blk)
+	scanRMW(env, work, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			coin := env.Tape.CoinP(p)
 			if coin && blk[t].Occupied() {
@@ -110,17 +104,14 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 				sampled++
 			}
 		}
-		work.Write(i, blk)
-	}
+	})
 
 	rCapC := extmem.CeilDiv(int(capC), b) + 1
 	sample, _, err := CompactMarkedTight(env, work, rCapC)
 	if err != nil {
-		env.Cache.Free(blk)
 		return nil, err
 	}
 	if sampled > capC {
-		env.Cache.Free(blk)
 		return nil, fmt.Errorf("%w: sample %d exceeds %d", ErrQuantilesFailed, sampled, capC)
 	}
 	obsort.Bitonic(env, sample, obsort.ByKey)
@@ -153,8 +144,7 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 	// One scan of the sorted sample resolving every needed rank.
 	rankVal := map[int64]bound{}
 	var idx int64
-	for i := 0; i < sample.Len(); i++ {
-		sample.Read(i, blk)
+	scanRead(env, sample, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			if !blk[t].Occupied() {
 				continue
@@ -164,7 +154,7 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 				rankVal[idx] = boundOf(blk[t])
 			}
 		}
-	}
+	})
 	for i := 0; i < q; i++ {
 		if v, ok := rankVal[int64(xs[i].key)]; ok {
 			xs[i] = v
@@ -192,8 +182,7 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 	// Pass 3: assign elements to intervals; count below_i and cnt_i.
 	below := make([]int64, q)
 	cnt := make([]int64, q)
-	for i := 0; i < n; i++ {
-		work.Read(i, blk)
+	scanRMW(env, work, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			blk[t].Flags &^= extmem.FlagMarked
 			if !blk[t].Occupied() {
@@ -215,16 +204,13 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 				}
 			}
 		}
-		work.Write(i, blk)
-	}
+	})
 	for j := 0; j < q; j++ {
 		if cnt[j] > capI {
-			env.Cache.Free(blk)
 			return nil, fmt.Errorf("%w: interval %d holds %d > %d elements", ErrQuantilesFailed, j+1, cnt[j], capI)
 		}
 		k := ranks[j] - below[j]
 		if k < 1 || k > cnt[j] {
-			env.Cache.Free(blk)
 			return nil, fmt.Errorf("%w: interval %d missed its quantile (k=%d, cnt=%d)", ErrQuantilesFailed, j+1, k, cnt[j])
 		}
 	}
@@ -233,13 +219,11 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 	rCapD := q*capIBlocks + 1
 	d, _, err := CompactMarkedTight(env, work, rCapD)
 	if err != nil {
-		env.Cache.Free(blk)
 		return nil, err
 	}
 	// Color pass: re-derive each element's interval from the private
 	// bounds (tight compaction may clobber color bits, so assign after).
-	for i := 0; i < d.Len(); i++ {
-		d.Read(i, blk)
+	scanRMW(env, d, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			if !blk[t].Occupied() {
 				continue
@@ -252,18 +236,17 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 				}
 			}
 		}
-		d.Write(i, blk)
-	}
+	})
 
 	// Padding region: exactly capI - cnt_j dummies per interval.
 	padBlocks := q * capIBlocks
 	padded := env.D.Alloc(d.Len() + padBlocks)
-	for i := 0; i < d.Len(); i++ {
-		d.Read(i, blk)
-		padded.Write(i, blk)
-	}
+	scanCopy(env, d, padded, func(_ int, blk []extmem.Element) {})
+	wbuf := env.Cache.Buf(env.ScanBatchN(1, padBlocks) * b)
+	wr := extmem.NewSeqWriter(padded, d.Len(), wbuf)
 	j, emitted := 0, int64(0)
 	for i := 0; i < padBlocks; i++ {
+		blk := wr.Next()
 		for t := range blk {
 			blk[t] = extmem.Element{}
 			for j < q && emitted >= capI-cnt[j] {
@@ -275,9 +258,9 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 				emitted++
 			}
 		}
-		padded.Write(d.Len()+i, blk)
 	}
-	env.Cache.Free(blk)
+	wr.Flush()
+	env.Cache.Free(wbuf)
 
 	// Sort by (interval, key, pos): interval i now occupies blocks
 	// [i·capIBlocks, (i+1)·capIBlocks).
@@ -329,14 +312,11 @@ func (bd bound) greaterElemBound(o bound) bool {
 // quantilesBySort sorts a copy and reads the ranks off — the fast path for
 // inputs that fit the cache or the paper's (M/B) > (N/B)^{1/4} regime.
 func quantilesBySort(env *extmem.Env, work extmem.Array, ranks []int64) ([]extmem.Element, error) {
-	b := work.B()
 	obsort.Bitonic(env, work, obsort.ByKey)
 	out := make([]extmem.Element, len(ranks))
-	blk := env.Cache.Buf(b)
 	var idx int64
 	ri := 0
-	for i := 0; i < work.Len(); i++ {
-		work.Read(i, blk)
+	scanRead(env, work, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			if !blk[t].Occupied() {
 				continue
@@ -347,8 +327,7 @@ func quantilesBySort(env *extmem.Env, work extmem.Array, ranks []int64) ([]extme
 				ri++
 			}
 		}
-	}
-	env.Cache.Free(blk)
+	})
 	if ri != len(ranks) {
 		return nil, fmt.Errorf("%w: resolved %d of %d ranks", ErrQuantilesFailed, ri, len(ranks))
 	}

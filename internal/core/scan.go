@@ -1,0 +1,87 @@
+package core
+
+import "oblivext/internal/extmem"
+
+// This file provides the batched scan skeletons the pass-structured
+// algorithms share. Each streams blocks in order through a callback while
+// moving up to M/B−O(1) blocks per vectored round trip; the callback sees
+// exactly the per-block view the scalar loops used, so converting a pass is
+// a mechanical rewrite that cannot change its element-level semantics.
+
+// scanRead streams a's blocks in order through fn (read-only).
+func scanRead(env *extmem.Env, a extmem.Array, fn func(i int, blk []extmem.Element)) {
+	n := a.Len()
+	if n == 0 {
+		return
+	}
+	b := a.B()
+	k := env.ScanBatchN(1, n)
+	buf := env.Cache.Buf(k * b)
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			fn(i, buf[(i-lo)*b:(i-lo+1)*b])
+		}
+	}
+	env.Cache.Free(buf)
+}
+
+// scanRMW streams a's blocks through fn, which may modify them in place;
+// every chunk is written back where it came from.
+func scanRMW(env *extmem.Env, a extmem.Array, fn func(i int, blk []extmem.Element)) {
+	n := a.Len()
+	if n == 0 {
+		return
+	}
+	b := a.B()
+	k := env.ScanBatchN(1, n)
+	buf := env.Cache.Buf(k * b)
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			fn(i, buf[(i-lo)*b:(i-lo+1)*b])
+		}
+		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
+	}
+	env.Cache.Free(buf)
+}
+
+// scanCopy streams src's blocks through fn (which may modify them) and
+// writes the results to the same positions of dst (dst.Len() >= src.Len(),
+// dst distinct from src).
+func scanCopy(env *extmem.Env, src, dst extmem.Array, fn func(i int, blk []extmem.Element)) {
+	n := src.Len()
+	if n == 0 {
+		return
+	}
+	b := src.B()
+	k := env.ScanBatchN(1, n)
+	buf := env.Cache.Buf(k * b)
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		src.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			fn(i, buf[(i-lo)*b:(i-lo+1)*b])
+		}
+		dst.WriteRange(lo, hi, buf[:(hi-lo)*b])
+	}
+	env.Cache.Free(buf)
+}
+
+// zeroArray overwrites every block of a with empty elements, batched.
+func zeroArray(env *extmem.Env, a extmem.Array) {
+	n := a.Len()
+	if n == 0 {
+		return
+	}
+	b := a.B()
+	k := env.ScanBatchN(1, n)
+	buf := env.Cache.Buf(k * b) // Buf returns zeroed storage
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
+	}
+	env.Cache.Free(buf)
+}

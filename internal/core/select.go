@@ -69,12 +69,10 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 
 	// Pass 1: copy the input (clearing stale marks), count N, find min/max.
 	work := env.D.Alloc(n)
-	blk := env.Cache.Buf(b)
 	var total int64
 	var lo, hi extmem.Element
 	first := true
-	for i := 0; i < n; i++ {
-		a.Read(i, blk)
+	scanCopy(env, a, work, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			blk[t].Flags &^= extmem.FlagMarked
 			if !blk[t].Occupied() {
@@ -93,10 +91,8 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 				hi = blk[t]
 			}
 		}
-		work.Write(i, blk)
-	}
+	})
 	if k < 1 || k > total {
-		env.Cache.Free(blk)
 		return extmem.Element{}, fmt.Errorf("%w: rank %d out of range [1,%d]", ErrSelectFailed, k, total)
 	}
 	nf := float64(total)
@@ -104,7 +100,6 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 	// Small inputs: one in-cache selection (the powers of N below are
 	// meaningless at tiny N, and the whole input fits private memory).
 	if int(total) <= env.M/2 {
-		env.Cache.Free(blk)
 		return selectInCache(env, work, int(k))
 	}
 
@@ -119,8 +114,7 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 	// Pass 2: Bernoulli(N^{-1/2}) sampling; one coin per cell slot so the
 	// tape consumption is data-independent.
 	var sampled int64
-	for i := 0; i < n; i++ {
-		work.Read(i, blk)
+	scanRMW(env, work, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			coin := env.Tape.CoinP(1 / sqrtN)
 			if coin && blk[t].Occupied() {
@@ -128,18 +122,15 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 				sampled++
 			}
 		}
-		work.Write(i, blk)
-	}
+	})
 
 	// Compact the sample: consolidation then tight compaction.
 	rCap1 := extmem.CeilDiv(int(cap1), b) + 1
 	sample, _, err := CompactMarkedTight(env, work, rCap1)
 	if err != nil {
-		env.Cache.Free(blk)
 		return extmem.Element{}, err
 	}
 	if sampled > cap1 {
-		env.Cache.Free(blk)
 		return extmem.Element{}, fmt.Errorf("%w: sample size %d exceeds %d", ErrSelectFailed, sampled, cap1)
 	}
 	obsort.Bitonic(env, sample, obsort.ByKey)
@@ -150,8 +141,7 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 	x := bound{neg: true}
 	y := bound{pos2: true}
 	var idx int64
-	for i := 0; i < sample.Len(); i++ {
-		sample.Read(i, blk)
+	scanRead(env, sample, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			if !blk[t].Occupied() {
 				continue
@@ -164,7 +154,7 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 				y = boundOf(blk[t])
 			}
 		}
-	}
+	})
 	// x = max(x', min(A)) and y = min(y', max(A)): since min(A) is a lower
 	// bound on everything, the max only matters when x' = -inf, and
 	// symmetrically for y'.
@@ -178,8 +168,7 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 	// Pass 3: clear the sampling marks, mark elements in [x, y], count
 	// rank(x) and the range size.
 	var rankX, inRange int64
-	for i := 0; i < n; i++ {
-		work.Read(i, blk)
+	scanRMW(env, work, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			blk[t].Flags &^= extmem.FlagMarked
 			if !blk[t].Occupied() {
@@ -194,15 +183,12 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 				inRange++
 			}
 		}
-		work.Write(i, blk)
-	}
+	})
 	target := k - rankX
 	if target < 1 || target > inRange {
-		env.Cache.Free(blk)
 		return extmem.Element{}, fmt.Errorf("%w: bracket missed the target (rank(x)=%d, in-range=%d, k=%d)", ErrSelectFailed, rankX, inRange, k)
 	}
 	if inRange > cap2 {
-		env.Cache.Free(blk)
 		return extmem.Element{}, fmt.Errorf("%w: range size %d exceeds %d", ErrSelectFailed, inRange, cap2)
 	}
 
@@ -210,15 +196,13 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 	rCap2 := extmem.CeilDiv(int(cap2), b) + 1
 	d, _, err := CompactMarkedTight(env, work, rCap2)
 	if err != nil {
-		env.Cache.Free(blk)
 		return extmem.Element{}, err
 	}
 	obsort.Bitonic(env, d, obsort.ByKey)
 
 	var result extmem.Element
 	idx = 0
-	for i := 0; i < d.Len(); i++ {
-		d.Read(i, blk)
+	scanRead(env, d, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			if !blk[t].Occupied() {
 				continue
@@ -228,8 +212,7 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 				result = blk[t]
 			}
 		}
-	}
-	env.Cache.Free(blk)
+	})
 	if !result.Occupied() {
 		return extmem.Element{}, fmt.Errorf("%w: target rank never materialized", ErrSelectFailed)
 	}
@@ -240,21 +223,17 @@ func Select(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, error) {
 // selectInCache reads every occupied element into private memory and picks
 // the k-th there; the trace is a single scan.
 func selectInCache(env *extmem.Env, a extmem.Array, k int) (extmem.Element, error) {
-	b := a.B()
-	blk := env.Cache.Buf(b)
 	var all []extmem.Element
 	env.Cache.Acquire(env.M / 2)
-	for i := 0; i < a.Len(); i++ {
-		a.Read(i, blk)
+	scanRead(env, a, func(_ int, blk []extmem.Element) {
 		for _, e := range blk {
 			if e.Occupied() {
 				all = append(all, e)
 			}
 		}
-	}
+	})
 	obsort.InCache(all, obsort.ByKey)
 	env.Cache.Release(env.M / 2)
-	env.Cache.Free(blk)
 	if k < 1 || k > len(all) {
 		return extmem.Element{}, fmt.Errorf("%w: rank %d of %d", ErrSelectFailed, k, len(all))
 	}

@@ -82,36 +82,42 @@ func Sort(env *extmem.Env, a extmem.Array, p SortParams) error {
 
 	// Tight order-preserving compaction (Theorem 6) back into a.
 	b := a.B()
-	blk := env.Cache.Buf(b)
-	for i := 0; i < res.Len(); i++ {
-		res.Read(i, blk)
-		for t := range blk {
-			if blk[t].Occupied() {
-				blk[t].Flags |= extmem.FlagMarked
+	k := env.ScanBatchN(1, res.Len())
+	buf := env.Cache.Buf(k * b)
+	for lo := 0; lo < res.Len(); lo += k {
+		hi := min(lo+k, res.Len())
+		res.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for t := range buf[:(hi-lo)*b] {
+			if buf[t].Occupied() {
+				buf[t].Flags |= extmem.FlagMarked
 			} else {
-				blk[t].Flags &^= extmem.FlagMarked
+				buf[t].Flags &^= extmem.FlagMarked
 			}
 		}
-		res.Write(i, blk)
+		res.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
+	env.Cache.Free(buf)
 	cons, _ := Consolidate(env, res)
 	CompactBlocksTight(env, cons, PredOccupied, 0)
-	for i := 0; i < n; i++ {
-		if i < cons.Len() {
-			cons.Read(i, blk)
-		} else {
-			for t := range blk {
-				blk[t] = extmem.Element{}
-			}
+	k = env.ScanBatchN(1, n)
+	buf = env.Cache.Buf(k * b)
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		cl := max(lo, min(hi, cons.Len())) // read [lo, cl) from cons, zero the rest
+		if lo < cl {
+			cons.ReadRange(lo, cl, buf[:(cl-lo)*b])
 		}
-		for t := range blk {
-			blk[t].Flags &^= extmem.FlagMarked
-			blk[t].SetCellDest(0)
-			blk[t].SetColor(0)
+		for t := (cl - lo) * b; t < (hi-lo)*b; t++ {
+			buf[t] = extmem.Element{}
 		}
-		a.Write(i, blk)
+		for t := range buf[:(hi-lo)*b] {
+			buf[t].Flags &^= extmem.FlagMarked
+			buf[t].SetCellDest(0)
+			buf[t].SetColor(0)
+		}
+		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
-	env.Cache.Free(blk)
+	env.Cache.Free(buf)
 	return nil
 }
 
@@ -138,17 +144,19 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 	m := env.MBlocks()
 
 	// Count occupied elements (public: part of the problem size).
-	blk := env.Cache.Buf(b)
+	k := env.ScanBatchN(1, n)
+	buf := env.Cache.Buf(k * b)
 	var nOcc int64
-	for i := 0; i < n; i++ {
-		a.Read(i, blk)
-		for t := range blk {
-			if blk[t].Occupied() {
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for _, e := range buf[:(hi-lo)*b] {
+			if e.Occupied() {
 				nOcc++
 			}
 		}
 	}
-	env.Cache.Free(blk)
+	env.Cache.Free(buf)
 
 	q := int(math.Floor(math.Pow(float64(m), 0.25)))
 	if int(nOcc) <= env.M/2 {
@@ -178,25 +186,27 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 
 	// Step 2: color by bucket = 1 + #splitters strictly below the element.
 	work := env.D.Alloc(n)
-	blk = env.Cache.Buf(b)
-	for i := 0; i < n; i++ {
-		a.Read(i, blk)
-		for t := range blk {
-			blk[t].SetColor(0)
-			if !blk[t].Occupied() {
+	k = env.ScanBatchN(1, n)
+	buf = env.Cache.Buf(k * b)
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for t := range buf[:(hi-lo)*b] {
+			buf[t].SetColor(0)
+			if !buf[t].Occupied() {
 				continue
 			}
 			c := 1
 			for j := 0; j < q; j++ {
-				if bounds[j].lessElem(blk[t]) {
+				if bounds[j].lessElem(buf[t]) {
 					c = j + 2
 				}
 			}
-			blk[t].SetColor(c)
+			buf[t].SetColor(c)
 		}
-		work.Write(i, blk)
+		work.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
-	env.Cache.Free(blk)
+	env.Cache.Free(buf)
 
 	// Step 3: multi-way consolidation into monochromatic blocks.
 	ap := consolidateColors(env, work, q+1)
@@ -244,24 +254,26 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 		outLen += sorted.Len()
 	}
 	res := env.D.Alloc(outLen)
-	blk = env.Cache.Buf(b)
+	k = env.ScanBatchN(1, outLen)
+	buf = env.Cache.Buf(k * b)
 	w := 0
 	for i := 0; i <= q; i++ {
-		for j := 0; j < sub[i].Len(); j++ {
-			sub[i].Read(j, blk)
-			failed := !subOK[i]
-			for t := range blk {
-				if failed && blk[t].Occupied() {
-					blk[t].Flags |= extmem.FlagFailed
+		failed := !subOK[i]
+		for lo := 0; lo < sub[i].Len(); lo += k {
+			hi := min(lo+k, sub[i].Len())
+			sub[i].ReadRange(lo, hi, buf[:(hi-lo)*b])
+			for t := range buf[:(hi-lo)*b] {
+				if failed && buf[t].Occupied() {
+					buf[t].Flags |= extmem.FlagFailed
 				} else {
-					blk[t].Flags &^= extmem.FlagFailed
+					buf[t].Flags &^= extmem.FlagFailed
 				}
 			}
-			res.Write(w, blk)
-			w++
+			res.WriteRange(w, w+hi-lo, buf[:(hi-lo)*b])
+			w += hi - lo
 		}
 	}
-	env.Cache.Free(blk)
+	env.Cache.Free(buf)
 
 	// Step 7: data-oblivious failure sweeping — runs unconditionally.
 	capD := 2*5*bucketCap + 8
@@ -280,12 +292,14 @@ func sortPrivate(env *extmem.Env, a extmem.Array) extmem.Array {
 	n := a.Len()
 	b := a.B()
 	out := env.D.Alloc(n)
-	blk := env.Cache.Buf(b)
 	env.Cache.Acquire(env.M / 2)
+	k := env.ScanBatchN(1, n)
+	buf := env.Cache.Buf(k * b)
 	var all []extmem.Element
-	for i := 0; i < n; i++ {
-		a.Read(i, blk)
-		for _, e := range blk {
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for _, e := range buf[:(hi-lo)*b] {
 			if e.Occupied() {
 				all = append(all, e)
 			}
@@ -293,19 +307,20 @@ func sortPrivate(env *extmem.Env, a extmem.Array) extmem.Array {
 	}
 	obsort.InCache(all, obsort.ByKey)
 	idx := 0
-	for i := 0; i < n; i++ {
-		for t := 0; t < b; t++ {
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		for t := 0; t < (hi-lo)*b; t++ {
 			if idx < len(all) {
-				blk[t] = all[idx]
+				buf[t] = all[idx]
 				idx++
 			} else {
-				blk[t] = extmem.Element{}
+				buf[t] = extmem.Element{}
 			}
 		}
-		out.Write(i, blk)
+		out.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
+	env.Cache.Free(buf)
 	env.Cache.Release(env.M / 2)
-	env.Cache.Free(blk)
 	return out
 }
 
@@ -315,19 +330,21 @@ func sortPrivate(env *extmem.Env, a extmem.Array) extmem.Array {
 // callers run it on pre-recursion buckets where order is irrelevant.
 func tightenPadded(env *extmem.Env, a extmem.Array, capBlocks int) extmem.Array {
 	b := a.B()
-	blk := env.Cache.Buf(b)
-	for i := 0; i < a.Len(); i++ {
-		a.Read(i, blk)
-		for t := range blk {
-			if blk[t].Occupied() {
-				blk[t].Flags |= extmem.FlagMarked
+	k := env.ScanBatchN(1, a.Len())
+	buf := env.Cache.Buf(k * b)
+	for lo := 0; lo < a.Len(); lo += k {
+		hi := min(lo+k, a.Len())
+		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for t := range buf[:(hi-lo)*b] {
+			if buf[t].Occupied() {
+				buf[t].Flags |= extmem.FlagMarked
 			} else {
-				blk[t].Flags &^= extmem.FlagMarked
+				buf[t].Flags &^= extmem.FlagMarked
 			}
 		}
-		a.Write(i, blk)
+		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
-	env.Cache.Free(blk)
+	env.Cache.Free(buf)
 	cons, _ := Consolidate(env, a)
 	CompactBlocksTight(env, cons, PredOccupied, 0)
 	if capBlocks > cons.Len() {
@@ -336,31 +353,70 @@ func tightenPadded(env *extmem.Env, a extmem.Array, capBlocks int) extmem.Array 
 	return cons.Slice(0, capBlocks)
 }
 
-// copyArray copies src into dst block by block (equal lengths).
+// copyArray copies src into dst in batched chunks (equal lengths).
 func copyArray(env *extmem.Env, src, dst extmem.Array) {
-	blk := env.Cache.Buf(src.B())
-	for i := 0; i < src.Len(); i++ {
-		src.Read(i, blk)
-		dst.Write(i, blk)
+	b := src.B()
+	k := env.ScanBatchN(1, src.Len())
+	buf := env.Cache.Buf(k * b)
+	for lo := 0; lo < src.Len(); lo += k {
+		hi := min(lo+k, src.Len())
+		src.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		dst.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
-	env.Cache.Free(blk)
+	env.Cache.Free(buf)
 }
 
 // shuffleBlocks applies the block-level Fisher–Yates shuffle of §5: the
 // swap sequence comes entirely from the tape, so the adversary learns
 // nothing from watching it ("even though Bob can see us perform this
 // shuffle, the choices we make do not depend on data values").
+//
+// Swaps are processed in windows: the window's swap targets are drawn from
+// the tape up front, the distinct blocks they touch are fetched with one
+// vectored read, the swaps are replayed in order inside the cache, and the
+// final contents go back with one vectored write. The permutation is
+// identical to the scalar loop's for the same tape, and the addresses
+// revealed are a deterministic function of the tape alone.
 func shuffleBlocks(env *extmem.Env, a extmem.Array) {
-	b := a.B()
-	x := env.Cache.Buf(b)
-	y := env.Cache.Buf(b)
-	for i := 0; i < a.Len()-1; i++ {
-		j := i + env.Tape.IntN(a.Len()-i)
-		a.Read(i, x)
-		a.Read(j, y)
-		a.Write(i, y)
-		a.Write(j, x)
+	n := a.Len()
+	if n < 2 {
+		return
 	}
-	env.Cache.Free(y)
-	env.Cache.Free(x)
+	b := a.B()
+	w := max(1, min(env.ScanBatch(1)/2, n-1)) // each swap touches at most 2 distinct blocks
+	buf := env.Cache.Buf(2 * w * b)
+	idx := make([]int, 0, 2*w)     // distinct touched blocks, first-touch order
+	slot := make(map[int]int, 2*w) // block index -> slot in buf
+	js := make([]int, w)
+	for i0 := 0; i0 < n-1; i0 += w {
+		cnt := min(w, n-1-i0)
+		idx = idx[:0]
+		clear(slot)
+		for t := 0; t < cnt; t++ {
+			i := i0 + t
+			j := i + env.Tape.IntN(n-i)
+			js[t] = j
+			if _, seen := slot[i]; !seen {
+				slot[i] = len(idx)
+				idx = append(idx, i)
+			}
+			if _, seen := slot[j]; !seen {
+				slot[j] = len(idx)
+				idx = append(idx, j)
+			}
+		}
+		a.ReadMany(idx, buf[:len(idx)*b])
+		for t := 0; t < cnt; t++ {
+			si, sj := slot[i0+t], slot[js[t]]
+			if si == sj {
+				continue
+			}
+			x, y := buf[si*b:(si+1)*b], buf[sj*b:(sj+1)*b]
+			for e := range x {
+				x[e], y[e] = y[e], x[e]
+			}
+		}
+		a.WriteMany(idx, buf[:len(idx)*b])
+	}
+	env.Cache.Free(buf)
 }

@@ -30,29 +30,30 @@ func consolidateColors(env *extmem.Env, a extmem.Array, colors int) extmem.Array
 	out := env.D.Alloc(groups*colors + 2*colors)
 
 	// Staging: held elements never exceed colors*(2B-1) by the group
-	// accounting invariant (see package tests), plus one I/O block.
+	// accounting invariant (see package tests), plus the vectored chunk
+	// buffers sized from what cache remains.
 	env.Cache.Acquire(colors * (2*b - 1))
 	hold := make([][]extmem.Element, colors+1) // 1-based colors
-	blk := env.Cache.Buf(b)
+	k := env.ScanBatchN(2, out.Len())
+	kg := min(k, colors)
+	in := env.Cache.Buf(kg * b)
+	wbuf := env.Cache.Buf(k * b)
+	wr := extmem.NewSeqWriter(out, 0, wbuf)
 
-	w := 0
 	emit := func(quota int) {
 		emitted := 0
 		for c := 1; c <= colors && emitted < quota; c++ {
 			for len(hold[c]) >= b && emitted < quota {
-				copy(blk, hold[c][:b])
+				copy(wr.Next(), hold[c][:b])
 				hold[c] = hold[c][b:]
-				out.Write(w, blk)
-				w++
 				emitted++
 			}
 		}
 		for ; emitted < quota; emitted++ {
+			blk := wr.Next()
 			for t := range blk {
 				blk[t] = extmem.Element{}
 			}
-			out.Write(w, blk)
-			w++
 		}
 	}
 
@@ -62,11 +63,14 @@ func consolidateColors(env *extmem.Env, a extmem.Array, colors int) extmem.Array
 		if hi > n {
 			hi = n
 		}
-		for i := lo; i < hi; i++ {
-			a.Read(i, blk)
-			for _, e := range blk {
-				if e.Occupied() {
-					hold[e.Color()] = append(hold[e.Color()], e)
+		for clo := lo; clo < hi; clo += kg {
+			chi := min(clo+kg, hi)
+			a.ReadRange(clo, chi, in[:(chi-clo)*b])
+			for i := clo; i < chi; i++ {
+				for _, e := range in[(i-clo)*b : (i-clo+1)*b] {
+					if e.Occupied() {
+						hold[e.Color()] = append(hold[e.Color()], e)
+					}
 				}
 			}
 		}
@@ -80,6 +84,7 @@ func consolidateColors(env *extmem.Env, a extmem.Array, colors int) extmem.Array
 			if take > b {
 				take = b
 			}
+			blk := wr.Next()
 			for t := 0; t < b; t++ {
 				if t < take {
 					blk[t] = hold[c][t]
@@ -88,19 +93,18 @@ func consolidateColors(env *extmem.Env, a extmem.Array, colors int) extmem.Array
 				}
 			}
 			hold[c] = hold[c][take:]
-			out.Write(w, blk)
-			w++
 			flushed++
 		}
 	}
 	for ; flushed < 2*colors; flushed++ {
+		blk := wr.Next()
 		for t := range blk {
 			blk[t] = extmem.Element{}
 		}
-		out.Write(w, blk)
-		w++
 	}
-	env.Cache.Free(blk)
+	wr.Flush()
+	env.Cache.Free(wbuf)
+	env.Cache.Free(in)
 	env.Cache.Release(colors * (2*b - 1))
 	return out
 }
@@ -121,7 +125,7 @@ func deal(env *extmem.Env, a extmem.Array, colors, batch, quota int) ([]extmem.A
 	}
 
 	buf := env.Cache.Buf(batch * b)
-	blk := env.Cache.Buf(b)
+	wbuf := env.Cache.Buf(env.ScanBatchN(1, quota) * b)
 	ok := true
 	for g := 0; g < batches; g++ {
 		lo := g * batch
@@ -130,9 +134,7 @@ func deal(env *extmem.Env, a extmem.Array, colors, batch, quota int) ([]extmem.A
 			hi = n
 		}
 		cnt := hi - lo
-		for i := 0; i < cnt; i++ {
-			a.Read(lo+i, buf[i*b:(i+1)*b])
-		}
+		a.ReadRange(lo, hi, buf[:cnt*b])
 		// Index the batch's full blocks by color (private).
 		perColor := make([][]int, colors+1)
 		for i := 0; i < cnt; i++ {
@@ -146,7 +148,9 @@ func deal(env *extmem.Env, a extmem.Array, colors, batch, quota int) ([]extmem.A
 			if len(perColor[c]) > quota {
 				ok = false // Corollary 19 overflow; excess blocks dropped
 			}
+			wr := extmem.NewSeqWriter(out[c-1], g*quota, wbuf)
 			for s := 0; s < quota; s++ {
+				blk := wr.Next()
 				if s < len(perColor[c]) {
 					copy(blk, buf[perColor[c][s]*b:(perColor[c][s]+1)*b])
 				} else {
@@ -154,11 +158,11 @@ func deal(env *extmem.Env, a extmem.Array, colors, batch, quota int) ([]extmem.A
 						blk[t] = extmem.Element{}
 					}
 				}
-				out[c-1].Write(g*quota+s, blk)
 			}
+			wr.Flush()
 		}
 	}
-	env.Cache.Free(blk)
+	env.Cache.Free(wbuf)
 	env.Cache.Free(buf)
 	return out, ok
 }
@@ -182,20 +186,26 @@ func sweepFailures(env *extmem.Env, res extmem.Array, capD int) bool {
 
 	// Copy failed cells; everything else becomes empty.
 	cpy := env.D.Alloc(n)
-	blk := env.Cache.Buf(b)
-	for i := 0; i < n; i++ {
-		res.Read(i, blk)
-		if !PredFailed(blk) {
-			for t := range blk {
-				blk[t] = extmem.Element{}
-			}
-		} else {
-			for t := range blk {
-				blk[t].Flags &^= extmem.FlagFailed
+	kc := env.ScanBatchN(1, n)
+	cbuf := env.Cache.Buf(kc * b)
+	for lo := 0; lo < n; lo += kc {
+		hi := min(lo+kc, n)
+		res.ReadRange(lo, hi, cbuf[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			blk := cbuf[(i-lo)*b : (i-lo+1)*b]
+			if !PredFailed(blk) {
+				for t := range blk {
+					blk[t] = extmem.Element{}
+				}
+			} else {
+				for t := range blk {
+					blk[t].Flags &^= extmem.FlagFailed
+				}
 			}
 		}
-		cpy.Write(i, blk)
+		cpy.WriteRange(lo, hi, cbuf[:(hi-lo)*b])
 	}
+	env.Cache.Free(cbuf)
 
 	failedCells := CompactBlocksTight(env, cpy, PredOccupied, 0)
 	ok := failedCells <= capD
@@ -206,22 +216,29 @@ func sweepFailures(env *extmem.Env, res extmem.Array, capD int) bool {
 	for i := range ent {
 		ent[i] = extmem.Element{}
 	}
-	for i := 0; i < capD; i++ {
-		cpy.Read(i, blk)
-		cnt := 0
-		for _, e := range blk {
-			if e.Occupied() {
-				cnt++
+	kf := env.ScanBatchN(1, capD)
+	fbuf := env.Cache.Buf(kf * b)
+	for lo := 0; lo < capD; lo += kf {
+		hi := min(lo+kf, capD)
+		cpy.ReadRange(lo, hi, fbuf[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			blk := fbuf[(i-lo)*b : (i-lo+1)*b]
+			cnt := 0
+			for _, e := range blk {
+				if e.Occupied() {
+					cnt++
+				}
 			}
-		}
-		ent[i%b] = extmem.Element{Val: uint64(cnt), Pos: uint64(blk[0].Aux())}
-		if (i+1)%b == 0 || i == capD-1 {
-			fo.Write(i/b, ent)
-			for t := range ent {
-				ent[t] = extmem.Element{}
+			ent[i%b] = extmem.Element{Val: uint64(cnt), Pos: uint64(blk[0].Aux())}
+			if (i+1)%b == 0 || i == capD-1 {
+				fo.Write(i/b, ent)
+				for t := range ent {
+					ent[t] = extmem.Element{}
+				}
 			}
 		}
 	}
+	env.Cache.Free(fbuf)
 
 	// Deterministic sort of the prefix (Lemma 2).
 	obsort.Bitonic(env, cpy.Slice(0, capD), obsort.ByKey)
@@ -235,66 +252,83 @@ func sweepFailures(env *extmem.Env, res extmem.Array, capD int) bool {
 	// queue absorbs the lag, which stays small because almost every failed
 	// cell is full (only consolidation flush blocks are partial).
 	d2 := env.D.Alloc(capD)
-	stream := env.Cache.Buf(b)
 	queueCap := env.M / 4
 	queue := env.Cache.Buf(queueCap)
 	qh, qt := 0, 0 // ring indices: head (consume), tail (produce)
 	qlen := 0
-	for s := 0; s < capD; s++ {
-		cpy.Read(s, stream)
-		for _, e := range stream {
-			if !e.Occupied() {
-				continue
+	kd := env.ScanBatchN(2, capD)
+	sbuf := env.Cache.Buf(kd * b)
+	dbuf := env.Cache.Buf(kd * b)
+	for lo := 0; lo < capD; lo += kd {
+		hi := min(lo+kd, capD)
+		cpy.ReadRange(lo, hi, sbuf[:(hi-lo)*b])
+		for s := lo; s < hi; s++ {
+			for _, e := range sbuf[(s-lo)*b : (s-lo+1)*b] {
+				if !e.Occupied() {
+					continue
+				}
+				if qlen == queueCap {
+					ok = false // queue overflow: drop, keep the trace fixed
+					continue
+				}
+				queue[qt] = e
+				qt = (qt + 1) % queueCap
+				qlen++
 			}
-			if qlen == queueCap {
-				ok = false // queue overflow: drop, keep the trace fixed
-				continue
+			if s%b == 0 {
+				fo.Read(s/b, ent)
 			}
-			queue[qt] = e
-			qt = (qt + 1) % queueCap
-			qlen++
-		}
-		if s%b == 0 {
-			fo.Read(s/b, ent)
-		}
-		fill := int(ent[s%b].Val)
-		origin := int(ent[s%b].Pos)
-		for t := 0; t < b; t++ {
-			blk[t] = extmem.Element{}
-			if t < fill && qlen > 0 {
-				blk[t] = queue[qh]
-				qh = (qh + 1) % queueCap
-				qlen--
+			fill := int(ent[s%b].Val)
+			origin := int(ent[s%b].Pos)
+			blk := dbuf[(s-lo)*b : (s-lo+1)*b]
+			for t := 0; t < b; t++ {
+				blk[t] = extmem.Element{}
+				if t < fill && qlen > 0 {
+					blk[t] = queue[qh]
+					qh = (qh + 1) % queueCap
+					qlen--
+				}
+				blk[t].SetAux(origin)
 			}
-			blk[t].SetAux(origin)
 		}
-		d2.Write(s, blk)
+		d2.WriteRange(lo, hi, dbuf[:(hi-lo)*b])
 	}
+	env.Cache.Free(dbuf)
+	env.Cache.Free(sbuf)
 	env.Cache.Free(queue)
-	env.Cache.Free(stream)
 	env.Cache.Free(ent)
 
 	// Install the repacked prefix and route everything home.
-	for i := 0; i < capD; i++ {
-		d2.Read(i, blk)
-		cpy.Write(i, blk)
+	ki := env.ScanBatchN(1, capD)
+	ibuf := env.Cache.Buf(ki * b)
+	for lo := 0; lo < capD; lo += ki {
+		hi := min(lo+ki, capD)
+		d2.ReadRange(lo, hi, ibuf[:(hi-lo)*b])
+		cpy.WriteRange(lo, hi, ibuf[:(hi-lo)*b])
 	}
+	env.Cache.Free(ibuf)
 	ExpandBlocks(env, cpy, PredOccupied, 0)
 
 	// Merge: failed cells take the repaired copy.
-	cblk := env.Cache.Buf(b)
-	for i := 0; i < n; i++ {
-		res.Read(i, blk)
-		cpy.Read(i, cblk)
-		if PredFailed(blk) {
-			copy(blk, cblk)
+	km := env.ScanBatchN(2, n)
+	rb := env.Cache.Buf(km * b)
+	cb := env.Cache.Buf(km * b)
+	for lo := 0; lo < n; lo += km {
+		hi := min(lo+km, n)
+		res.ReadRange(lo, hi, rb[:(hi-lo)*b])
+		cpy.ReadRange(lo, hi, cb[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			blk := rb[(i-lo)*b : (i-lo+1)*b]
+			if PredFailed(blk) {
+				copy(blk, cb[(i-lo)*b:(i-lo+1)*b])
+			}
+			for t := range blk {
+				blk[t].Flags &^= extmem.FlagFailed
+			}
 		}
-		for t := range blk {
-			blk[t].Flags &^= extmem.FlagFailed
-		}
-		res.Write(i, blk)
+		res.WriteRange(lo, hi, rb[:(hi-lo)*b])
 	}
-	env.Cache.Free(cblk)
-	env.Cache.Free(blk)
+	env.Cache.Free(cb)
+	env.Cache.Free(rb)
 	return ok
 }

@@ -7,17 +7,22 @@ import (
 )
 
 // Stats counts the block I/Os an algorithm performed — the quantity every
-// theorem in the paper bounds.
+// theorem in the paper bounds — and the store interactions (round trips)
+// those I/Os were batched into, the quantity that dominates wall-clock time
+// when Bob is remote.
 type Stats struct {
-	Reads  int64
-	Writes int64
+	Reads      int64
+	Writes     int64
+	RoundTrips int64
 }
 
 // Total returns reads plus writes.
 func (s Stats) Total() int64 { return s.Reads + s.Writes }
 
 // Sub returns the difference s - o, for measuring a phase.
-func (s Stats) Sub(o Stats) Stats { return Stats{s.Reads - o.Reads, s.Writes - o.Writes} }
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{s.Reads - o.Reads, s.Writes - o.Writes, s.RoundTrips - o.RoundTrips}
+}
 
 // Disk is Bob's storage as the algorithms see it: a block store instrumented
 // with I/O counters, an optional trace recorder capturing the adversary's
@@ -25,11 +30,13 @@ func (s Stats) Sub(o Stats) Stats { return Stats{s.Reads - o.Reads, s.Writes - o
 // on geometry violations: in this simulator an out-of-range access is a bug
 // in the algorithm, not an environmental error.
 type Disk struct {
-	store BlockStore
-	b     int
-	stats Stats
-	rec   *trace.Recorder
-	top   int
+	store    BlockStore
+	b        int
+	stats    Stats
+	rec      *trace.Recorder
+	top      int
+	maxBatch int   // blocks per vectored store call; 0 = unlimited, 1 = scalar
+	addrs    []int // scratch for building vectored address lists
 }
 
 // NewDisk wraps a block store. The allocator starts at block 0.
@@ -39,6 +46,30 @@ func NewDisk(store BlockStore) *Disk {
 
 // B returns the block size in elements.
 func (d *Disk) B() int { return d.b }
+
+// SetMaxBatch caps how many blocks a single vectored store call may move:
+// 0 (the default) leaves batches bounded only by the caller's cache budget,
+// 1 degrades ReadMany/WriteMany to one round trip per block — the scalar
+// baseline. The per-block trace is identical for every setting; only the
+// round-trip grouping changes.
+func (d *Disk) SetMaxBatch(n int) {
+	if n < 0 {
+		panic("extmem: negative batch cap")
+	}
+	d.maxBatch = n
+}
+
+// MaxBatch returns the vectored-call cap (0 = unlimited).
+func (d *Disk) MaxBatch() int { return d.maxBatch }
+
+// chunk returns the number of blocks of a remaining request to put in the
+// next store call.
+func (d *Disk) chunk(remaining int) int {
+	if d.maxBatch > 0 && remaining > d.maxBatch {
+		return d.maxBatch
+	}
+	return remaining
+}
 
 // Stats returns the cumulative I/O counters.
 func (d *Disk) Stats() Stats { return d.stats }
@@ -52,22 +83,90 @@ func (d *Disk) SetRecorder(r *trace.Recorder) { d.rec = r }
 // Recorder returns the attached trace recorder, if any.
 func (d *Disk) Recorder() *trace.Recorder { return d.rec }
 
-// Read copies block addr into dst and logs the access.
+// Read copies block addr into dst and logs the access (one round trip).
 func (d *Disk) Read(addr int, dst []Element) {
 	if err := d.store.ReadBlock(addr, dst); err != nil {
 		panic(fmt.Sprintf("extmem: read: %v", err))
 	}
 	d.stats.Reads++
+	d.stats.RoundTrips++
 	d.rec.Record(trace.Read, int64(addr))
 }
 
-// Write copies src into block addr and logs the access.
+// Write copies src into block addr and logs the access (one round trip).
 func (d *Disk) Write(addr int, src []Element) {
 	if err := d.store.WriteBlock(addr, src); err != nil {
 		panic(fmt.Sprintf("extmem: write: %v", err))
 	}
 	d.stats.Writes++
+	d.stats.RoundTrips++
 	d.rec.Record(trace.Write, int64(addr))
+}
+
+// ReadMany copies blocks addrs[i] into dst[i*B:(i+1)*B], issuing vectored
+// store calls of at most MaxBatch blocks each. The recorded trace is the
+// identical per-block sequence the scalar loop would produce — batching
+// changes what the server must be told per interaction, never what it
+// learns — and Reads advances by len(addrs) while RoundTrips advances by
+// the number of store calls.
+func (d *Disk) ReadMany(addrs []int, dst []Element) {
+	if len(dst) != len(addrs)*d.b {
+		panic(fmt.Sprintf("extmem: vectored read buffer %d != %d blocks of %d", len(dst), len(addrs), d.b))
+	}
+	for lo := 0; lo < len(addrs); {
+		n := d.chunk(len(addrs) - lo)
+		if err := d.store.ReadBlocks(addrs[lo:lo+n], dst[lo*d.b:(lo+n)*d.b]); err != nil {
+			panic(fmt.Sprintf("extmem: vectored read: %v", err))
+		}
+		d.stats.Reads += int64(n)
+		d.stats.RoundTrips++
+		for _, a := range addrs[lo : lo+n] {
+			d.rec.Record(trace.Read, int64(a))
+		}
+		lo += n
+	}
+}
+
+// WriteMany copies src[i*B:(i+1)*B] into blocks addrs[i]; the vectored dual
+// of ReadMany with the same trace and accounting guarantees.
+func (d *Disk) WriteMany(addrs []int, src []Element) {
+	if len(src) != len(addrs)*d.b {
+		panic(fmt.Sprintf("extmem: vectored write buffer %d != %d blocks of %d", len(src), len(addrs), d.b))
+	}
+	for lo := 0; lo < len(addrs); {
+		n := d.chunk(len(addrs) - lo)
+		if err := d.store.WriteBlocks(addrs[lo:lo+n], src[lo*d.b:(lo+n)*d.b]); err != nil {
+			panic(fmt.Sprintf("extmem: vectored write: %v", err))
+		}
+		d.stats.Writes += int64(n)
+		d.stats.RoundTrips++
+		for _, a := range addrs[lo : lo+n] {
+			d.rec.Record(trace.Write, int64(a))
+		}
+		lo += n
+	}
+}
+
+// runAddrs fills the scratch address list with the run [base, base+n).
+func (d *Disk) runAddrs(base, n int) []int {
+	if cap(d.addrs) < n {
+		d.addrs = make([]int, n)
+	}
+	as := d.addrs[:n]
+	for i := range as {
+		as[i] = base + i
+	}
+	return as
+}
+
+// ReadRun reads the contiguous blocks [base, base+n) into dst.
+func (d *Disk) ReadRun(base, n int, dst []Element) {
+	d.ReadMany(d.runAddrs(base, n), dst)
+}
+
+// WriteRun writes dst into the contiguous blocks [base, base+n).
+func (d *Disk) WriteRun(base, n int, src []Element) {
+	d.WriteMany(d.runAddrs(base, n), src)
 }
 
 // Alloc reserves n fresh blocks and returns them as an Array. Allocation is
@@ -148,6 +247,51 @@ func (a Array) Write(i int, src []Element) {
 		panic(fmt.Sprintf("extmem: array write index %d out of range [0,%d)", i, a.n))
 	}
 	a.d.Write(a.base+i, src)
+}
+
+// ReadMany copies blocks is[i] of the array into dst[i*B:(i+1)*B] through
+// the disk's vectored path.
+func (a Array) ReadMany(is []int, dst []Element) {
+	a.d.ReadMany(a.absAddrs(is), dst)
+}
+
+// WriteMany copies src[i*B:(i+1)*B] into blocks is[i] of the array through
+// the disk's vectored path.
+func (a Array) WriteMany(is []int, src []Element) {
+	a.d.WriteMany(a.absAddrs(is), src)
+}
+
+// ReadRange reads the contiguous blocks [lo, hi) of the array into dst
+// (len(dst) == (hi-lo)*B).
+func (a Array) ReadRange(lo, hi int, dst []Element) {
+	if lo < 0 || hi < lo || hi > a.n {
+		panic(fmt.Sprintf("extmem: bad range read [%d,%d) of %d", lo, hi, a.n))
+	}
+	a.d.ReadRun(a.base+lo, hi-lo, dst)
+}
+
+// WriteRange writes src into the contiguous blocks [lo, hi) of the array.
+func (a Array) WriteRange(lo, hi int, src []Element) {
+	if lo < 0 || hi < lo || hi > a.n {
+		panic(fmt.Sprintf("extmem: bad range write [%d,%d) of %d", lo, hi, a.n))
+	}
+	a.d.WriteRun(a.base+lo, hi-lo, src)
+}
+
+// absAddrs maps array-relative block indices to absolute disk addresses in
+// the disk's scratch list.
+func (a Array) absAddrs(is []int) []int {
+	if cap(a.d.addrs) < len(is) {
+		a.d.addrs = make([]int, len(is))
+	}
+	as := a.d.addrs[:len(is)]
+	for i, idx := range is {
+		if idx < 0 || idx >= a.n {
+			panic(fmt.Sprintf("extmem: array access index %d out of range [0,%d)", idx, a.n))
+		}
+		as[i] = a.base + idx
+	}
+	return as
 }
 
 // Slice returns the subarray [lo, hi).

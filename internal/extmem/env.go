@@ -48,6 +48,37 @@ func NewEnvOn(store BlockStore, m int, seed uint64) *Env {
 // B returns the block size in elements.
 func (e *Env) B() int { return e.D.B() }
 
+// ScanBatch returns how many blocks a streaming scan may move per vectored
+// round trip: the free private cache split among `buffers` concurrent chunk
+// buffers, less one block of slack for loop state, and at least 1 (a
+// one-block buffer is exactly the scalar scan every algorithm already
+// afforded). Callers check the result's worth of cache out per buffer, so
+// HighWater never exceeds M beyond what the scalar path used.
+func (e *Env) ScanBatch(buffers int) int {
+	if buffers < 1 {
+		panic("extmem: ScanBatch needs at least one buffer")
+	}
+	free := e.M - e.Cache.Used()
+	k := free/(buffers*e.B()) - 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// ScanBatchN is ScanBatch clamped to the length of the region being
+// scanned, so short scans don't check out near-cache-sized buffers.
+func (e *Env) ScanBatchN(buffers, n int) int {
+	k := e.ScanBatch(buffers)
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // MBlocks returns m = M/B, the private cache size in blocks.
 func (e *Env) MBlocks() int { return e.M / e.B() }
 

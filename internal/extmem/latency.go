@@ -1,0 +1,110 @@
+package extmem
+
+import (
+	"fmt"
+	"time"
+)
+
+// LatencyStore wraps a BlockStore with a network cost model: Bob is remote,
+// and every store interaction — scalar or vectored — costs one round trip
+// plus a per-block transfer charge. It is the concrete reason the library
+// batches I/O: the paper's bounds count blocks, but in the outsourced
+// setting of §1 the wall-clock cost is dominated by interactions, and a
+// vectored call moves many blocks for a single RTT.
+//
+// The model can either merely account (the default: fast, deterministic,
+// good for experiments) or actually sleep, for end-to-end demonstrations
+// against a simulated WAN.
+type LatencyStore struct {
+	inner    BlockStore
+	rtt      time.Duration // charged once per interaction
+	perBlock time.Duration // charged per block moved
+	sleep    bool
+	trips    int64
+	blocks   int64
+	modeled  time.Duration
+}
+
+// LatencyOptions configures a LatencyStore.
+type LatencyOptions struct {
+	// RTT is the per-interaction round-trip delay (e.g. 20ms for a WAN).
+	RTT time.Duration
+	// PerBlock is the bandwidth component: extra delay per block moved.
+	PerBlock time.Duration
+	// Sleep makes every interaction really block for its modeled delay;
+	// when false the delay is only accumulated in ModeledTime.
+	Sleep bool
+}
+
+// NewLatencyStore wraps inner with the given cost model.
+func NewLatencyStore(inner BlockStore, opts LatencyOptions) *LatencyStore {
+	return &LatencyStore{inner: inner, rtt: opts.RTT, perBlock: opts.PerBlock, sleep: opts.Sleep}
+}
+
+// RoundTrips returns the number of store interactions so far.
+func (s *LatencyStore) RoundTrips() int64 { return s.trips }
+
+// BlocksMoved returns the total number of blocks transferred.
+func (s *LatencyStore) BlocksMoved() int64 { return s.blocks }
+
+// ModeledTime returns the accumulated network delay under the cost model
+// (whether or not Sleep is set).
+func (s *LatencyStore) ModeledTime() time.Duration { return s.modeled }
+
+// ResetNetStats zeroes the round-trip, block, and modeled-time counters.
+func (s *LatencyStore) ResetNetStats() {
+	s.trips, s.blocks, s.modeled = 0, 0, 0
+}
+
+func (s *LatencyStore) charge(nBlocks int) {
+	d := s.rtt + time.Duration(nBlocks)*s.perBlock
+	s.trips++
+	s.blocks += int64(nBlocks)
+	s.modeled += d
+	if s.sleep && d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// ReadBlock implements BlockStore: one round trip moving one block.
+func (s *LatencyStore) ReadBlock(addr int, dst []Element) error {
+	s.charge(1)
+	return s.inner.ReadBlock(addr, dst)
+}
+
+// WriteBlock implements BlockStore: one round trip moving one block.
+func (s *LatencyStore) WriteBlock(addr int, src []Element) error {
+	s.charge(1)
+	return s.inner.WriteBlock(addr, src)
+}
+
+// ReadBlocks implements BlockStore: one round trip moving len(addrs) blocks.
+func (s *LatencyStore) ReadBlocks(addrs []int, dst []Element) error {
+	s.charge(len(addrs))
+	return s.inner.ReadBlocks(addrs, dst)
+}
+
+// WriteBlocks implements BlockStore: one round trip moving len(addrs) blocks.
+func (s *LatencyStore) WriteBlocks(addrs []int, src []Element) error {
+	s.charge(len(addrs))
+	return s.inner.WriteBlocks(addrs, src)
+}
+
+// NumBlocks implements BlockStore.
+func (s *LatencyStore) NumBlocks() int { return s.inner.NumBlocks() }
+
+// BlockSize implements BlockStore.
+func (s *LatencyStore) BlockSize() int { return s.inner.BlockSize() }
+
+// Close implements BlockStore.
+func (s *LatencyStore) Close() error { return s.inner.Close() }
+
+// GrowTo implements Growable when the inner store does. Growth is a control
+// operation, not a data transfer; no network charge.
+func (s *LatencyStore) GrowTo(n int) error {
+	g, ok := s.inner.(Growable)
+	if !ok {
+		return fmt.Errorf("extmem: %T cannot grow", s.inner)
+	}
+	return g.GrowTo(n)
+}

@@ -5,17 +5,41 @@ import "fmt"
 // BlockStore is Bob's storage: a flat array of fixed-size blocks addressed
 // by index. Implementations must copy data on both reads and writes; callers
 // own their buffers.
+//
+// The vectored calls ReadBlocks/WriteBlocks move many blocks in one
+// interaction with the store — one network round trip when Bob is remote.
+// Implementations should detect contiguous address runs and serve them with
+// a single bulk transfer.
 type BlockStore interface {
 	// ReadBlock copies block addr into dst (len(dst) == BlockSize()).
 	ReadBlock(addr int, dst []Element) error
 	// WriteBlock copies src into block addr (len(src) == BlockSize()).
 	WriteBlock(addr int, src []Element) error
+	// ReadBlocks copies blocks addrs[i] into dst[i*B:(i+1)*B] for every i
+	// (len(dst) == len(addrs)*BlockSize()) in one interaction. Duplicate
+	// addresses are allowed.
+	ReadBlocks(addrs []int, dst []Element) error
+	// WriteBlocks copies src[i*B:(i+1)*B] into blocks addrs[i] for every i
+	// (len(src) == len(addrs)*BlockSize()) in one interaction. With
+	// duplicate addresses the later slice wins.
+	WriteBlocks(addrs []int, src []Element) error
 	// NumBlocks returns the store capacity in blocks.
 	NumBlocks() int
 	// BlockSize returns B, the number of elements per block.
 	BlockSize() int
 	// Close releases any resources held by the store.
 	Close() error
+}
+
+// contiguous reports whether addrs is a run of consecutive ascending
+// addresses, the case bulk transfers serve with a single copy.
+func contiguous(addrs []int) bool {
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] != addrs[i-1]+1 {
+			return false
+		}
+	}
+	return true
 }
 
 // MemStore is an in-memory BlockStore: the default substrate for tests and
@@ -48,6 +72,48 @@ func (s *MemStore) WriteBlock(addr int, src []Element) error {
 		return err
 	}
 	copy(s.data[addr*s.b:(addr+1)*s.b], src)
+	return nil
+}
+
+// ReadBlocks implements BlockStore; a contiguous run is a single copy.
+func (s *MemStore) ReadBlocks(addrs []int, dst []Element) error {
+	if err := s.checkVec(addrs, len(dst)); err != nil {
+		return err
+	}
+	if len(addrs) > 0 && contiguous(addrs) {
+		copy(dst, s.data[addrs[0]*s.b:(addrs[0]+len(addrs))*s.b])
+		return nil
+	}
+	for i, addr := range addrs {
+		copy(dst[i*s.b:(i+1)*s.b], s.data[addr*s.b:(addr+1)*s.b])
+	}
+	return nil
+}
+
+// WriteBlocks implements BlockStore; a contiguous run is a single copy.
+func (s *MemStore) WriteBlocks(addrs []int, src []Element) error {
+	if err := s.checkVec(addrs, len(src)); err != nil {
+		return err
+	}
+	if len(addrs) > 0 && contiguous(addrs) {
+		copy(s.data[addrs[0]*s.b:(addrs[0]+len(addrs))*s.b], src)
+		return nil
+	}
+	for i, addr := range addrs {
+		copy(s.data[addr*s.b:(addr+1)*s.b], src[i*s.b:(i+1)*s.b])
+	}
+	return nil
+}
+
+func (s *MemStore) checkVec(addrs []int, l int) error {
+	if l != len(addrs)*s.b {
+		return fmt.Errorf("extmem: buffer length %d != %d blocks of %d elements", l, len(addrs), s.b)
+	}
+	for _, addr := range addrs {
+		if addr < 0 || (addr+1)*s.b > len(s.data) {
+			return fmt.Errorf("extmem: block address %d out of range [0,%d)", addr, s.NumBlocks())
+		}
+	}
 	return nil
 }
 

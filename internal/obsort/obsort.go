@@ -87,16 +87,19 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 	work := a
 	if np != n {
 		work = env.D.Alloc(np)
-		buf := env.Cache.Buf(b)
-		for i := 0; i < n; i++ {
-			a.Read(i, buf)
-			work.Write(i, buf)
+		k := env.ScanBatchN(1, np)
+		buf := env.Cache.Buf(k * b)
+		for lo := 0; lo < n; lo += k {
+			hi := min(lo+k, n)
+			a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+			work.WriteRange(lo, hi, buf[:(hi-lo)*b])
 		}
 		for i := range buf {
 			buf[i] = extmem.Element{}
 		}
-		for i := n; i < np; i++ {
-			work.Write(i, buf)
+		for lo := n; lo < np; lo += k {
+			hi := min(lo+k, np)
+			work.WriteRange(lo, hi, buf[:(hi-lo)*b])
 		}
 		env.Cache.Free(buf)
 	}
@@ -113,14 +116,10 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 	win := env.Cache.Buf(c)
 	wblocks := c / b
 	loadWin := func(w int) {
-		for i := 0; i < wblocks; i++ {
-			work.Read(w*wblocks+i, win[i*b:(i+1)*b])
-		}
+		work.ReadRange(w*wblocks, (w+1)*wblocks, win)
 	}
 	storeWin := func(w int) {
-		for i := 0; i < wblocks; i++ {
-			work.Write(w*wblocks+i, win[i*b:(i+1)*b])
-		}
+		work.WriteRange(w*wblocks, (w+1)*wblocks, win)
 	}
 
 	// Stage A: all network stages with size <= c act within c-aligned
@@ -136,29 +135,48 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 		storeWin(w)
 	}
 
-	// Stages with size > c: strides >= c stream block pairs; the remaining
-	// strides < c finish within windows.
-	bufA := env.Cache.Buf(b)
-	bufB := env.Cache.Buf(b)
+	// Stages with size > c: strides >= c stream block pairs — pk pairs per
+	// vectored round trip (the pairs of one level are disjoint, so a batch
+	// reads 2·pk blocks, compare-exchanges privately, and writes them back);
+	// the remaining strides < c finish within windows.
+	pk := max(1, env.ScanBatch(1)/2)
+	pbuf := env.Cache.Buf(2 * pk * b)
+	pidx := make([]int, 2*pk)
 	for size := 2 * c; size <= ne; size <<= 1 {
 		for stride := size / 2; stride >= c; stride >>= 1 {
 			sb := stride / b
+			cnt := 0
+			flush := func() {
+				if cnt == 0 {
+					return
+				}
+				work.ReadMany(pidx[:2*cnt], pbuf[:2*cnt*b])
+				for p := 0; p < cnt; p++ {
+					bufA := pbuf[2*p*b : (2*p+1)*b]
+					bufB := pbuf[(2*p+1)*b : (2*p+2)*b]
+					for t := 0; t < b; t++ {
+						i := pidx[2*p]*b + t
+						asc := i&size == 0
+						if asc == less(bufB[t], bufA[t]) {
+							bufA[t], bufB[t] = bufB[t], bufA[t]
+						}
+					}
+				}
+				work.WriteMany(pidx[:2*cnt], pbuf[:2*cnt*b])
+				cnt = 0
+			}
 			for blk := 0; blk < np; blk++ {
 				if blk&sb != 0 {
 					continue
 				}
-				work.Read(blk, bufA)
-				work.Read(blk+sb, bufB)
-				for t := 0; t < b; t++ {
-					i := blk*b + t
-					asc := i&size == 0
-					if asc == less(bufB[t], bufA[t]) {
-						bufA[t], bufB[t] = bufB[t], bufA[t]
-					}
+				pidx[2*cnt] = blk
+				pidx[2*cnt+1] = blk + sb
+				cnt++
+				if cnt == pk {
+					flush()
 				}
-				work.Write(blk, bufA)
-				work.Write(blk+sb, bufB)
 			}
+			flush()
 		}
 		for w := 0; w < ne/c; w++ {
 			loadWin(w)
@@ -169,15 +187,16 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 			storeWin(w)
 		}
 	}
-	env.Cache.Free(bufB)
-	env.Cache.Free(bufA)
+	env.Cache.Free(pbuf)
 	env.Cache.Free(win)
 
 	if np != n {
-		buf := env.Cache.Buf(b)
-		for i := 0; i < n; i++ {
-			work.Read(i, buf)
-			a.Write(i, buf)
+		k := env.ScanBatchN(1, n)
+		buf := env.Cache.Buf(k * b)
+		for lo := 0; lo < n; lo += k {
+			hi := min(lo+k, n)
+			work.ReadRange(lo, hi, buf[:(hi-lo)*b])
+			a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 		}
 		env.Cache.Free(buf)
 	}

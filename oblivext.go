@@ -24,6 +24,7 @@ package oblivext
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"oblivext/internal/core"
 	"oblivext/internal/extmem"
@@ -56,6 +57,22 @@ type Config struct {
 	// StartBlocks is the initial store capacity in blocks (file stores are
 	// fixed at this size; memory stores grow). Default 1024.
 	StartBlocks int
+	// MaxBatchBlocks caps how many blocks a single vectored store call may
+	// move. 0 (the default) leaves batches bounded only by the cache
+	// budget — up to M/B−O(1) blocks per round trip; 1 forces the scalar
+	// one-block-per-round-trip baseline. The access trace Bob sees is
+	// identical for every setting; only the round-trip grouping changes.
+	MaxBatchBlocks int
+	// SimulatedRTT, when positive, models Bob as remote: every store
+	// interaction is charged this round-trip delay (plus
+	// SimulatedPerBlock per block moved). By default the delay is only
+	// accounted — read it back with ModeledNetworkTime; set SimulatedSleep
+	// to make calls really block.
+	SimulatedRTT time.Duration
+	// SimulatedPerBlock is the bandwidth component of the latency model.
+	SimulatedPerBlock time.Duration
+	// SimulatedSleep makes the latency model sleep for each modeled delay.
+	SimulatedSleep bool
 }
 
 // Client is Alice: a private cache plus a connection to the block store.
@@ -63,6 +80,7 @@ type Config struct {
 type Client struct {
 	env   *extmem.Env
 	store extmem.BlockStore
+	net   *extmem.LatencyStore // non-nil when SimulatedRTT is configured
 }
 
 // New creates a client.
@@ -81,6 +99,12 @@ func New(cfg Config) (*Client, error) {
 	}
 	if cfg.StartBlocks == 0 {
 		cfg.StartBlocks = 1024
+	}
+	if cfg.MaxBatchBlocks < 0 {
+		return nil, fmt.Errorf("oblivext: MaxBatchBlocks must be >= 0, got %d", cfg.MaxBatchBlocks)
+	}
+	if cfg.SimulatedRTT < 0 || cfg.SimulatedPerBlock < 0 {
+		return nil, errors.New("oblivext: simulated latencies must be non-negative")
 	}
 	var store extmem.BlockStore
 	if cfg.Path != "" {
@@ -103,18 +127,31 @@ func New(cfg Config) (*Client, error) {
 		}
 		store = extmem.NewMemStore(cfg.StartBlocks, cfg.BlockSize)
 	}
+	var net *extmem.LatencyStore
+	if cfg.SimulatedRTT > 0 || cfg.SimulatedPerBlock > 0 {
+		net = extmem.NewLatencyStore(store, extmem.LatencyOptions{
+			RTT: cfg.SimulatedRTT, PerBlock: cfg.SimulatedPerBlock, Sleep: cfg.SimulatedSleep,
+		})
+		store = net
+	}
 	env := extmem.NewEnvOn(store, cfg.CacheWords, cfg.Seed)
-	return &Client{env: env, store: store}, nil
+	env.D.SetMaxBatch(cfg.MaxBatchBlocks)
+	return &Client{env: env, store: store, net: net}, nil
 }
 
 // Close releases the backing store.
 func (c *Client) Close() error { return c.store.Close() }
 
 // IOStats counts block I/Os — the quantity all of the paper's bounds are
-// stated in.
+// stated in — and the round trips they were batched into, the quantity
+// that dominates wall-clock time when Bob is remote.
 type IOStats struct {
 	Reads  int64
 	Writes int64
+	// RoundTrips counts store interactions. With vectored I/O
+	// (MaxBatchBlocks != 1) one round trip moves many blocks, so
+	// RoundTrips can be far below Reads+Writes.
+	RoundTrips int64
 }
 
 // Total returns reads plus writes.
@@ -123,11 +160,26 @@ func (s IOStats) Total() int64 { return s.Reads + s.Writes }
 // Stats returns cumulative I/O counters.
 func (c *Client) Stats() IOStats {
 	st := c.env.D.Stats()
-	return IOStats{Reads: st.Reads, Writes: st.Writes}
+	return IOStats{Reads: st.Reads, Writes: st.Writes, RoundTrips: st.RoundTrips}
 }
 
-// ResetStats zeroes the I/O counters.
-func (c *Client) ResetStats() { c.env.D.ResetStats() }
+// ResetStats zeroes the I/O counters, including the latency model's
+// round-trip and modeled-time counters when one is configured.
+func (c *Client) ResetStats() {
+	c.env.D.ResetStats()
+	if c.net != nil {
+		c.net.ResetNetStats()
+	}
+}
+
+// ModeledNetworkTime returns the total network delay the latency model has
+// charged (zero when SimulatedRTT/SimulatedPerBlock are unset).
+func (c *Client) ModeledNetworkTime() time.Duration {
+	if c.net == nil {
+		return 0
+	}
+	return c.net.ModeledTime()
+}
 
 // EnableTrace starts recording the adversary's view (block addresses).
 // keep bounds how many operations are retained verbatim; the running hash
@@ -161,7 +213,8 @@ type Array struct {
 }
 
 // Store uploads records to the server, one element per record, padding the
-// final block. The upload is a sequential write scan.
+// final block. The upload is a sequential write scan moving up to
+// M/B−O(1) blocks per round trip.
 func (c *Client) Store(recs []Record) (*Array, error) {
 	b := c.env.B()
 	nBlocks := extmem.CeilDiv(len(recs), b)
@@ -169,10 +222,12 @@ func (c *Client) Store(recs []Record) (*Array, error) {
 		nBlocks = 1
 	}
 	arr := c.env.D.Alloc(nBlocks)
-	buf := c.env.Cache.Buf(b)
+	k := c.env.ScanBatchN(1, nBlocks)
+	buf := c.env.Cache.Buf(k * b)
 	idx := 0
-	for blk := 0; blk < nBlocks; blk++ {
-		for t := 0; t < b; t++ {
+	for lo := 0; lo < nBlocks; lo += k {
+		hi := min(lo+k, nBlocks)
+		for t := 0; t < (hi-lo)*b; t++ {
 			if idx < len(recs) {
 				buf[t] = extmem.Element{Key: recs[idx].Key, Val: recs[idx].Val,
 					Pos: uint64(idx), Flags: extmem.FlagOccupied}
@@ -181,7 +236,7 @@ func (c *Client) Store(recs []Record) (*Array, error) {
 				buf[t] = extmem.Element{}
 			}
 		}
-		arr.Write(blk, buf)
+		arr.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	c.env.Cache.Free(buf)
 	return &Array{c: c, arr: arr, n: int64(len(recs))}, nil
@@ -193,14 +248,17 @@ func (a *Array) Len() int64 { return a.n }
 // Blocks returns the array footprint in blocks.
 func (a *Array) Blocks() int { return a.arr.Len() }
 
-// Records downloads the occupied records in array order.
+// Records downloads the occupied records in array order, reading up to
+// M/B−O(1) blocks per round trip.
 func (a *Array) Records() ([]Record, error) {
 	b := a.c.env.B()
-	buf := a.c.env.Cache.Buf(b)
+	k := a.c.env.ScanBatchN(1, a.arr.Len())
+	buf := a.c.env.Cache.Buf(k * b)
 	out := make([]Record, 0, a.n)
-	for i := 0; i < a.arr.Len(); i++ {
-		a.arr.Read(i, buf)
-		for _, e := range buf {
+	for lo := 0; lo < a.arr.Len(); lo += k {
+		hi := min(lo+k, a.arr.Len())
+		a.arr.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for _, e := range buf[:(hi-lo)*b] {
 			if e.Occupied() {
 				out = append(out, Record{Key: e.Key, Val: e.Val})
 			}
@@ -256,18 +314,20 @@ func (a *Array) Quantiles(q int) ([]Record, error) {
 // number marked.
 func (a *Array) Mark(pred func(Record) bool) (int64, error) {
 	b := a.c.env.B()
-	buf := a.c.env.Cache.Buf(b)
+	k := a.c.env.ScanBatchN(1, a.arr.Len())
+	buf := a.c.env.Cache.Buf(k * b)
 	var marked int64
-	for i := 0; i < a.arr.Len(); i++ {
-		a.arr.Read(i, buf)
-		for t := range buf {
+	for lo := 0; lo < a.arr.Len(); lo += k {
+		hi := min(lo+k, a.arr.Len())
+		a.arr.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for t := range buf[:(hi-lo)*b] {
 			buf[t].Flags &^= extmem.FlagMarked
 			if buf[t].Occupied() && pred(Record{Key: buf[t].Key, Val: buf[t].Val}) {
 				buf[t].Flags |= extmem.FlagMarked
 				marked++
 			}
 		}
-		a.arr.Write(i, buf)
+		a.arr.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	a.c.env.Cache.Free(buf)
 	return marked, nil

@@ -1,0 +1,116 @@
+package oblivext
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScalarVectoredTraceInvariance is the refactor's safety contract at the
+// public API level: two clients with equal seed and geometry but different
+// data — one forced to scalar I/O (MaxBatchBlocks=1), one fully vectored —
+// must present byte-identical access traces to the server for Sort, Select,
+// and CompactTight. Batching changes round trips, never the adversary's
+// view.
+func TestScalarVectoredTraceInvariance(t *testing.T) {
+	const n = 2000
+	dataA := mkRecords(n, 3)
+	dataB := make([]Record, n)
+	for i := range dataB {
+		dataB[i] = Record{Key: 42, Val: uint64(i)} // constant keys: worst case for leakage
+	}
+
+	type op struct {
+		name string
+		run  func(t *testing.T, arr *Array)
+	}
+	ops := []op{
+		{"Sort", func(t *testing.T, arr *Array) {
+			if err := arr.Sort(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Select", func(t *testing.T, arr *Array) {
+			if _, err := arr.Select(n / 2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"CompactTight", func(t *testing.T, arr *Array) {
+			// The predicate (and so the marked count) differs per dataset;
+			// the capacity is public and fixed, so the trace must not move.
+			if _, err := arr.Mark(func(r Record) bool { return r.Key%5 == 3 }); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := arr.CompactTight(n); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+
+	for _, o := range ops {
+		run := func(maxBatch int, recs []Record) (TraceSummary, IOStats) {
+			c, err := New(Config{BlockSize: 8, CacheWords: 256, Seed: 77, MaxBatchBlocks: maxBatch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			c.EnableTrace(0)
+			arr, err := c.Store(recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.run(t, arr)
+			return c.TraceSummary(), c.Stats()
+		}
+		scalarTrace, scalarStats := run(1, dataA)
+		vecTrace, vecStats := run(0, dataB)
+		if scalarTrace != vecTrace {
+			t.Errorf("%s: scalar trace %+v != vectored trace %+v", o.name, scalarTrace, vecTrace)
+		}
+		if scalarStats.Reads != vecStats.Reads || scalarStats.Writes != vecStats.Writes {
+			t.Errorf("%s: block I/O differs between modes: %+v vs %+v", o.name, scalarStats, vecStats)
+		}
+		if scalarStats.RoundTrips != scalarStats.Total() {
+			t.Errorf("%s: scalar mode should make one round trip per block I/O (%d vs %d)",
+				o.name, scalarStats.RoundTrips, scalarStats.Total())
+		}
+		if vecStats.RoundTrips*2 > scalarStats.RoundTrips {
+			t.Errorf("%s: vectored mode made %d round trips, scalar %d — expected at least 2x reduction",
+				o.name, vecStats.RoundTrips, scalarStats.RoundTrips)
+		}
+	}
+}
+
+// TestSimulatedRemoteStore exercises the latency-modeled backend end to end:
+// a client over a simulated WAN accumulates modeled network time
+// proportional to round trips, and batching shrinks it.
+func TestSimulatedRemoteStore(t *testing.T) {
+	run := func(maxBatch int) (time.Duration, IOStats) {
+		c, err := New(Config{
+			BlockSize: 8, CacheWords: 256, Seed: 5,
+			MaxBatchBlocks: maxBatch, SimulatedRTT: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		arr, err := c.Store(mkRecords(1000, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := arr.Sort(); err != nil {
+			t.Fatal(err)
+		}
+		return c.ModeledNetworkTime(), c.Stats()
+	}
+	scalarTime, scalarStats := run(1)
+	vecTime, vecStats := run(0)
+	if scalarTime != time.Duration(scalarStats.RoundTrips)*10*time.Millisecond {
+		t.Fatalf("scalar modeled time %v inconsistent with %d round trips", scalarTime, scalarStats.RoundTrips)
+	}
+	if vecTime != time.Duration(vecStats.RoundTrips)*10*time.Millisecond {
+		t.Fatalf("vectored modeled time %v inconsistent with %d round trips", vecTime, vecStats.RoundTrips)
+	}
+	if vecTime*2 > scalarTime {
+		t.Fatalf("batching did not shrink modeled network time: %v vs %v", vecTime, scalarTime)
+	}
+}
