@@ -1,4 +1,4 @@
-// Command obench runs the reproduction experiments (E1–E13 and the
+// Command obench runs the reproduction experiments (E1–E15 and the
 // Figure 1 rendering from DESIGN.md's index) and prints their tables as
 // markdown — the data recorded in EXPERIMENTS.md.
 //

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	obsort -n 100000 -b 16 -m 4096 -file /tmp/store.dat -encrypt
+//	obsort -n 100000 -shards 4 -rtt 20ms -perblock 1ms -prefetch
 package main
 
 import (
@@ -28,9 +29,20 @@ func main() {
 	encrypt := flag.Bool("encrypt", false, "AES-CTR encrypt blocks (requires -file)")
 	seed := flag.Uint64("seed", 1, "random tape seed")
 	det := flag.Bool("deterministic", false, "use the deterministic (Lemma 2) sort instead")
+	shards := flag.Int("shards", 1, "stripe the store across this many backends, fanned out in parallel (with -file, shard i is backed by <file>.<i>)")
+	rtt := flag.Duration("rtt", 0, "model each backend as remote with this round-trip delay (e.g. 20ms)")
+	perblock := flag.Duration("perblock", 0, "bandwidth component of the latency model, per block moved")
+	prefetch := flag.Bool("prefetch", false, "double-buffer read scans: overlap the next batch's fetch with compute")
 	flag.Parse()
 
-	cfg := oblivext.Config{BlockSize: *b, CacheWords: *m, Seed: *seed, Path: *file}
+	cfg := oblivext.Config{BlockSize: *b, CacheWords: *m, Seed: *seed, Path: *file,
+		NumShards: *shards, SimulatedRTT: *rtt, SimulatedPerBlock: *perblock, Prefetch: *prefetch}
+	if *shards > 1 && *file != "" {
+		cfg.Path = ""
+		for i := 0; i < *shards; i++ {
+			cfg.ShardPaths = append(cfg.ShardPaths, fmt.Sprintf("%s.%d", *file, i))
+		}
+	}
 	if *encrypt {
 		key := make([]byte, 32)
 		if _, err := crand.Read(key); err != nil {
@@ -80,6 +92,22 @@ func main() {
 		st.Reads, st.Writes, st.Total(), float64(st.Total())/float64(arr.Blocks()))
 	fmt.Printf("round trips: %d (%.1f blocks per store interaction)\n",
 		st.RoundTrips, float64(st.Total())/float64(st.RoundTrips))
+	if client.NumShards() > 1 {
+		fmt.Printf("shards: %d —", client.NumShards())
+		for i, s := range client.ShardStats() {
+			fmt.Printf(" [%d] %d blocks", i, s.BlocksMoved)
+		}
+		fmt.Println()
+	}
+	if *rtt > 0 || *perblock > 0 {
+		if client.NumShards() > 1 {
+			fmt.Printf("modeled network time: %v critical path (%v if shards were contacted serially)\n",
+				client.ModeledNetworkTime().Round(time.Millisecond),
+				client.SerialModeledNetworkTime().Round(time.Millisecond))
+		} else {
+			fmt.Printf("modeled network time: %v\n", client.ModeledNetworkTime().Round(time.Millisecond))
+		}
+	}
 	fmt.Printf("adversary's view: %d accesses, trace hash %016x\n", ts.Len, ts.Hash)
 	fmt.Printf("peak private memory: %d records (budget %d)\n", client.CacheHighWater(), *m)
 }

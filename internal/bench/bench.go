@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one generator per experiment in
-// DESIGN.md's index (E1–E13 plus the Figure 1 rendering), each producing
+// DESIGN.md's index (E1–E15 plus the Figure 1 rendering), each producing
 // the markdown table recorded in EXPERIMENTS.md. cmd/obench runs them.
 package bench
 
@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"E12", "Thinning-pass survivor decay (Lemma 7)", E12},
 		{"E13", "Input-invariance of oblivious traces (E13)", E13},
 		{"E14", "Vectored block I/O: round trips scalar vs batched", E14},
+		{"E15", "Sharded multi-backend store: parallel fan-out speedup", E15},
 	}
 }
 

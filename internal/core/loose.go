@@ -134,7 +134,7 @@ func CompactBlocksLoose(env *extmem.Env, a extmem.Array, rCap int, p LooseParams
 	wbuf := env.Cache.Buf(env.ScanBatchN(2, tail.Len()) * b)
 	wr := extmem.NewSeqWriter(tail, 0, wbuf)
 	survivors := 0
-	scanRead(env, cur.Slice(0, s), func(i int, blk []extmem.Element) {
+	scanReadSync(env, cur.Slice(0, s), func(i int, blk []extmem.Element) {
 		if PredOccupied(blk) {
 			survivors++
 		}
@@ -265,7 +265,7 @@ func halveRegion(env *extmem.Env, region, dst extmem.Array) error {
 	wbuf := env.Cache.Buf(env.ScanBatchN(2, dst.Len()) * b)
 	wr := extmem.NewSeqWriter(dst, 0, wbuf)
 	surv := 0
-	scanRead(env, region, func(i int, blk []extmem.Element) {
+	scanReadSync(env, region, func(i int, blk []extmem.Element) {
 		if PredOccupied(blk) {
 			surv++
 		}

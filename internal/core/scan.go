@@ -8,8 +8,43 @@ import "oblivext/internal/extmem"
 // exactly the per-block view the scalar loops used, so converting a pass is
 // a mechanical rewrite that cannot change its element-level semantics.
 
-// scanRead streams a's blocks in order through fn (read-only).
+// scanRead streams a's blocks in order through fn (read-only). With
+// env.Prefetch set the scan is double-buffered: the cache window is split in
+// two halves and the next half's fetch runs concurrently with fn over the
+// current one. fn must stay pure compute (no disk I/O) — true of every
+// read-scan callback in this package — so the prefetch goroutine is the only
+// I/O issuer while the scan runs.
 func scanRead(env *extmem.Env, a extmem.Array, fn func(i int, blk []extmem.Element)) {
+	n := a.Len()
+	if n == 0 {
+		return
+	}
+	b := a.B()
+	if env.Prefetch {
+		// Each half holds at most ceil(n/2) blocks, so even a scan shorter
+		// than the cache window splits into two chunks and gets overlap.
+		k := env.ScanBatchN(2, extmem.CeilDiv(n, 2))
+		buf := env.Cache.Buf(2 * k * b)
+		r := extmem.NewSeqReader(a, 0, n, buf, true)
+		for {
+			i, blk, ok := r.Next()
+			if !ok {
+				break
+			}
+			fn(i, blk)
+		}
+		r.Close()
+		env.Cache.Free(buf)
+		return
+	}
+	scanReadSync(env, a, fn)
+}
+
+// scanReadSync is scanRead without the prefetch option: for read scans whose
+// callback itself issues I/O (e.g. feeding a SeqWriter that flushes
+// mid-scan), where a concurrent prefetch would interleave two I/O streams
+// and make the trace order scheduling-dependent.
+func scanReadSync(env *extmem.Env, a extmem.Array, fn func(i int, blk []extmem.Element)) {
 	n := a.Len()
 	if n == 0 {
 		return

@@ -30,20 +30,17 @@ func MergeSort(env *extmem.Env, a extmem.Array, less obsort.Less) {
 	mark := env.D.Mark()
 	defer env.D.Release(mark)
 
-	// Run formation.
+	// Run formation: each cache-sized run is one vectored read, an in-cache
+	// sort, and one vectored write.
 	chunk := env.Cache.Buf(runBlocks * b)
 	for start := 0; start < n; start += runBlocks {
 		cnt := runBlocks
 		if start+cnt > n {
 			cnt = n - start
 		}
-		for i := 0; i < cnt; i++ {
-			a.Read(start+i, chunk[i*b:(i+1)*b])
-		}
+		a.ReadRange(start, start+cnt, chunk[:cnt*b])
 		obsort.InCache(chunk[:cnt*b], less)
-		for i := 0; i < cnt; i++ {
-			a.Write(start+i, chunk[i*b:(i+1)*b])
-		}
+		a.WriteRange(start, start+cnt, chunk[:cnt*b])
 	}
 	env.Cache.Free(chunk)
 
@@ -56,10 +53,13 @@ func MergeSort(env *extmem.Env, a extmem.Array, less obsort.Less) {
 		runLen *= fan
 	}
 	if src.Base() != a.Base() {
-		buf := env.Cache.Buf(b)
-		for i := 0; i < n; i++ {
-			src.Read(i, buf)
-			a.Write(i, buf)
+		// Copy-back: a streaming vectored scan instead of block-at-a-time.
+		k := env.ScanBatchN(1, n)
+		buf := env.Cache.Buf(k * b)
+		for lo := 0; lo < n; lo += k {
+			hi := min(lo+k, n)
+			src.ReadRange(lo, hi, buf[:(hi-lo)*b])
+			a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 		}
 		env.Cache.Free(buf)
 	}
@@ -91,14 +91,17 @@ func mergePass(env *extmem.Env, src, dst extmem.Array, runLen, fan int, less obs
 			c := cursor{next: lo, end: hi}
 			curs = append(curs, c)
 		}
-		// Prime buffers.
+		// Prime buffers: the first block of every run in this group is known
+		// upfront, so fetch them all with one vectored gather. (The refills
+		// inside the merge loop stay scalar: which run empties next depends
+		// on the data, which is exactly the leak these baselines exhibit.)
+		prime := make([]int, len(curs))
 		for i := range curs {
-			if curs[i].next < curs[i].end {
-				src.Read(curs[i].next, bufs[i*b:(i+1)*b])
-				curs[i].next++
-				curs[i].lim = b
-			}
+			prime[i] = curs[i].next
+			curs[i].next++
+			curs[i].lim = b
 		}
+		src.ReadMany(prime, bufs[:len(curs)*b])
 		out := group
 		op := 0
 		total := 0
@@ -138,6 +141,62 @@ func mergePass(env *extmem.Env, src, dst extmem.Array, runLen, fan int, less obs
 // elements.
 var ErrNotFound = errors.New("emsort: selection rank out of range")
 
+// scanPrefix streams the blocks [0, blocks) of a through fn, batching reads
+// into vectored calls sized by the free cache budget.
+func scanPrefix(env *extmem.Env, a extmem.Array, blocks int, fn func(blk []extmem.Element)) {
+	if blocks == 0 {
+		return
+	}
+	b := a.B()
+	k := env.ScanBatchN(1, blocks)
+	buf := env.Cache.Buf(k * b)
+	for lo := 0; lo < blocks; lo += k {
+		hi := lo + k
+		if hi > blocks {
+			hi = blocks
+		}
+		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			fn(buf[(i-lo)*b : (i-lo+1)*b])
+		}
+	}
+	env.Cache.Free(buf)
+}
+
+// denseWriter streams occupied elements into dst as densely packed blocks
+// through a SeqWriter, padding the final partial block with empties.
+type denseWriter struct {
+	w    *extmem.SeqWriter
+	b    int
+	slot []extmem.Element
+	op   int
+}
+
+func newDenseWriter(dst extmem.Array, buf []extmem.Element) *denseWriter {
+	return &denseWriter{w: extmem.NewSeqWriter(dst, 0, buf), b: dst.B()}
+}
+
+func (d *denseWriter) put(e extmem.Element) {
+	if d.op == 0 {
+		d.slot = d.w.Next()
+	}
+	d.slot[d.op] = e
+	d.op++
+	if d.op == d.b {
+		d.op = 0
+	}
+}
+
+// finish pads the trailing partial block and flushes everything buffered.
+func (d *denseWriter) finish() {
+	if d.op > 0 {
+		for i := d.op; i < d.b; i++ {
+			d.slot[i] = extmem.Element{}
+		}
+	}
+	d.w.Flush()
+}
+
 // QuickSelect returns the k-th smallest occupied element (k is 1-based)
 // under (Key, Pos) order, using randomized pivoting. Its trace and I/O
 // count depend on the data — it is the non-oblivious baseline.
@@ -148,43 +207,27 @@ func QuickSelect(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, erro
 	defer env.D.Release(mark)
 
 	// Compact occupied elements into a dense scratch array (non-oblivious:
-	// writes only as many blocks as there are items).
+	// writes only as many blocks as there are items), reading and writing
+	// through the vectored streaming paths.
 	cur := env.D.Alloc(n)
-	buf := env.Cache.Buf(b)
-	out := env.Cache.Buf(b)
+	wbuf := env.Cache.Buf(env.ScanBatchN(2, n) * b)
+	dw := newDenseWriter(cur, wbuf)
 	cnt := int64(0)
-	op := 0
-	outBlk := 0
-	flush := func() {
-		for i := op; i < b; i++ {
-			out[i] = extmem.Element{}
-		}
-		cur.Write(outBlk, out)
-		outBlk++
-		op = 0
-	}
-	for i := 0; i < n; i++ {
-		a.Read(i, buf)
-		for _, e := range buf {
+	scanPrefix(env, a, n, func(blk []extmem.Element) {
+		for _, e := range blk {
 			if e.Occupied() {
-				out[op] = e
-				op++
+				dw.put(e)
 				cnt++
-				if op == b {
-					flush()
-				}
 			}
 		}
-	}
-	if op > 0 {
-		flush()
-	}
-	env.Cache.Free(out)
+	})
+	dw.finish()
+	env.Cache.Free(wbuf)
 
 	if k < 1 || k > cnt {
-		env.Cache.Free(buf)
 		return extmem.Element{}, ErrNotFound
 	}
+	buf := env.Cache.Buf(b)
 
 	next := env.D.Alloc(n)
 	rank := k
@@ -192,21 +235,21 @@ func QuickSelect(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, erro
 	for {
 		blocks := int(extmem.CeilDiv64(length, int64(b)))
 		if length <= int64(env.M-env.B()) {
-			all := env.Cache.Buf(int(length))
+			// The survivors fit in cache: one vectored read of the dense
+			// prefix, then select privately.
+			env.Cache.Free(buf)
+			all := env.Cache.Buf(blocks * b)
+			cur.ReadRange(0, blocks, all)
 			got := 0
-			for i := 0; i < blocks; i++ {
-				cur.Read(i, buf)
-				for _, e := range buf {
-					if e.Occupied() && got < int(length) {
-						all[got] = e
-						got++
-					}
+			for _, e := range all {
+				if e.Occupied() {
+					all[got] = e
+					got++
 				}
 			}
 			obsort.InCache(all[:got], obsort.ByKey)
 			e := all[rank-1]
 			env.Cache.Free(all)
-			env.Cache.Free(buf)
 			return e, nil
 		}
 		// Pick a pivot: first occupied element of a random block.
@@ -225,11 +268,10 @@ func QuickSelect(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, erro
 				break
 			}
 		}
-		// Partition pass: write the side of interest to next.
+		// Partition pass (vectored read scan): count the sides.
 		var below, equal int64
-		for i := 0; i < blocks; i++ {
-			cur.Read(i, buf)
-			for _, e := range buf {
+		scanPrefix(env, cur, blocks, func(blk []extmem.Element) {
+			for _, e := range blk {
 				if !e.Occupied() {
 					continue
 				}
@@ -240,7 +282,7 @@ func QuickSelect(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, erro
 					equal++
 				}
 			}
-		}
+		})
 		if rank <= below {
 			length = keepSide(env, cur, next, blocks, b, func(e extmem.Element) bool { return e.Less(pivot) })
 		} else if rank <= below+equal {
@@ -254,35 +296,22 @@ func QuickSelect(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, erro
 	}
 }
 
-// keepSide streams the elements satisfying pred from src into dst and
-// returns how many were kept.
+// keepSide streams the elements satisfying pred from src into dst (densely
+// packed, via the vectored scan and sequential-writer paths) and returns how
+// many were kept.
 func keepSide(env *extmem.Env, src, dst extmem.Array, blocks, b int, pred func(extmem.Element) bool) int64 {
-	in := env.Cache.Buf(b)
-	out := env.Cache.Buf(b)
+	wbuf := env.Cache.Buf(env.ScanBatchN(2, blocks) * b)
+	dw := newDenseWriter(dst, wbuf)
 	kept := int64(0)
-	op, outBlk := 0, 0
-	for i := 0; i < blocks; i++ {
-		src.Read(i, in)
-		for _, e := range in {
+	scanPrefix(env, src, blocks, func(blk []extmem.Element) {
+		for _, e := range blk {
 			if e.Occupied() && pred(e) {
-				out[op] = e
-				op++
+				dw.put(e)
 				kept++
-				if op == b {
-					dst.Write(outBlk, out)
-					outBlk++
-					op = 0
-				}
 			}
 		}
-	}
-	if op > 0 {
-		for i := op; i < b; i++ {
-			out[i] = extmem.Element{}
-		}
-		dst.Write(outBlk, out)
-	}
-	env.Cache.Free(out)
-	env.Cache.Free(in)
+	})
+	dw.finish()
+	env.Cache.Free(wbuf)
 	return kept
 }

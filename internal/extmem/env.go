@@ -15,6 +15,12 @@ type Env struct {
 	Cache *Cache
 	Tape  *rng.Tape
 	M     int
+	// Prefetch makes read-only pass-structured scans use the double-buffered
+	// SeqReader: the next chunk's fetch overlaps the current chunk's in-cache
+	// compute. The per-block access sequence is unchanged (the chunks are
+	// half the cache window instead of the whole, so round-trip counts
+	// differ, but the trace Bob sees block by block is identical).
+	Prefetch bool
 }
 
 // NewEnv builds an environment over an in-memory store.

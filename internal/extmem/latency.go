@@ -2,8 +2,21 @@ package extmem
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
+
+// NetModel is the read side of a network cost model: cumulative round
+// trips, blocks moved, and modeled delay. LatencyStore implements it for a
+// single remote Bob; shard.ShardedStore implements it for many, where
+// ModeledTime is the max-over-shards critical path of each fan-out rather
+// than the sum of per-shard delays.
+type NetModel interface {
+	RoundTrips() int64
+	BlocksMoved() int64
+	ModeledTime() time.Duration
+	ResetNetStats()
+}
 
 // LatencyStore wraps a BlockStore with a network cost model: Bob is remote,
 // and every store interaction — scalar or vectored — costs one round trip
@@ -15,14 +28,25 @@ import (
 // The model can either merely account (the default: fast, deterministic,
 // good for experiments) or actually sleep, for end-to-end demonstrations
 // against a simulated WAN.
+//
+// Memory model: the counters are guarded by an internal mutex, so a
+// LatencyStore may be charged from multiple goroutines — the sharded
+// fan-out dispatches per-shard sub-batches concurrently, and the prefetching
+// SeqReader issues reads from a background goroutine. Counter reads
+// (RoundTrips/BlocksMoved/ModeledTime) taken while another goroutine is
+// mid-call see a consistent snapshot, but attributing a delta to one call
+// requires the caller to establish its own happens-before edge (the fan-out
+// joins its goroutines before reading per-shard deltas).
 type LatencyStore struct {
 	inner    BlockStore
 	rtt      time.Duration // charged once per interaction
 	perBlock time.Duration // charged per block moved
 	sleep    bool
-	trips    int64
-	blocks   int64
-	modeled  time.Duration
+
+	mu      sync.Mutex
+	trips   int64
+	blocks  int64
+	modeled time.Duration
 }
 
 // LatencyOptions configures a LatencyStore.
@@ -42,25 +66,41 @@ func NewLatencyStore(inner BlockStore, opts LatencyOptions) *LatencyStore {
 }
 
 // RoundTrips returns the number of store interactions so far.
-func (s *LatencyStore) RoundTrips() int64 { return s.trips }
+func (s *LatencyStore) RoundTrips() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trips
+}
 
 // BlocksMoved returns the total number of blocks transferred.
-func (s *LatencyStore) BlocksMoved() int64 { return s.blocks }
+func (s *LatencyStore) BlocksMoved() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blocks
+}
 
 // ModeledTime returns the accumulated network delay under the cost model
 // (whether or not Sleep is set).
-func (s *LatencyStore) ModeledTime() time.Duration { return s.modeled }
+func (s *LatencyStore) ModeledTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.modeled
+}
 
 // ResetNetStats zeroes the round-trip, block, and modeled-time counters.
 func (s *LatencyStore) ResetNetStats() {
+	s.mu.Lock()
 	s.trips, s.blocks, s.modeled = 0, 0, 0
+	s.mu.Unlock()
 }
 
 func (s *LatencyStore) charge(nBlocks int) {
 	d := s.rtt + time.Duration(nBlocks)*s.perBlock
+	s.mu.Lock()
 	s.trips++
 	s.blocks += int64(nBlocks)
 	s.modeled += d
+	s.mu.Unlock()
 	if s.sleep && d > 0 {
 		time.Sleep(d)
 	}

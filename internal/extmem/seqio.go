@@ -2,6 +2,144 @@ package extmem
 
 import "fmt"
 
+// SeqReader streams the blocks [lo, hi) of an Array in order through a
+// double-buffered cache window: while the caller consumes the blocks of one
+// half, the other half's chunk is already in flight on a background
+// goroutine, so a remote Bob's round trip overlaps Alice's in-cache compute
+// instead of serializing with it.
+//
+// The access pattern is untouched — the same sequential block reads, in the
+// same order, grouped into the same vectored calls a synchronous
+// half-buffer scan would make; only the issue time moves earlier. At most
+// one prefetch is ever outstanding, and the reader must be the only source
+// of disk I/O between Next calls (true of the read-only scans it serves:
+// their callbacks are pure compute). Call Close before freeing the buffer —
+// it joins any in-flight fetch.
+//
+// The buffer must be checked out of the Cache by the caller and hold an
+// even number of blocks (the two halves); with async=false the reader
+// degrades to a synchronous half-buffer scan, which is the apples-to-apples
+// baseline for measuring overlap.
+type SeqReader struct {
+	a    Array
+	b    int
+	k    int // blocks per half
+	hi   int
+	next int // array index the caller will see on the next Next
+
+	cur     []Element // half currently being consumed
+	curLo   int       // array index of cur[0]
+	curFill int       // blocks loaded in cur
+
+	async   bool
+	pending bool // a prefetch is in flight into the other half
+	pendLo  int
+	pendN   int
+	other   []Element
+	done    chan any // carries the prefetch goroutine's recover()
+}
+
+// NewSeqReader returns a reader over the blocks [lo, hi) of a. The first
+// chunk is fetched synchronously and the second is immediately prefetched;
+// every later chunk is requested as soon as its half frees up.
+func NewSeqReader(a Array, lo, hi int, buf []Element, async bool) *SeqReader {
+	b := a.B()
+	if lo < 0 || hi < lo || hi > a.Len() {
+		panic(fmt.Sprintf("extmem: SeqReader range [%d,%d) of %d", lo, hi, a.Len()))
+	}
+	if len(buf) == 0 || len(buf)%(2*b) != 0 {
+		panic(fmt.Sprintf("extmem: SeqReader buffer %d not a positive multiple of two %d-element blocks", len(buf), b))
+	}
+	k := len(buf) / (2 * b)
+	r := &SeqReader{a: a, b: b, k: k, hi: hi, next: lo, async: async, done: make(chan any, 1)}
+	r.cur, r.other = buf[:k*b], buf[k*b:]
+	r.curLo = lo
+	r.curFill = r.clamp(lo)
+	if r.curFill > 0 {
+		a.ReadRange(lo, lo+r.curFill, r.cur[:r.curFill*b])
+		r.prefetch(lo + r.curFill)
+	}
+	return r
+}
+
+// clamp returns how many blocks of a chunk starting at lo exist.
+func (r *SeqReader) clamp(lo int) int {
+	n := r.hi - lo
+	if n > r.k {
+		n = r.k
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// prefetch starts fetching the chunk at lo into the idle half. In sync mode
+// the fetch is deferred until the half is actually needed.
+func (r *SeqReader) prefetch(lo int) {
+	n := r.clamp(lo)
+	if n == 0 {
+		return
+	}
+	r.pendLo, r.pendN, r.pending = lo, n, true
+	if !r.async {
+		return
+	}
+	dst := r.other[:n*r.b]
+	go func() {
+		defer func() { r.done <- recover() }()
+		r.a.ReadRange(lo, lo+n, dst)
+	}()
+}
+
+// swap makes the pending half current, joining its fetch (or performing it,
+// in sync mode), and starts prefetching the chunk after it.
+func (r *SeqReader) swap() {
+	if r.async {
+		if p := <-r.done; p != nil {
+			panic(p)
+		}
+	} else {
+		r.a.ReadRange(r.pendLo, r.pendLo+r.pendN, r.other[:r.pendN*r.b])
+	}
+	r.cur, r.other = r.other, r.cur
+	r.curLo, r.curFill = r.pendLo, r.pendN
+	r.pending = false
+	r.prefetch(r.curLo + r.curFill)
+}
+
+// Next returns the index and contents of the next block, or ok=false when
+// the range is exhausted. The returned slice is valid until the next Next or
+// Close call.
+func (r *SeqReader) Next() (i int, blk []Element, ok bool) {
+	if r.next >= r.hi {
+		return 0, nil, false
+	}
+	if r.next >= r.curLo+r.curFill {
+		if !r.pending {
+			return 0, nil, false
+		}
+		r.swap()
+	}
+	off := r.next - r.curLo
+	i = r.next
+	r.next++
+	return i, r.cur[off*r.b : (off+1)*r.b], true
+}
+
+// Close joins any in-flight prefetch so the caller may free the buffer. It
+// re-raises a panic the prefetch goroutine hit, and is idempotent.
+func (r *SeqReader) Close() {
+	if r.async && r.pending {
+		p := <-r.done
+		r.pending = false
+		if p != nil {
+			panic(p)
+		}
+	}
+	r.pending = false
+}
+
 // SeqWriter streams sequentially produced blocks to an Array through a
 // caller-provided cache buffer, flushing full buffers as vectored writes.
 // It exists for producer loops whose output positions advance one block at

@@ -1,0 +1,343 @@
+// Package shard stripes one logical BlockStore across many child backends —
+// the "many Bobs" deployment of the paper's outsourced-data model. A
+// ShardedStore assigns logical block a to shard a mod K (round-robin, so the
+// sequential runs every pass-structured algorithm emits spread evenly) and
+// splits every vectored call into per-shard sub-batches dispatched
+// concurrently, one goroutine per participating shard. Wall-clock cost per
+// interaction is then the slowest shard's round trip, not the sum: the
+// critical-path accounting in Stats reflects exactly that.
+//
+// Sharding happens entirely below the Disk layer, so it only partitions the
+// per-block access sequence the algorithms emit; each shard observes the
+// subsequence of the logical trace whose addresses are ≡ its index mod K,
+// re-numbered to local addresses. Obliviousness is unchanged — K servers
+// each see a data-independent projection of an already data-independent
+// trace (shard_test pins this, and the bucket-oblivious-sort line of work
+// makes the same observation for pass-structured access patterns).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"oblivext/internal/extmem"
+)
+
+// Stats is one shard's cumulative view of the traffic it served: how many
+// sub-batches it was handed (each one store interaction), how many blocks
+// they moved, and — when the child models latency — the delay it charged.
+type Stats struct {
+	RoundTrips  int64
+	BlocksMoved int64
+	ModeledTime time.Duration
+}
+
+// ShardedStore implements extmem.BlockStore over K child stores. Like every
+// BlockStore it is driven by a single caller (the Disk); the concurrency is
+// internal, between the per-shard goroutines of one fan-out, and each child
+// is touched by at most one goroutine at a time. Children may be any mix of
+// MemStore, FileStore, and LatencyStore.
+type ShardedStore struct {
+	shards []extmem.BlockStore
+	k      int
+	b      int
+
+	stats    []Stats       // per shard; written only between fan-out joins
+	trips    int64         // fan-out interactions (logical round trips)
+	blocks   int64         // total blocks moved
+	critical time.Duration // sum over interactions of max-over-shards delay
+	serial   time.Duration // sum over interactions of summed delays
+
+	// Per-call scratch, reused across fan-outs (single caller).
+	subAddrs [][]int            // per-shard local addresses
+	subPos   [][]int            // per-shard positions in the logical batch
+	subBuf   [][]extmem.Element // per-shard transfer staging
+	deltas   []time.Duration    // per-shard modeled delay of this fan-out
+	errs     []error            // per-shard error of this fan-out
+}
+
+// New builds a sharded store over the given children, which must all share
+// one block size. One child is allowed (K=1 degenerates to a pass-through
+// with fan-out accounting), zero is not.
+func New(shards []extmem.BlockStore) (*ShardedStore, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("shard: need at least one child store")
+	}
+	b := shards[0].BlockSize()
+	for i, s := range shards {
+		if s.BlockSize() != b {
+			return nil, fmt.Errorf("shard: child %d block size %d != %d", i, s.BlockSize(), b)
+		}
+	}
+	k := len(shards)
+	return &ShardedStore{
+		shards:   shards,
+		k:        k,
+		b:        b,
+		stats:    make([]Stats, k),
+		subAddrs: make([][]int, k),
+		subPos:   make([][]int, k),
+		subBuf:   make([][]extmem.Element, k),
+		deltas:   make([]time.Duration, k),
+		errs:     make([]error, k),
+	}, nil
+}
+
+// NumShards returns K.
+func (s *ShardedStore) NumShards() int { return s.k }
+
+// shardOf maps a logical address to its owning shard and local address.
+func (s *ShardedStore) shardOf(addr int) (shard, local int) { return addr % s.k, addr / s.k }
+
+// ReadBlock implements BlockStore: a scalar access touches exactly one
+// shard, so it is routed directly with no fan-out.
+func (s *ShardedStore) ReadBlock(addr int, dst []extmem.Element) error {
+	sh, local := s.shardOf(addr)
+	t0 := modeledTime(s.shards[sh])
+	err := s.shards[sh].ReadBlock(local, dst)
+	s.account(sh, 1, modeledTime(s.shards[sh])-t0)
+	return err
+}
+
+// WriteBlock implements BlockStore: the scalar dual of ReadBlock.
+func (s *ShardedStore) WriteBlock(addr int, src []extmem.Element) error {
+	sh, local := s.shardOf(addr)
+	t0 := modeledTime(s.shards[sh])
+	err := s.shards[sh].WriteBlock(local, src)
+	s.account(sh, 1, modeledTime(s.shards[sh])-t0)
+	return err
+}
+
+// ReadBlocks implements BlockStore: the batch is split by residue class into
+// per-shard sub-batches fetched concurrently, then scattered back into dst
+// in logical order.
+func (s *ShardedStore) ReadBlocks(addrs []int, dst []extmem.Element) error {
+	if len(dst) != len(addrs)*s.b {
+		return fmt.Errorf("shard: buffer length %d != %d blocks of %d elements", len(dst), len(addrs), s.b)
+	}
+	s.split(addrs)
+	return s.fanOut(len(addrs), func(sh int) error {
+		if len(s.subAddrs[sh]) == len(addrs) {
+			// The whole batch lives on one shard (split preserves order, so
+			// positions are 0..n-1): serve it into dst with no staging copy.
+			return s.shards[sh].ReadBlocks(s.subAddrs[sh], dst)
+		}
+		buf := s.staging(sh)
+		if err := s.shards[sh].ReadBlocks(s.subAddrs[sh], buf); err != nil {
+			return err
+		}
+		for j, pos := range s.subPos[sh] {
+			copy(dst[pos*s.b:(pos+1)*s.b], buf[j*s.b:(j+1)*s.b])
+		}
+		return nil
+	})
+}
+
+// WriteBlocks implements BlockStore: per-shard sub-batches are gathered from
+// src and dispatched concurrently.
+func (s *ShardedStore) WriteBlocks(addrs []int, src []extmem.Element) error {
+	if len(src) != len(addrs)*s.b {
+		return fmt.Errorf("shard: buffer length %d != %d blocks of %d elements", len(src), len(addrs), s.b)
+	}
+	s.split(addrs)
+	return s.fanOut(len(addrs), func(sh int) error {
+		if len(s.subAddrs[sh]) == len(addrs) {
+			return s.shards[sh].WriteBlocks(s.subAddrs[sh], src)
+		}
+		buf := s.staging(sh)
+		for j, pos := range s.subPos[sh] {
+			copy(buf[j*s.b:(j+1)*s.b], src[pos*s.b:(pos+1)*s.b])
+		}
+		return s.shards[sh].WriteBlocks(s.subAddrs[sh], buf)
+	})
+}
+
+// split partitions the logical batch into per-shard (local address,
+// batch position) lists in the reused scratch.
+func (s *ShardedStore) split(addrs []int) {
+	for sh := 0; sh < s.k; sh++ {
+		s.subAddrs[sh] = s.subAddrs[sh][:0]
+		s.subPos[sh] = s.subPos[sh][:0]
+	}
+	for pos, addr := range addrs {
+		sh, local := s.shardOf(addr)
+		s.subAddrs[sh] = append(s.subAddrs[sh], local)
+		s.subPos[sh] = append(s.subPos[sh], pos)
+	}
+}
+
+// staging returns shard sh's transfer buffer sized for its current
+// sub-batch, growing the reusable scratch on demand.
+func (s *ShardedStore) staging(sh int) []extmem.Element {
+	need := len(s.subAddrs[sh]) * s.b
+	if cap(s.subBuf[sh]) < need {
+		s.subBuf[sh] = make([]extmem.Element, need)
+	}
+	return s.subBuf[sh][:need]
+}
+
+// fanOut runs work(sh) concurrently for every shard with a non-empty
+// sub-batch, joins, and folds the per-shard deltas into the aggregate
+// accounting: total blocks, per-shard stats, and the critical-path /
+// serial modeled times for this one logical interaction.
+func (s *ShardedStore) fanOut(totalBlocks int, work func(sh int) error) error {
+	only := -1 // the single participating shard, or -1 if several
+	parts := 0
+	for sh := 0; sh < s.k; sh++ {
+		s.deltas[sh], s.errs[sh] = 0, nil
+		if len(s.subAddrs[sh]) > 0 {
+			only = sh
+			parts++
+		}
+	}
+	run := func(sh int) {
+		t0 := modeledTime(s.shards[sh])
+		s.errs[sh] = work(sh)
+		s.deltas[sh] = modeledTime(s.shards[sh]) - t0
+	}
+	if parts == 1 {
+		// One shard, nothing to overlap: skip the goroutine machinery.
+		run(only)
+	} else if parts > 1 {
+		var wg sync.WaitGroup
+		for sh := 0; sh < s.k; sh++ {
+			if len(s.subAddrs[sh]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(sh int) {
+				defer wg.Done()
+				run(sh)
+			}(sh)
+		}
+		wg.Wait()
+	}
+	s.trips++
+	s.blocks += int64(totalBlocks)
+	var worst time.Duration
+	var err error
+	for sh := 0; sh < s.k; sh++ {
+		if len(s.subAddrs[sh]) == 0 {
+			continue
+		}
+		s.stats[sh].RoundTrips++
+		s.stats[sh].BlocksMoved += int64(len(s.subAddrs[sh]))
+		s.stats[sh].ModeledTime += s.deltas[sh]
+		s.serial += s.deltas[sh]
+		if s.deltas[sh] > worst {
+			worst = s.deltas[sh]
+		}
+		if err == nil && s.errs[sh] != nil {
+			err = fmt.Errorf("shard %d: %w", sh, s.errs[sh])
+		}
+	}
+	s.critical += worst
+	return err
+}
+
+// account folds one scalar (single-shard) interaction into the aggregates.
+func (s *ShardedStore) account(sh, blocks int, delta time.Duration) {
+	s.trips++
+	s.blocks += int64(blocks)
+	s.stats[sh].RoundTrips++
+	s.stats[sh].BlocksMoved += int64(blocks)
+	s.stats[sh].ModeledTime += delta
+	s.critical += delta
+	s.serial += delta
+}
+
+// modeledTime reads a child's cumulative modeled delay when it has a cost
+// model attached, and 0 otherwise.
+func modeledTime(st extmem.BlockStore) time.Duration {
+	if m, ok := st.(extmem.NetModel); ok {
+		return m.ModeledTime()
+	}
+	return 0
+}
+
+// NumBlocks implements BlockStore: the length of the contiguous logical
+// prefix every shard can serve. Shard sh with capacity c serves logical
+// addresses {a : a ≡ sh (mod K), a/K < c}, whose first miss is c·K+sh.
+func (s *ShardedStore) NumBlocks() int {
+	n := s.shards[0].NumBlocks() * s.k
+	for sh := 1; sh < s.k; sh++ {
+		if lim := s.shards[sh].NumBlocks()*s.k + sh; lim < n {
+			n = lim
+		}
+	}
+	return n
+}
+
+// BlockSize implements BlockStore.
+func (s *ShardedStore) BlockSize() int { return s.b }
+
+// Close implements BlockStore, closing every child and returning the first
+// error.
+func (s *ShardedStore) Close() error {
+	var err error
+	for _, sh := range s.shards {
+		if e := sh.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// GrowTo implements extmem.Growable by growing every child to ceil(n/K)
+// blocks; all children must be growable.
+func (s *ShardedStore) GrowTo(n int) error {
+	per := extmem.CeilDiv(n, s.k)
+	for sh, st := range s.shards {
+		g, ok := st.(extmem.Growable)
+		if !ok {
+			return fmt.Errorf("shard: child %d (%T) cannot grow", sh, st)
+		}
+		if err := g.GrowTo(per); err != nil {
+			return fmt.Errorf("shard %d: %w", sh, err)
+		}
+	}
+	return nil
+}
+
+// RoundTrips implements extmem.NetModel: the number of logical interactions
+// (each one parallel fan-out, however many shards it touched).
+func (s *ShardedStore) RoundTrips() int64 { return s.trips }
+
+// BlocksMoved implements extmem.NetModel: total blocks across all shards.
+func (s *ShardedStore) BlocksMoved() int64 { return s.blocks }
+
+// ModeledTime implements extmem.NetModel: the critical path — for every
+// interaction the slowest shard's delay, summed over interactions. This is
+// the wall-clock a client waiting on all K parallel responses experiences.
+func (s *ShardedStore) ModeledTime() time.Duration { return s.critical }
+
+// SerialModeledTime returns what the same traffic would have cost had the
+// per-shard sub-batches been issued one after another: the sum of every
+// shard's delay, still paying one RTT per participating shard. (It is not
+// the K=1 cost, which pays a single RTT per interaction; compare against a
+// K=1 run for that.) ModeledTime/SerialModeledTime isolates the win from
+// the fan-out being parallel rather than sequential.
+func (s *ShardedStore) SerialModeledTime() time.Duration { return s.serial }
+
+// ShardStats returns a copy of the per-shard counters.
+func (s *ShardedStore) ShardStats() []Stats {
+	out := make([]Stats, s.k)
+	copy(out, s.stats)
+	return out
+}
+
+// ResetNetStats implements extmem.NetModel: zeroes the aggregate and
+// per-shard counters, and the children's own models where present.
+func (s *ShardedStore) ResetNetStats() {
+	s.trips, s.blocks, s.critical, s.serial = 0, 0, 0, 0
+	for sh := range s.stats {
+		s.stats[sh] = Stats{}
+	}
+	for _, st := range s.shards {
+		if m, ok := st.(extmem.NetModel); ok {
+			m.ResetNetStats()
+		}
+	}
+}

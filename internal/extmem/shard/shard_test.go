@@ -1,0 +1,330 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"oblivext/internal/core"
+	"oblivext/internal/extmem"
+	"oblivext/internal/trace"
+	"oblivext/internal/workload"
+)
+
+// mkSharded builds a ShardedStore of k MemStore children able to hold
+// nBlocks logical blocks of b elements.
+func mkSharded(t *testing.T, k, nBlocks, b int) *ShardedStore {
+	t.Helper()
+	children := make([]extmem.BlockStore, k)
+	for i := range children {
+		children[i] = extmem.NewMemStore(extmem.CeilDiv(nBlocks, k), b)
+	}
+	s, err := New(children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestShardedMatchesFlat drives identical random scalar and vectored
+// traffic through a ShardedStore and a flat MemStore and asserts every read
+// observes the same bytes, for shard counts that do and do not divide the
+// store size.
+func TestShardedMatchesFlat(t *testing.T) {
+	const nBlocks, b = 53, 4
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			sharded := mkSharded(t, k, nBlocks, b)
+			flat := extmem.NewMemStore(nBlocks, b)
+			r := rand.New(rand.NewPCG(uint64(k), 7))
+			blk := make([]extmem.Element, b)
+			got := make([]extmem.Element, b)
+			want := make([]extmem.Element, b)
+			for step := 0; step < 300; step++ {
+				switch r.IntN(4) {
+				case 0: // scalar write
+					addr := r.IntN(nBlocks)
+					for t := range blk {
+						blk[t] = extmem.Element{Key: r.Uint64(), Val: uint64(step)}
+					}
+					if err := sharded.WriteBlock(addr, blk); err != nil {
+						t.Fatal(err)
+					}
+					if err := flat.WriteBlock(addr, blk); err != nil {
+						t.Fatal(err)
+					}
+				case 1: // scalar read
+					addr := r.IntN(nBlocks)
+					if err := sharded.ReadBlock(addr, got); err != nil {
+						t.Fatal(err)
+					}
+					if err := flat.ReadBlock(addr, want); err != nil {
+						t.Fatal(err)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("step %d: block %d element %d: %+v != %+v", step, addr, i, got[i], want[i])
+						}
+					}
+				case 2: // vectored write (duplicates allowed: later wins)
+					cnt := 1 + r.IntN(12)
+					addrs := make([]int, cnt)
+					src := make([]extmem.Element, cnt*b)
+					for i := range addrs {
+						addrs[i] = r.IntN(nBlocks)
+						for t := 0; t < b; t++ {
+							src[i*b+t] = extmem.Element{Key: r.Uint64(), Val: uint64(step*100 + i)}
+						}
+					}
+					if err := sharded.WriteBlocks(addrs, src); err != nil {
+						t.Fatal(err)
+					}
+					if err := flat.WriteBlocks(addrs, src); err != nil {
+						t.Fatal(err)
+					}
+				case 3: // vectored read (duplicates allowed)
+					cnt := 1 + r.IntN(12)
+					addrs := make([]int, cnt)
+					for i := range addrs {
+						addrs[i] = r.IntN(nBlocks)
+					}
+					g := make([]extmem.Element, cnt*b)
+					w := make([]extmem.Element, cnt*b)
+					if err := sharded.ReadBlocks(addrs, g); err != nil {
+						t.Fatal(err)
+					}
+					if err := flat.ReadBlocks(addrs, w); err != nil {
+						t.Fatal(err)
+					}
+					for i := range g {
+						if g[i] != w[i] {
+							t.Fatalf("step %d: vectored read %v element %d differs", step, addrs, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestShardedGeometry(t *testing.T) {
+	// Children of unequal capacity: the logical capacity is the contiguous
+	// prefix every shard can serve.
+	a := extmem.NewMemStore(4, 2)
+	b := extmem.NewMemStore(3, 2)
+	s, err := New([]extmem.BlockStore{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1 (addresses 1,3,5,...) runs out first: first miss is 3*2+1=7.
+	if got := s.NumBlocks(); got != 7 {
+		t.Fatalf("NumBlocks = %d, want 7", got)
+	}
+	if err := s.GrowTo(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumBlocks(); got < 20 {
+		t.Fatalf("NumBlocks after GrowTo(20) = %d", got)
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("New(nil) should fail")
+	}
+	if _, err := New([]extmem.BlockStore{extmem.NewMemStore(1, 2), extmem.NewMemStore(1, 4)}); err == nil {
+		t.Fatal("mismatched block sizes should fail")
+	}
+}
+
+// recStore wraps a child store and records the per-block access sequence it
+// serves — the view the individual server at that shard observes.
+type recStore struct {
+	extmem.BlockStore
+	ops []trace.Op
+}
+
+func (r *recStore) ReadBlock(addr int, dst []extmem.Element) error {
+	r.ops = append(r.ops, trace.Op{Kind: trace.Read, Addr: int64(addr)})
+	return r.BlockStore.ReadBlock(addr, dst)
+}
+
+func (r *recStore) WriteBlock(addr int, src []extmem.Element) error {
+	r.ops = append(r.ops, trace.Op{Kind: trace.Write, Addr: int64(addr)})
+	return r.BlockStore.WriteBlock(addr, src)
+}
+
+func (r *recStore) ReadBlocks(addrs []int, dst []extmem.Element) error {
+	for _, a := range addrs {
+		r.ops = append(r.ops, trace.Op{Kind: trace.Read, Addr: int64(a)})
+	}
+	return r.BlockStore.ReadBlocks(addrs, dst)
+}
+
+func (r *recStore) WriteBlocks(addrs []int, src []extmem.Element) error {
+	for _, a := range addrs {
+		r.ops = append(r.ops, trace.Op{Kind: trace.Write, Addr: int64(a)})
+	}
+	return r.BlockStore.WriteBlocks(addrs, src)
+}
+
+func (r *recStore) GrowTo(n int) error { return r.BlockStore.(extmem.Growable).GrowTo(n) }
+
+// TestShardTracePartition is the obliviousness claim of the subsystem: run
+// the paper's Sort over a sharded store and check that (a) the logical trace
+// the Disk records is bit-identical to the unsharded run, and (b) each
+// shard's observed access sequence is exactly the residue-class projection
+// of that logical trace, re-numbered to local addresses — sharding
+// partitions the trace, it never reorders or changes it.
+func TestShardTracePartition(t *testing.T) {
+	const nBlocks, b, m, k = 64, 4, 32, 4
+	seed := uint64(11)
+
+	runSort := func(store extmem.BlockStore) (*trace.Recorder, extmem.Array) {
+		env := extmem.NewEnvOn(store, m, seed)
+		a := env.D.Alloc(nBlocks)
+		rec := trace.NewRecorder(1 << 20)
+		env.D.SetRecorder(rec) // attached before Fill so the logical trace covers everything the shards see
+		keys, err := workload.Keys(workload.Uniform, nBlocks*b, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.Fill(a, keys); err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Sort(env, a, core.SortParams{}); err != nil {
+			t.Fatal(err)
+		}
+		return rec, a
+	}
+
+	flatRec, _ := runSort(extmem.NewMemStore(4*nBlocks, b))
+
+	recs := make([]*recStore, k)
+	children := make([]extmem.BlockStore, k)
+	for i := range children {
+		recs[i] = &recStore{BlockStore: extmem.NewMemStore(4*nBlocks/k, b)}
+		children[i] = recs[i]
+	}
+	sharded, err := New(children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardRec, _ := runSort(sharded)
+
+	if !flatRec.Summarize().Equal(shardRec.Summarize()) {
+		t.Fatalf("logical trace changed under sharding: %v vs %v (first divergence at %d)",
+			flatRec.Summarize(), shardRec.Summarize(), trace.FirstDivergence(flatRec, shardRec))
+	}
+
+	// Project the logical trace per residue class and compare with what each
+	// shard's server actually saw.
+	want := make([][]trace.Op, k)
+	for _, op := range shardRec.Ops() {
+		sh := int(op.Addr) % k
+		want[sh] = append(want[sh], trace.Op{Kind: op.Kind, Addr: op.Addr / int64(k)})
+	}
+	var total int
+	for sh := 0; sh < k; sh++ {
+		if len(recs[sh].ops) != len(want[sh]) {
+			t.Fatalf("shard %d saw %d accesses, projection has %d", sh, len(recs[sh].ops), len(want[sh]))
+		}
+		for i := range want[sh] {
+			if recs[sh].ops[i] != want[sh][i] {
+				t.Fatalf("shard %d access %d: saw %v, projection %v", sh, i, recs[sh].ops[i], want[sh][i])
+			}
+		}
+		total += len(recs[sh].ops)
+	}
+	if total != int(shardRec.Len()) {
+		t.Fatalf("shards saw %d accesses in total, logical trace has %d", total, shardRec.Len())
+	}
+}
+
+// TestShardedStatsAggregation pins the accounting contract: per-shard blocks
+// sum to the flat total, the fan-out count matches the Disk's round trips,
+// and with per-shard latency models the critical path is the
+// max-over-shards per interaction — strictly cheaper than the serial sum
+// whenever a batch spans shards, and exactly recomputable from the
+// sub-batch sizes.
+func TestShardedStatsAggregation(t *testing.T) {
+	const k, b = 4, 4
+	const rtt, perBlock = 10 * time.Millisecond, time.Millisecond
+	children := make([]extmem.BlockStore, k)
+	for i := range children {
+		children[i] = extmem.NewLatencyStore(extmem.NewMemStore(16, b),
+			extmem.LatencyOptions{RTT: rtt, PerBlock: perBlock})
+	}
+	s, err := New(children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := extmem.NewDisk(s)
+
+	batches := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7}, // 2 blocks per shard
+		{0, 4, 8, 12},            // all on shard 0
+		{1, 2},                   // shards 1 and 2
+		{5},                      // one block
+	}
+	var wantCritical, wantSerial time.Duration
+	var wantBlocks int64
+	buf := make([]extmem.Element, 16*b)
+	for _, addrs := range batches {
+		d.ReadMany(addrs, buf[:len(addrs)*b])
+		perShard := map[int]int{}
+		for _, a := range addrs {
+			perShard[a%k]++
+		}
+		var worst time.Duration
+		for _, cnt := range perShard {
+			dt := rtt + time.Duration(cnt)*perBlock
+			wantSerial += dt
+			if dt > worst {
+				worst = dt
+			}
+		}
+		wantCritical += worst
+		wantBlocks += int64(len(addrs))
+	}
+
+	if got := s.ModeledTime(); got != wantCritical {
+		t.Fatalf("critical path %v, want %v", got, wantCritical)
+	}
+	if got := s.SerialModeledTime(); got != wantSerial {
+		t.Fatalf("serial time %v, want %v", got, wantSerial)
+	}
+	if s.ModeledTime() >= s.SerialModeledTime() {
+		t.Fatal("critical path should beat the serial sum for multi-shard batches")
+	}
+	if got := s.RoundTrips(); got != int64(len(batches)) {
+		t.Fatalf("fan-out count %d, want %d", got, len(batches))
+	}
+	if got := d.Stats().RoundTrips; got != int64(len(batches)) {
+		t.Fatalf("disk round trips %d, want %d", got, len(batches))
+	}
+	var sumBlocks, sumTime = int64(0), time.Duration(0)
+	for _, st := range s.ShardStats() {
+		sumBlocks += st.BlocksMoved
+		sumTime += st.ModeledTime
+	}
+	if sumBlocks != wantBlocks || s.BlocksMoved() != wantBlocks {
+		t.Fatalf("per-shard blocks sum %d (aggregate %d), want %d", sumBlocks, s.BlocksMoved(), wantBlocks)
+	}
+	if sumTime != wantSerial {
+		t.Fatalf("per-shard modeled times sum %v, want serial %v", sumTime, wantSerial)
+	}
+
+	s.ResetNetStats()
+	if s.ModeledTime() != 0 || s.RoundTrips() != 0 || s.BlocksMoved() != 0 {
+		t.Fatal("ResetNetStats left counters non-zero")
+	}
+	for i, st := range s.ShardStats() {
+		if st != (Stats{}) {
+			t.Fatalf("shard %d stats not reset: %+v", i, st)
+		}
+	}
+	for _, ch := range children {
+		if ch.(extmem.NetModel).ModeledTime() != 0 {
+			t.Fatal("child latency model not reset")
+		}
+	}
+}

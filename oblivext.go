@@ -28,6 +28,7 @@ import (
 
 	"oblivext/internal/core"
 	"oblivext/internal/extmem"
+	"oblivext/internal/extmem/shard"
 	"oblivext/internal/obsort"
 	"oblivext/internal/oram"
 	"oblivext/internal/trace"
@@ -73,14 +74,34 @@ type Config struct {
 	SimulatedPerBlock time.Duration
 	// SimulatedSleep makes the latency model sleep for each modeled delay.
 	SimulatedSleep bool
+	// NumShards, when > 1, stripes the store across that many child
+	// backends (logical block a lives on shard a mod NumShards) and fans
+	// every vectored call out to the shards in parallel. The per-block
+	// trace is unchanged — each shard sees the residue-class projection of
+	// the same sequence — and with a latency model configured each shard
+	// gets its own, so ModeledNetworkTime becomes the max-over-shards
+	// critical path per interaction instead of the serial sum.
+	NumShards int
+	// ShardPaths, when non-empty, backs each shard with a file at the
+	// given path (length must equal NumShards); otherwise shards are
+	// in-memory. EncryptionKey applies per shard.
+	ShardPaths []string
+	// Prefetch double-buffers the read-only pass scans: while the client
+	// computes over one half of its cache window, the next half's blocks
+	// are already in flight. The per-block access sequence Bob observes is
+	// identical; only issue timing (and round-trip grouping, since chunks
+	// are half-window) changes.
+	Prefetch bool
 }
 
 // Client is Alice: a private cache plus a connection to the block store.
-// Not safe for concurrent use.
+// Not safe for concurrent use (any internal concurrency — the sharded
+// fan-out, the prefetching scans — stays behind the single-caller API).
 type Client struct {
-	env   *extmem.Env
-	store extmem.BlockStore
-	net   *extmem.LatencyStore // non-nil when SimulatedRTT is configured
+	env     *extmem.Env
+	store   extmem.BlockStore
+	net     extmem.NetModel     // non-nil when SimulatedRTT/PerBlock is configured
+	sharded *shard.ShardedStore // non-nil when NumShards > 1
 }
 
 // New creates a client.
@@ -106,37 +127,87 @@ func New(cfg Config) (*Client, error) {
 	if cfg.SimulatedRTT < 0 || cfg.SimulatedPerBlock < 0 {
 		return nil, errors.New("oblivext: simulated latencies must be non-negative")
 	}
+	if cfg.NumShards < 0 {
+		return nil, fmt.Errorf("oblivext: NumShards must be >= 0, got %d", cfg.NumShards)
+	}
+	if len(cfg.ShardPaths) > 0 && len(cfg.ShardPaths) != cfg.NumShards {
+		return nil, fmt.Errorf("oblivext: got %d ShardPaths for %d shards", len(cfg.ShardPaths), cfg.NumShards)
+	}
+	var enc *extmem.Encryptor
+	if len(cfg.EncryptionKey) > 0 {
+		var err error
+		enc, err = extmem.NewEncryptor(cfg.EncryptionKey)
+		if err != nil {
+			return nil, err
+		}
+	}
+	latency := cfg.SimulatedRTT > 0 || cfg.SimulatedPerBlock > 0
+	wrapNet := func(s extmem.BlockStore) extmem.BlockStore {
+		if !latency {
+			return s
+		}
+		return extmem.NewLatencyStore(s, extmem.LatencyOptions{
+			RTT: cfg.SimulatedRTT, PerBlock: cfg.SimulatedPerBlock, Sleep: cfg.SimulatedSleep,
+		})
+	}
+
+	c := &Client{}
 	var store extmem.BlockStore
-	if cfg.Path != "" {
-		var enc *extmem.Encryptor
-		if len(cfg.EncryptionKey) > 0 {
-			var err error
-			enc, err = extmem.NewEncryptor(cfg.EncryptionKey)
-			if err != nil {
-				return nil, err
+	// ShardPaths with NumShards == 1 still goes through the sharded
+	// constructor so the named file backs the store (a silent fall-through
+	// to memory would lose the data on Close).
+	if cfg.NumShards > 1 || len(cfg.ShardPaths) > 0 {
+		if cfg.Path != "" {
+			return nil, errors.New("oblivext: with NumShards > 1 use ShardPaths, not Path")
+		}
+		if enc != nil && len(cfg.ShardPaths) == 0 {
+			return nil, errors.New("oblivext: encryption requires file-backed shards (set ShardPaths)")
+		}
+		perShard := extmem.CeilDiv(cfg.StartBlocks, cfg.NumShards)
+		children := make([]extmem.BlockStore, cfg.NumShards)
+		for i := range children {
+			if len(cfg.ShardPaths) > 0 {
+				fs, err := extmem.NewFileStore(cfg.ShardPaths[i], perShard, cfg.BlockSize, enc)
+				if err != nil {
+					for _, ch := range children[:i] {
+						ch.Close()
+					}
+					return nil, err
+				}
+				children[i] = wrapNet(fs)
+			} else {
+				children[i] = wrapNet(extmem.NewMemStore(perShard, cfg.BlockSize))
 			}
 		}
+		sh, err := shard.New(children)
+		if err != nil {
+			return nil, err
+		}
+		c.sharded = sh
+		store = sh
+		if latency {
+			c.net = sh // critical-path model over the per-shard latencies
+		}
+	} else if cfg.Path != "" {
 		fs, err := extmem.NewFileStore(cfg.Path, cfg.StartBlocks, cfg.BlockSize, enc)
 		if err != nil {
 			return nil, err
 		}
-		store = fs
+		store = wrapNet(fs)
 	} else {
-		if len(cfg.EncryptionKey) > 0 {
+		if enc != nil {
 			return nil, errors.New("oblivext: encryption requires a file-backed store (set Path)")
 		}
-		store = extmem.NewMemStore(cfg.StartBlocks, cfg.BlockSize)
+		store = wrapNet(extmem.NewMemStore(cfg.StartBlocks, cfg.BlockSize))
 	}
-	var net *extmem.LatencyStore
-	if cfg.SimulatedRTT > 0 || cfg.SimulatedPerBlock > 0 {
-		net = extmem.NewLatencyStore(store, extmem.LatencyOptions{
-			RTT: cfg.SimulatedRTT, PerBlock: cfg.SimulatedPerBlock, Sleep: cfg.SimulatedSleep,
-		})
-		store = net
+	if latency && c.net == nil {
+		c.net = store.(extmem.NetModel)
 	}
 	env := extmem.NewEnvOn(store, cfg.CacheWords, cfg.Seed)
 	env.D.SetMaxBatch(cfg.MaxBatchBlocks)
-	return &Client{env: env, store: store, net: net}, nil
+	env.Prefetch = cfg.Prefetch
+	c.env, c.store = env, store
+	return c, nil
 }
 
 // Close releases the backing store.
@@ -145,6 +216,15 @@ func (c *Client) Close() error { return c.store.Close() }
 // IOStats counts block I/Os — the quantity all of the paper's bounds are
 // stated in — and the round trips they were batched into, the quantity
 // that dominates wall-clock time when Bob is remote.
+//
+// Memory model: the counters are maintained by the single-goroutine Disk
+// layer, so IOStats snapshots are only meaningful from the goroutine
+// driving the Client. Store-level counters (the latency model, per-shard
+// stats) are updated concurrently by the fan-out and prefetch goroutines
+// under the stores' internal locks; every Client method that reads them
+// (Stats, ModeledNetworkTime, ShardStats) is called after those goroutines
+// have been joined, so the values it returns are settled totals, not
+// in-flight snapshots.
 type IOStats struct {
 	Reads  int64
 	Writes int64
@@ -164,21 +244,76 @@ func (c *Client) Stats() IOStats {
 }
 
 // ResetStats zeroes the I/O counters, including the latency model's
-// round-trip and modeled-time counters when one is configured.
+// round-trip and modeled-time counters and the per-shard counters when
+// configured.
 func (c *Client) ResetStats() {
 	c.env.D.ResetStats()
-	if c.net != nil {
+	if c.sharded != nil {
+		c.sharded.ResetNetStats() // resets the per-shard latency models too
+	} else if c.net != nil {
 		c.net.ResetNetStats()
 	}
 }
 
 // ModeledNetworkTime returns the total network delay the latency model has
-// charged (zero when SimulatedRTT/SimulatedPerBlock are unset).
+// charged (zero when SimulatedRTT/SimulatedPerBlock are unset). With
+// NumShards > 1 this is the critical path: per interaction, the slowest
+// shard's delay — the wall-clock a client waiting on K parallel responses
+// experiences — rather than the sum over shards.
 func (c *Client) ModeledNetworkTime() time.Duration {
 	if c.net == nil {
 		return 0
 	}
 	return c.net.ModeledTime()
+}
+
+// SerialModeledNetworkTime returns what the same traffic would have cost
+// with the shards contacted one after another — each participating shard
+// still charges its own RTT, so this isolates the parallel-fan-out win;
+// for a single-server baseline compare against a NumShards=1 run, which
+// pays one RTT per interaction. Without sharding it equals
+// ModeledNetworkTime.
+func (c *Client) SerialModeledNetworkTime() time.Duration {
+	if c.sharded != nil {
+		return c.sharded.SerialModeledTime()
+	}
+	return c.ModeledNetworkTime()
+}
+
+// NumShards returns how many backends the store is striped across (1 when
+// unsharded).
+func (c *Client) NumShards() int {
+	if c.sharded == nil {
+		return 1
+	}
+	return c.sharded.NumShards()
+}
+
+// ShardIOStats is one shard's view of the traffic it served.
+type ShardIOStats struct {
+	// RoundTrips counts the sub-batches dispatched to this shard (each one
+	// store interaction on that backend).
+	RoundTrips int64
+	// BlocksMoved counts blocks transferred to or from this shard.
+	BlocksMoved int64
+	// ModeledTime is the delay this shard's latency model charged (zero
+	// without SimulatedRTT/SimulatedPerBlock).
+	ModeledTime time.Duration
+}
+
+// ShardStats returns per-shard traffic counters (nil when unsharded). The
+// blocks moved sum to Stats().Total(); balanced entries are the round-robin
+// striping doing its job.
+func (c *Client) ShardStats() []ShardIOStats {
+	if c.sharded == nil {
+		return nil
+	}
+	ss := c.sharded.ShardStats()
+	out := make([]ShardIOStats, len(ss))
+	for i, s := range ss {
+		out[i] = ShardIOStats{RoundTrips: s.RoundTrips, BlocksMoved: s.BlocksMoved, ModeledTime: s.ModeledTime}
+	}
+	return out
 }
 
 // EnableTrace starts recording the adversary's view (block addresses).

@@ -1,0 +1,180 @@
+package oblivext
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestShardedTraceInvariance is the tentpole's safety contract at the public
+// API level: for Sort, Select, and Mark+CompactTight, a client striped over
+// K backends presents the identical per-logical-address trace and identical
+// block I/O as the single-backend client — sharding partitions the trace
+// across servers, it never changes it — and per-shard counters sum to the
+// unsharded totals.
+func TestShardedTraceInvariance(t *testing.T) {
+	const n = 2000
+	recs := mkRecords(n, 3)
+
+	type op struct {
+		name string
+		run  func(t *testing.T, arr *Array)
+	}
+	ops := []op{
+		{"Sort", func(t *testing.T, arr *Array) {
+			if err := arr.Sort(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Select", func(t *testing.T, arr *Array) {
+			if _, err := arr.Select(n / 2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"CompactTight", func(t *testing.T, arr *Array) {
+			if _, err := arr.Mark(func(r Record) bool { return r.Key%3 == 1 }); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := arr.CompactTight(n); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+
+	for _, o := range ops {
+		run := func(shards int) (TraceSummary, IOStats, []ShardIOStats) {
+			c, err := New(Config{BlockSize: 8, CacheWords: 256, Seed: 19, NumShards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			c.EnableTrace(0)
+			arr, err := c.Store(recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.run(t, arr)
+			return c.TraceSummary(), c.Stats(), c.ShardStats()
+		}
+		flatTrace, flatStats, _ := run(1)
+		shTrace, shStats, perShard := run(4)
+		if flatTrace != shTrace {
+			t.Errorf("%s: sharded trace %+v != unsharded %+v", o.name, shTrace, flatTrace)
+		}
+		if flatStats != shStats {
+			t.Errorf("%s: sharded stats %+v != unsharded %+v", o.name, shStats, flatStats)
+		}
+		if len(perShard) != 4 {
+			t.Fatalf("%s: ShardStats returned %d entries", o.name, len(perShard))
+		}
+		var blocks int64
+		for _, s := range perShard {
+			blocks += s.BlocksMoved
+		}
+		if blocks != flatStats.Total() {
+			t.Errorf("%s: per-shard blocks sum %d, unsharded total %d", o.name, blocks, flatStats.Total())
+		}
+	}
+}
+
+// TestSingleShardPathIsFileBacked guards against ShardPaths being silently
+// ignored at K=1: the named file must actually back the store.
+func TestSingleShardPathIsFileBacked(t *testing.T) {
+	path := t.TempDir() + "/shard0.dat"
+	c, err := New(Config{BlockSize: 8, CacheWords: 256, NumShards: 1, ShardPaths: []string{path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Store(mkRecords(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("shard file never created: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("shard file empty — store not file-backed")
+	}
+}
+
+// TestShardedCriticalPathSpeedup pins the E15 acceptance target's mechanism
+// at a small scale: under a latency model where bandwidth matters, K=4
+// shards answering in parallel cut the modeled network time to less than
+// half of the single-backend cost for the same Sort, with the same trace.
+func TestShardedCriticalPathSpeedup(t *testing.T) {
+	run := func(shards int) (time.Duration, time.Duration, TraceSummary) {
+		c, err := New(Config{
+			BlockSize: 8, CacheWords: 512, Seed: 5, NumShards: shards,
+			SimulatedRTT: 10 * time.Millisecond, SimulatedPerBlock: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.EnableTrace(0)
+		arr, err := c.Store(mkRecords(4096, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := arr.Sort(); err != nil {
+			t.Fatal(err)
+		}
+		return c.ModeledNetworkTime(), c.SerialModeledNetworkTime(), c.TraceSummary()
+	}
+	t1, s1, trace1 := run(1)
+	t4, s4, trace4 := run(4)
+	if trace1 != trace4 {
+		t.Fatalf("traces differ between K=1 and K=4: %+v vs %+v", trace1, trace4)
+	}
+	if t1 != s1 {
+		t.Fatalf("unsharded critical path %v should equal its serial sum %v", t1, s1)
+	}
+	if t4*2 > t1 {
+		t.Fatalf("K=4 modeled time %v not ≥2x better than K=1's %v", t4, t1)
+	}
+	if t4 >= s4 {
+		t.Fatalf("K=4 critical path %v should beat its own serial sum %v", t4, s4)
+	}
+}
+
+// TestPrefetchTraceInvariance: the double-buffered prefetching scans change
+// when reads are issued, never which reads — results and block-level traces
+// match the non-prefetching client exactly.
+func TestPrefetchTraceInvariance(t *testing.T) {
+	const n = 3000
+	run := func(prefetch bool, shards int) (TraceSummary, []Record) {
+		c, err := New(Config{BlockSize: 8, CacheWords: 256, Seed: 23, Prefetch: prefetch, NumShards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.EnableTrace(0)
+		arr, err := c.Store(mkRecords(n, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := arr.Select(n / 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := arr.Sort(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := arr.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.TraceSummary(), recs
+	}
+	offTrace, offRecs := run(false, 1)
+	onTrace, onRecs := run(true, 1)
+	onShardedTrace, onShardedRecs := run(true, 4)
+	if offTrace != onTrace || offTrace != onShardedTrace {
+		t.Fatalf("prefetch changed the trace: off=%+v on=%+v on+sharded=%+v", offTrace, onTrace, onShardedTrace)
+	}
+	for i := range offRecs {
+		if offRecs[i] != onRecs[i] || offRecs[i] != onShardedRecs[i] {
+			t.Fatalf("record %d differs across prefetch/sharding modes", i)
+		}
+	}
+}
