@@ -8,6 +8,8 @@
 //
 //	obsort -n 100000 -b 16 -m 4096 -file /tmp/store.dat -encrypt
 //	obsort -n 100000 -shards 4 -rtt 20ms -perblock 1ms -prefetch
+//	obsort -n 100000 -url http://localhost:9220                  # a real Bob (cmd/obstore)
+//	obsort -n 100000 -shards 2 -urls http://h1:9220,http://h2:9220
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"strings"
 	"time"
 
 	"oblivext"
@@ -33,10 +36,32 @@ func main() {
 	rtt := flag.Duration("rtt", 0, "model each backend as remote with this round-trip delay (e.g. 20ms)")
 	perblock := flag.Duration("perblock", 0, "bandwidth component of the latency model, per block moved")
 	prefetch := flag.Bool("prefetch", false, "double-buffer read scans: overlap the next batch's fetch with compute")
+	url := flag.String("url", "", "back the store with a remote obstore server at this base URL")
+	urls := flag.String("urls", "", "comma-separated obstore base URLs, one per shard (implies -shards)")
+	netTimeout := flag.Duration("net-timeout", 0, "per-request timeout against a network backend (0 = default 10s)")
+	netRetries := flag.Int("net-retries", 0, "replays of a failed network request before giving up (0 = default 3, -1 = fail fast)")
 	flag.Parse()
 
 	cfg := oblivext.Config{BlockSize: *b, CacheWords: *m, Seed: *seed, Path: *file,
-		NumShards: *shards, SimulatedRTT: *rtt, SimulatedPerBlock: *perblock, Prefetch: *prefetch}
+		NumShards: *shards, SimulatedRTT: *rtt, SimulatedPerBlock: *perblock, Prefetch: *prefetch,
+		URL: *url, NetTimeout: *netTimeout, NetRetries: *netRetries}
+	if *urls != "" && *file != "" {
+		fatal(fmt.Errorf("-urls and -file are mutually exclusive: shards are either remote servers or local files"))
+	}
+	if *urls != "" {
+		for _, u := range strings.Split(*urls, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				// An empty entry would silently fall back to an in-process
+				// memory shard — not what someone listing servers meant.
+				fatal(fmt.Errorf("-urls has an empty entry (stray comma?): %q", *urls))
+			}
+			cfg.ShardURLs = append(cfg.ShardURLs, u)
+		}
+		if *shards == 1 {
+			cfg.NumShards = len(cfg.ShardURLs)
+		}
+	}
 	if *shards > 1 && *file != "" {
 		cfg.Path = ""
 		for i := 0; i < *shards; i++ {
@@ -106,6 +131,19 @@ func main() {
 				client.SerialModeledNetworkTime().Round(time.Millisecond))
 		} else {
 			fmt.Printf("modeled network time: %v\n", client.ModeledNetworkTime().Round(time.Millisecond))
+		}
+	}
+	if ns := client.MeasuredNetworkStats(); ns != nil {
+		var reqs, retries int64
+		for _, s := range ns {
+			reqs += s.Requests
+			retries += s.Retries
+		}
+		fmt.Printf("network (measured): %d requests (+%d retries), %v total wait\n",
+			reqs, retries, client.MeasuredNetworkTime().Round(time.Millisecond))
+		for i, s := range ns {
+			fmt.Printf("  server[%d]: %d requests, %d blocks, rtt min/max %v/%v\n",
+				i, s.Requests, s.BlocksMoved, s.MinRTT.Round(time.Microsecond), s.MaxRTT.Round(time.Microsecond))
 		}
 	}
 	fmt.Printf("adversary's view: %d accesses, trace hash %016x\n", ts.Len, ts.Hash)

@@ -1,0 +1,129 @@
+// Command obstore runs Bob as a real process: an HTTP block-storage server
+// speaking the netstore protocol. It stores fixed-size blocks in memory or
+// in a file and journals the per-block access sequence it observes to disk —
+// the adversary's view of the paper's model (§1), recorded by the adversary
+// itself, which is what the end-to-end obliviousness tests audit.
+//
+// Usage:
+//
+//	obstore -addr :9220 -blocks 4096 -b 8 -journal /tmp/bob.trace
+//	obstore -addr :9221 -file /tmp/bob.dat -blocks 65536 -b 16
+//
+// Point a client at it:
+//
+//	obsort -n 100000 -url http://localhost:9220
+//
+// Endpoints: POST /v1/io (batched binary data plane), GET /v1/info
+// (geometry), POST /v1/grow, GET /v1/trace (journal fingerprint:
+// length + FNV-1a hash + request/replay counts), POST /v1/trace/reset.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/extmem/netstore"
+)
+
+func main() {
+	addr := flag.String("addr", ":9220", "listen address")
+	blocks := flag.Int("blocks", 4096, "initial store capacity in blocks (grows on client request)")
+	b := flag.Int("b", 8, "block size B in elements")
+	file := flag.String("file", "", "back the store with this file (default: in-memory)")
+	journal := flag.String("journal", "", "write one line per observed block access to this file (truncated at startup, so the file always matches this run's /v1/trace fingerprint)")
+	traceKeep := flag.Int("trace-keep", 0, "journal ops retained verbatim in memory (hash covers all regardless)")
+	flag.Parse()
+
+	var store extmem.BlockStore
+	if *file != "" {
+		fs, err := extmem.NewFileStore(*file, *blocks, *b, nil)
+		if err != nil {
+			fatal(err)
+		}
+		store = fs
+	} else {
+		store = extmem.NewMemStore(*blocks, *b)
+	}
+
+	opts := netstore.ServerOptions{TraceKeep: *traceKeep}
+	var jf *os.File
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			fatal(err)
+		}
+		jf = f
+		opts.Journal = f
+	}
+
+	srv := netstore.NewServer(store, opts)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Bound header parsing and idle keep-alives; body read/write stay
+		// unbounded because batch sizes (up to the 256 MiB wire cap) over
+		// slow links can legitimately take a while.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		// Drain generously: request bodies are unbounded by design (large
+		// batches over slow links), and closing the journal/store under a
+		// still-running handler would corrupt the very audit record the
+		// shutdown log is about to fingerprint.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("obstore: shutdown did not drain cleanly: %v", err)
+		}
+	}()
+
+	backing := "memory"
+	if *file != "" {
+		backing = *file
+	}
+	jdesc := "off"
+	if *journal != "" {
+		jdesc = *journal
+	}
+	log.Printf("obstore: serving %d blocks of %d elements on %s (store: %s, journal: %s)",
+		*blocks, *b, *addr, backing, jdesc)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// Shutdown to drain in-flight handlers before touching the journal and
+	// store they may still be writing to.
+	stop()
+	<-shutdownDone
+
+	sum := srv.TraceSummary()
+	log.Printf("obstore: shutting down; observed %d accesses, trace hash %016x", sum.Len, sum.Hash)
+	if jf != nil {
+		if err := jf.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obstore:", err)
+	os.Exit(1)
+}

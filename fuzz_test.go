@@ -1,0 +1,193 @@
+package oblivext
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"oblivext/internal/core"
+)
+
+// The fuzz targets pin two invariant families at once, over randomized
+// sizes, payloads, and ranks:
+//
+//   - correctness: the operation returns exactly the right records;
+//   - trace shape: with the tape seed fixed, the access trace depends only
+//     on the public parameters (N, and the capacity or nothing — never the
+//     data, never the rank), checked by replaying the operation on a
+//     degenerate same-size input and comparing fingerprints.
+//
+// The paper's randomized algorithms may fail with low probability
+// (ErrSelectFailed / ErrCompactionFailed). A failure is a *public* event in
+// the paper's model — Alice declares it and retries with fresh randomness —
+// and the algorithm aborts at the failed check, so the observed trace is a
+// prefix of the success-path trace. The trace-shape invariant therefore
+// compares fingerprints between runs that completed; a failed run instead
+// checks the prefix property (FuzzSelect found exactly this: a bracket miss
+// at n=181 truncates the trace at the failed rank check).
+
+func fuzzRecords(n int, seed uint64) []Record {
+	r := rand.New(rand.NewPCG(seed, seed^0xdeadbeef))
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{Key: r.Uint64() % 4096, Val: uint64(i)} // dense keys: plenty of ties
+	}
+	return out
+}
+
+func FuzzCompactTight(f *testing.F) {
+	f.Add(uint16(100), uint64(3), uint8(10), uint8(3))
+	f.Add(uint16(1), uint64(1), uint8(1), uint8(0))
+	f.Add(uint16(1024), uint64(7), uint8(2), uint8(1))
+	f.Add(uint16(33), uint64(9), uint8(16), uint8(15))
+	f.Add(uint16(512), uint64(1234), uint8(1), uint8(0)) // marks everything
+	f.Add(uint16(257), uint64(42), uint8(255), uint8(254))
+
+	f.Fuzz(func(t *testing.T, nRaw uint16, seed uint64, modRaw, remRaw uint8) {
+		n := int(nRaw)%1024 + 1
+		mod := uint64(modRaw)%16 + 1
+		rem := uint64(remRaw) % mod
+		pred := func(r Record) bool { return r.Key%mod == rem }
+		capacity := int64(n) // public: chosen from workload knowledge, not data
+
+		run := func(recs []Record) (TraceSummary, []Record, error) {
+			c, err := New(Config{BlockSize: 8, CacheWords: 256, Seed: 123})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			arr, err := c.Store(recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.EnableTrace(0)
+			if _, err := arr.Mark(pred); err != nil {
+				t.Fatal(err)
+			}
+			out, err := arr.CompactTight(capacity)
+			if err != nil {
+				return c.TraceSummary(), nil, err
+			}
+			got, err := out.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c.TraceSummary(), got, nil
+		}
+
+		recs := fuzzRecords(n, seed)
+		traceA, got, errA := run(recs)
+
+		if errA == nil {
+			var want []Record
+			for _, r := range recs {
+				if pred(r) {
+					want = append(want, r)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d mod=%d rem=%d: compacted %d records, want %d", n, mod, rem, len(got), len(want))
+			}
+			for i := range want { // order-preserving and exact
+				if got[i] != want[i] {
+					t.Fatalf("position %d: %+v, want %+v", i, got[i], want[i])
+				}
+			}
+		} else if !errors.Is(errA, core.ErrCompactionFailed) {
+			t.Fatalf("unexpected error: %v", errA)
+		}
+
+		// Degenerate same-size input: constant keys, so the marked count is
+		// all-or-nothing — about as different from recs as it gets.
+		constant := make([]Record, n)
+		for i := range constant {
+			constant[i] = Record{Key: 5, Val: uint64(i)}
+		}
+		traceB, _, errB := run(constant)
+		if errA == nil && errB == nil && traceA != traceB {
+			t.Fatalf("n=%d: compaction trace depends on data: %+v vs %+v", n, traceA, traceB)
+		}
+		if errA != nil || errB != nil {
+			// A declared failure aborts early: its trace must be no longer
+			// than the completed run's.
+			if errA != nil && errB == nil && traceA.Len > traceB.Len {
+				t.Fatalf("failed run traced more than a completed one: %+v vs %+v", traceA, traceB)
+			}
+			if errB != nil && errA == nil && traceB.Len > traceA.Len {
+				t.Fatalf("failed run traced more than a completed one: %+v vs %+v", traceB, traceA)
+			}
+		}
+		if traceA.Len == 0 {
+			t.Fatal("empty trace recorded")
+		}
+	})
+}
+
+func FuzzSelect(f *testing.F) {
+	f.Add(uint16(100), uint16(50), uint64(1))
+	f.Add(uint16(1), uint16(1), uint64(1))
+	f.Add(uint16(1000), uint16(1), uint64(2))
+	f.Add(uint16(777), uint16(777), uint64(3))
+	f.Add(uint16(64), uint16(33), uint64(4))
+	f.Add(uint16(2), uint16(2), uint64(99))
+
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint16, seed uint64) {
+		n := int(nRaw)%1024 + 1
+		k := int64(kRaw)%int64(n) + 1
+
+		run := func(recs []Record, rank int64) (TraceSummary, Record, error) {
+			c, err := New(Config{BlockSize: 8, CacheWords: 256, Seed: 321})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			arr, err := c.Store(recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.EnableTrace(0)
+			rec, err := arr.Select(rank)
+			return c.TraceSummary(), rec, err
+		}
+
+		recs := fuzzRecords(n, seed)
+		traceA, got, errA := run(recs, k)
+
+		if errA == nil {
+			keys := make([]uint64, n)
+			for i, r := range recs {
+				keys[i] = r.Key
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			if got.Key != keys[k-1] {
+				t.Fatalf("n=%d k=%d: selected key %d, want %d", n, k, got.Key, keys[k-1])
+			}
+		} else if !errors.Is(errA, core.ErrSelectFailed) {
+			t.Fatalf("unexpected error: %v", errA)
+		}
+
+		// Same size, degenerate data, and a *different* rank: neither the
+		// values nor the rank may show in the trace (the rank is Alice's
+		// secret; only N is public).
+		constant := make([]Record, n)
+		for i := range constant {
+			constant[i] = Record{Key: 5, Val: uint64(i)}
+		}
+		otherK := int64(n) - k + 1
+		traceB, _, errB := run(constant, otherK)
+		if errA == nil && errB == nil && traceA != traceB {
+			t.Fatalf("n=%d: selection trace depends on data or rank (k=%d vs %d): %+v vs %+v",
+				n, k, otherK, traceA, traceB)
+		}
+		if errA != nil && errB == nil && traceA.Len > traceB.Len {
+			t.Fatalf("failed run traced more than a completed one: %+v vs %+v", traceA, traceB)
+		}
+		if errB != nil && errA == nil && traceB.Len > traceA.Len {
+			t.Fatalf("failed run traced more than a completed one: %+v vs %+v", traceB, traceA)
+		}
+		if traceA.Len == 0 {
+			t.Fatal("empty trace recorded")
+		}
+	})
+}

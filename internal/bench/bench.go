@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one generator per experiment in
-// DESIGN.md's index (E1–E15 plus the Figure 1 rendering), each producing
+// DESIGN.md's index (E1–E16 plus the Figure 1 rendering), each producing
 // the markdown table recorded in EXPERIMENTS.md. cmd/obench runs them.
 package bench
 
@@ -62,6 +62,7 @@ func All() []Experiment {
 		{"E13", "Input-invariance of oblivious traces (E13)", E13},
 		{"E14", "Vectored block I/O: round trips scalar vs batched", E14},
 		{"E15", "Sharded multi-backend store: parallel fan-out speedup", E15},
+		{"E16", "Real HTTP backend: measured cost and server-audited trace", E16},
 	}
 }
 

@@ -2,9 +2,10 @@ package extmem
 
 import "encoding/binary"
 
-// encodeBlock serializes a block of elements little-endian into dst, which
-// must have room for len(src)*ElementBytes bytes.
-func encodeBlock(dst []byte, src []Element) {
+// EncodeElements serializes elements little-endian into dst, which must have
+// room for len(src)*ElementBytes bytes. It is the single wire format shared
+// by the file store's slots and the network store's block payloads.
+func EncodeElements(dst []byte, src []Element) {
 	for i, e := range src {
 		off := i * ElementBytes
 		binary.LittleEndian.PutUint64(dst[off:], e.Key)
@@ -14,8 +15,8 @@ func encodeBlock(dst []byte, src []Element) {
 	}
 }
 
-// decodeBlock deserializes a block of elements from src into dst.
-func decodeBlock(dst []Element, src []byte) {
+// DecodeElements deserializes len(dst) elements from src into dst.
+func DecodeElements(dst []Element, src []byte) {
 	for i := range dst {
 		off := i * ElementBytes
 		dst[i] = Element{

@@ -186,9 +186,9 @@ func TestCodecRoundTripProperty(t *testing.T) {
 	f := func(k, v, p, fl uint64, k2, v2 uint64) bool {
 		in := []Element{{k, v, p, fl}, {k2, v2, k ^ v, fl >> 1}}
 		buf := make([]byte, 2*ElementBytes)
-		encodeBlock(buf, in)
+		EncodeElements(buf, in)
 		out := make([]Element, 2)
-		decodeBlock(out, buf)
+		DecodeElements(out, buf)
 		return out[0] == in[0] && out[1] == in[1]
 	}
 	if err := quick.Check(f, nil); err != nil {

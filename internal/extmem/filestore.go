@@ -72,7 +72,7 @@ func (s *FileStore) ReadBlock(addr int, dst []Element) error {
 			return fmt.Errorf("extmem: block %d: %w", addr, err)
 		}
 	}
-	decodeBlock(dst, buf)
+	DecodeElements(dst, buf)
 	return nil
 }
 
@@ -81,7 +81,7 @@ func (s *FileStore) WriteBlock(addr int, src []Element) error {
 	if err := s.check(addr, len(src)); err != nil {
 		return err
 	}
-	encodeBlock(s.plain, src)
+	EncodeElements(s.plain, src)
 	buf := s.plain
 	if s.enc != nil {
 		var err error
@@ -181,14 +181,14 @@ func (s *FileStore) decodeSlot(addr int, slot []byte, dst []Element) error {
 			return fmt.Errorf("extmem: block %d: %w", addr, err)
 		}
 	}
-	decodeBlock(dst, buf)
+	DecodeElements(dst, buf)
 	return nil
 }
 
 // encodeSlot serializes one block into the given slot (len == s.slot),
 // sealing with a fresh IV when encryption is configured.
 func (s *FileStore) encodeSlot(dst []byte, src []Element) error {
-	encodeBlock(s.plain, src)
+	EncodeElements(s.plain, src)
 	if s.enc == nil {
 		copy(dst, s.plain)
 		return nil

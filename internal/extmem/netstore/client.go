@@ -1,0 +1,459 @@
+package netstore
+
+import (
+	"bytes"
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"oblivext/internal/extmem"
+)
+
+// Options configures a Client.
+type Options struct {
+	// Timeout bounds each HTTP attempt (default 10s). An attempt that blows
+	// the deadline is abandoned and, budget permitting, replayed.
+	Timeout time.Duration
+	// MaxAttempts bounds how many times one logical request may hit the wire
+	// (default 4: the first attempt plus three retries). Must be >= 1 when
+	// set; 0 selects the default.
+	MaxAttempts int
+	// Backoff is the delay before the first retry, doubling per further
+	// retry and capped at one second (default 10ms).
+	Backoff time.Duration
+	// Transport overrides the HTTP transport (default
+	// http.DefaultTransport). The fault-injection tests use this to drop,
+	// delay, and corrupt responses.
+	Transport http.RoundTripper
+}
+
+const (
+	defaultTimeout     = 10 * time.Second
+	defaultMaxAttempts = 4
+	defaultBackoff     = 10 * time.Millisecond
+	maxBackoff         = time.Second
+)
+
+// Stats is the measured (not modeled) network cost of the traffic a Client
+// has issued: real wall-clock waits, as opposed to the LatencyStore's
+// accounted model.
+type Stats struct {
+	// Requests counts completed logical interactions (= round trips the Disk
+	// layer charged; retries of one request do not add to it).
+	Requests int64
+	// Attempts counts HTTP requests put on the wire, including retries.
+	Attempts int64
+	// Retries = Attempts - (first attempts); nonzero only when the transport
+	// misbehaved.
+	Retries int64
+	// BlocksMoved counts blocks transferred in completed interactions.
+	BlocksMoved int64
+	// Total is the wall-clock time spent waiting on interactions, summed —
+	// for one interaction this spans first attempt through final response,
+	// including backoff. With the sharded fan-out, per-shard clients wait
+	// concurrently, so wall time is below the sum of their Totals.
+	Total time.Duration
+	// Min and Max are the fastest and slowest completed interactions.
+	Min, Max time.Duration
+}
+
+// Client is an extmem.BlockStore served by a remote obstore server over
+// HTTP. Like every BlockStore it is driven by one caller at a time (the
+// Disk, or one shard goroutine of a fan-out); the internal mutex only guards
+// the counters, which concurrent observers may read.
+type Client struct {
+	base        string
+	hc          *http.Client
+	b           int
+	blockBytes  int
+	timeout     time.Duration
+	maxAttempts int
+	backoff     time.Duration
+
+	mu    sync.Mutex
+	n     int // capacity in blocks; grows via GrowTo
+	seq   uint64
+	stats Stats
+}
+
+// Dial connects to an obstore server at baseURL (e.g. "http://host:9220"),
+// fetches its geometry, and returns a ready BlockStore.
+func Dial(baseURL string, opts Options) (*Client, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = defaultTimeout
+	}
+	if opts.MaxAttempts == 0 {
+		opts.MaxAttempts = defaultMaxAttempts
+	}
+	if opts.MaxAttempts < 1 {
+		return nil, fmt.Errorf("netstore: MaxAttempts must be >= 1, got %d", opts.MaxAttempts)
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = defaultBackoff
+	}
+	transport := opts.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	c := &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          &http.Client{Transport: transport},
+		timeout:     opts.Timeout,
+		maxAttempts: opts.MaxAttempts,
+		backoff:     opts.Backoff,
+	}
+	// Request ids start at a random point so that successive client
+	// processes against one long-lived server cannot collide inside its
+	// replay-suppression window (a collision would silently drop journal
+	// entries — the audit log must not depend on who dialed first).
+	var nonce [8]byte
+	if _, err := crand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("netstore: request-id nonce: %w", err)
+	}
+	c.seq = binary.LittleEndian.Uint64(nonce[:])
+	var info infoJSON
+	if err := c.getJSON(infoPath, &info); err != nil {
+		return nil, fmt.Errorf("netstore: dial %s: %w", baseURL, err)
+	}
+	if info.BlockSize <= 0 || info.NumBlocks < 0 {
+		return nil, fmt.Errorf("netstore: dial %s: bad geometry %+v", baseURL, info)
+	}
+	c.b = info.BlockSize
+	c.blockBytes = info.BlockSize * extmem.ElementBytes
+	c.n = info.NumBlocks
+	return c, nil
+}
+
+// ReadBlock implements BlockStore: a one-block read batch.
+func (c *Client) ReadBlock(addr int, dst []extmem.Element) error {
+	return c.ReadBlocks([]int{addr}, dst)
+}
+
+// WriteBlock implements BlockStore: a one-block write batch.
+func (c *Client) WriteBlock(addr int, src []extmem.Element) error {
+	return c.WriteBlocks([]int{addr}, src)
+}
+
+// ReadBlocks implements BlockStore: the whole batch travels as one request,
+// so the Disk's one-RoundTrip-per-vectored-call accounting matches what the
+// wire actually carries.
+func (c *Client) ReadBlocks(addrs []int, dst []extmem.Element) error {
+	if len(dst) != len(addrs)*c.b {
+		return fmt.Errorf("netstore: buffer length %d != %d blocks of %d elements", len(dst), len(addrs), c.b)
+	}
+	resp, err := c.doIO(opRead, addrs, 0, nil, len(addrs)*c.blockBytes)
+	if err != nil {
+		return err
+	}
+	extmem.DecodeElements(dst, resp)
+	return nil
+}
+
+// WriteBlocks implements BlockStore: one request per batch, like ReadBlocks.
+// The elements are encoded straight into the request body.
+func (c *Client) WriteBlocks(addrs []int, src []extmem.Element) error {
+	if len(src) != len(addrs)*c.b {
+		return fmt.Errorf("netstore: buffer length %d != %d blocks of %d elements", len(src), len(addrs), c.b)
+	}
+	_, err := c.doIO(opWrite, addrs, len(addrs)*c.blockBytes,
+		func(payload []byte) { extmem.EncodeElements(payload, src) }, 0)
+	return err
+}
+
+// MaxBatchBlocks returns how many blocks one request can carry under the
+// protocol's wire cap; callers driving this store (oblivext.New) cap the
+// Disk layer's vectored batches to it so a request can never be rejected
+// for size. Splitting a batch only regroups round trips — the per-block
+// trace is unchanged.
+func (c *Client) MaxBatchBlocks() int {
+	return (maxBatchWire - headerLen) / (8 + c.blockBytes)
+}
+
+// doIO sends one data-plane request, replaying it on transient failures
+// (transport errors, timeouts, 5xx, short bodies) within the attempt budget.
+// Every attempt carries the same request id, so the server can recognize a
+// replay of a request whose response was lost and keep its journal free of
+// duplicates.
+func (c *Client) doIO(op byte, addrs []int, payloadLen int, fill func(payload []byte), respLen int) ([]byte, error) {
+	opName := "read"
+	if op == opWrite {
+		opName = "write"
+	}
+	// Check the wire cap before materializing the body: rejection must not
+	// cost a giant allocation.
+	if headerLen+8*len(addrs)+payloadLen > maxBatchWire {
+		return nil, fmt.Errorf("netstore: %s of %d blocks exceeds the %d-byte wire cap (%d blocks max at B=%d); lower MaxBatchBlocks",
+			opName, len(addrs), maxBatchWire, c.MaxBatchBlocks(), c.b)
+	}
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+	body, payload := encodeRequest(op, seq, addrs, payloadLen)
+	if fill != nil {
+		fill(payload)
+	}
+	start := time.Now()
+	var data []byte
+	err := c.withRetry(
+		func() { // per-retry accounting, data plane only
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+		},
+		func() (bool, error) {
+			c.mu.Lock()
+			c.stats.Attempts++
+			c.mu.Unlock()
+			var retryable bool
+			var err error
+			data, retryable, err = c.attempt(body, respLen)
+			return retryable, err
+		})
+	if err != nil {
+		return nil, fmt.Errorf("netstore: %s of %d blocks: %w", opName, len(addrs), err)
+	}
+	c.account(len(addrs), time.Since(start))
+	return data, nil
+}
+
+// withRetry runs f until it succeeds, fails permanently, or exhausts the
+// attempt budget, backing off (doubling, capped) between attempts. onRetry,
+// when non-nil, runs before each replay. Both the data and control planes
+// share this one policy.
+func (c *Client) withRetry(onRetry func(), f func() (retryable bool, err error)) error {
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if onRetry != nil {
+				onRetry()
+			}
+			d := maxBackoff // large attempt counts saturate (the shift would overflow)
+			if attempt <= 16 {
+				if shifted := c.backoff << (attempt - 1); shifted > 0 && shifted < maxBackoff {
+					d = shifted
+				}
+			}
+			time.Sleep(d)
+		}
+		retryable, err := f()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+	}
+	return fmt.Errorf("failed after %d attempts: %w", c.maxAttempts, lastErr)
+}
+
+// attempt performs one HTTP exchange. The second result reports whether the
+// failure is transient (worth replaying).
+func (c *Client) attempt(body []byte, respLen int) (data []byte, retryable bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+ioPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, true, err // transport/deadline failure: replay
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		return nil, resp.StatusCode >= 500, err
+	}
+	data, err = io.ReadAll(io.LimitReader(resp.Body, int64(respLen)+1))
+	if err != nil {
+		return nil, true, err // connection died mid-body: replay
+	}
+	if len(data) != respLen {
+		// A cleanly-delivered body of the wrong length is not a transient
+		// fault — it means the server's geometry disagrees with ours (e.g.
+		// restarted with a different -b). Burning the budget on it only
+		// delays the diagnosis.
+		return nil, false, fmt.Errorf("response body %d bytes, want %d (server geometry changed?)", len(data), respLen)
+	}
+	return data, false, nil
+}
+
+// account folds one completed interaction into the measured stats.
+func (c *Client) account(blocks int, elapsed time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Requests++
+	c.stats.BlocksMoved += int64(blocks)
+	c.stats.Total += elapsed
+	if c.stats.Min == 0 || elapsed < c.stats.Min {
+		c.stats.Min = elapsed
+	}
+	if elapsed > c.stats.Max {
+		c.stats.Max = elapsed
+	}
+}
+
+// getJSON fetches a control-plane endpoint with the same retry policy as the
+// data plane.
+func (c *Client) getJSON(path string, out any) error {
+	return c.controlJSON(http.MethodGet, path, nil, out)
+}
+
+// controlJSON performs one control-plane exchange (geometry, growth) under
+// the shared retry policy; control requests are idempotent like the data
+// plane.
+func (c *Client) controlJSON(method, path string, body []byte, out any) error {
+	return c.withRetry(nil, func() (bool, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return false, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return true, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode >= 500,
+				fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		}
+		if out == nil {
+			return false, nil
+		}
+		return false, json.Unmarshal(raw, out)
+	})
+}
+
+// GrowTo implements extmem.Growable: the server extends its store (growth is
+// a control operation, not a data transfer — no journal entry, matching the
+// Disk's allocation-is-free accounting).
+func (c *Client) GrowTo(n int) error {
+	c.mu.Lock()
+	have := c.n
+	c.mu.Unlock()
+	if n <= have {
+		return nil
+	}
+	body, err := json.Marshal(growJSON{NumBlocks: n})
+	if err != nil {
+		return err
+	}
+	var info infoJSON
+	if err := c.controlJSON(http.MethodPost, growPath, body, &info); err != nil {
+		return fmt.Errorf("netstore: grow to %d blocks: %w", n, err)
+	}
+	c.mu.Lock()
+	if info.NumBlocks > c.n {
+		c.n = info.NumBlocks
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// ServerTrace is the server-side journal fingerprint as fetched over HTTP:
+// the length and hash of the per-block access sequence the server observed,
+// plus its raw request count and how many retransmissions it suppressed.
+type ServerTrace struct {
+	Len      int64
+	Hash     uint64
+	Requests int64
+	Replays  int64
+}
+
+// FetchServerTrace retrieves the server's journal fingerprint — the
+// adversary's own record of Alice's accesses, independent of any client-side
+// bookkeeping.
+func (c *Client) FetchServerTrace() (ServerTrace, error) {
+	var tj traceJSON
+	if err := c.getJSON(tracePath, &tj); err != nil {
+		return ServerTrace{}, fmt.Errorf("netstore: fetch trace: %w", err)
+	}
+	var hash uint64
+	if _, err := fmt.Sscanf(tj.Hash, "%x", &hash); err != nil {
+		return ServerTrace{}, fmt.Errorf("netstore: bad trace hash %q: %w", tj.Hash, err)
+	}
+	return ServerTrace{Len: tj.Len, Hash: hash, Requests: tj.Requests, Replays: tj.Replays}, nil
+}
+
+// ResetServerTrace clears the server-side journal recorder, so a fingerprint
+// can cover exactly one phase (e.g. Sort alone, excluding the upload).
+func (c *Client) ResetServerTrace() error {
+	if err := c.controlJSON(http.MethodPost, traceResetPath, nil, nil); err != nil {
+		return fmt.Errorf("netstore: reset trace: %w", err)
+	}
+	return nil
+}
+
+// NumBlocks implements BlockStore (the capacity learned at Dial, advanced by
+// GrowTo).
+func (c *Client) NumBlocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// BlockSize implements BlockStore.
+func (c *Client) BlockSize() int { return c.b }
+
+// Close implements BlockStore: the server outlives its clients; only idle
+// connections are released.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// NetStats returns the measured network counters.
+func (c *Client) NetStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// RoundTrips implements extmem.NetModel.
+func (c *Client) RoundTrips() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats.Requests
+}
+
+// BlocksMoved implements extmem.NetModel.
+func (c *Client) BlocksMoved() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats.BlocksMoved
+}
+
+// ModeledTime implements extmem.NetModel. For a real backend the "model" is
+// measurement: the wall-clock time spent waiting on completed interactions.
+func (c *Client) ModeledTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats.Total
+}
+
+// ResetNetStats implements extmem.NetModel.
+func (c *Client) ResetNetStats() {
+	c.mu.Lock()
+	c.stats = Stats{}
+	c.mu.Unlock()
+}

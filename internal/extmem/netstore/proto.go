@@ -1,0 +1,144 @@
+// Package netstore is a real remote Bob: an HTTP BlockStore client and the
+// matching storage server, speaking a batched binary protocol in which one
+// ReadBlocks/WriteBlocks call is exactly one request — so the round-trip
+// accounting the Disk layer keeps (one RoundTrip per vectored store call)
+// stays honest when the store is an actual process across a network.
+//
+// The server side independently journals the per-block access sequence it
+// observes, which is precisely the adversary's view in the paper's model
+// (§1): Bob sees the sequence and location of every block Alice touches but
+// none of the contents. The end-to-end obliviousness tests compare this
+// server-side journal — not the client's own bookkeeping — across inputs.
+//
+// Faults: requests are idempotent (reads are pure; writes are whole-block
+// last-writer-wins), so the client replays a request whose response was lost
+// or late. Every retry carries the same request id, and the server suppresses
+// journal entries for replays of requests it already executed, keeping the
+// journaled logical trace identical whether or not the network misbehaved.
+package netstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Endpoint paths. The data plane is a single endpoint taking the binary
+// request below; the control plane (geometry, growth, trace auditing) is
+// small JSON.
+const (
+	ioPath         = "/v1/io"
+	infoPath       = "/v1/info"
+	growPath       = "/v1/grow"
+	tracePath      = "/v1/trace"
+	traceResetPath = "/v1/trace/reset"
+)
+
+// Wire format of one ioPath request body (integers little-endian):
+//
+//	magic   4 bytes  "OBS1"
+//	op      1 byte   1 = read batch, 2 = write batch
+//	seq     8 bytes  client-assigned request id, shared by every retry
+//	count   4 bytes  blocks in the batch
+//	addrs   count × 8 bytes
+//	payload count × B × ElementBytes   (write batches only)
+//
+// A read response body is the payload alone (count × B × ElementBytes); a
+// write response body is empty. Errors are non-200 statuses with a plain-text
+// message; 5xx are transient (the client retries), 4xx are permanent.
+const (
+	magic             = "OBS1"
+	opRead       byte = 1
+	opWrite      byte = 2
+	headerLen         = 4 + 1 + 8 + 4
+	maxBatchWire      = 1 << 28 // 256 MiB cap on a request body
+)
+
+// encodeRequest builds an ioPath request body with room for payloadLen
+// payload bytes, returning the body and the payload sub-slice for the
+// caller to fill in place (write batches encode their elements directly
+// into it — no intermediate copy).
+func encodeRequest(op byte, seq uint64, addrs []int, payloadLen int) (body, payload []byte) {
+	body = make([]byte, headerLen+8*len(addrs)+payloadLen)
+	copy(body, magic)
+	body[4] = op
+	binary.LittleEndian.PutUint64(body[5:], seq)
+	binary.LittleEndian.PutUint32(body[13:], uint32(len(addrs)))
+	for i, a := range addrs {
+		binary.LittleEndian.PutUint64(body[headerLen+8*i:], uint64(a))
+	}
+	return body, body[headerLen+8*len(addrs):]
+}
+
+// decodeRequest parses an ioPath request body into its op, request id,
+// address list, and (for writes) payload, validating the framing against
+// blockBytes, the payload size of one block.
+func decodeRequest(body []byte, blockBytes int) (op byte, seq uint64, addrs []int, payload []byte, err error) {
+	if len(body) < headerLen {
+		return 0, 0, nil, nil, fmt.Errorf("netstore: request truncated at %d bytes", len(body))
+	}
+	if string(body[:4]) != magic {
+		return 0, 0, nil, nil, fmt.Errorf("netstore: bad magic %q", body[:4])
+	}
+	op = body[4]
+	seq = binary.LittleEndian.Uint64(body[5:])
+	// Bound count before any arithmetic or allocation: a crafted header
+	// must not be able to wrap the length check (32-bit int overflow) or
+	// force a giant make([]int, count) for a body that cannot possibly
+	// carry that many addresses.
+	rawCount := binary.LittleEndian.Uint32(body[13:])
+	if rawCount > uint32((maxBatchWire-headerLen)/8) {
+		return 0, 0, nil, nil, fmt.Errorf("netstore: batch of %d blocks exceeds the wire cap", rawCount)
+	}
+	count := int(rawCount)
+	want := int64(headerLen) + 8*int64(count)
+	switch op {
+	case opRead:
+	case opWrite:
+		want += int64(count) * int64(blockBytes)
+	default:
+		return 0, 0, nil, nil, fmt.Errorf("netstore: unknown op %d", op)
+	}
+	if int64(len(body)) != want {
+		return 0, 0, nil, nil, fmt.Errorf("netstore: op %d with %d blocks wants %d bytes, got %d", op, count, want, len(body))
+	}
+	addrs = make([]int, count)
+	for i := range addrs {
+		a := binary.LittleEndian.Uint64(body[headerLen+8*i:])
+		// Bound by the platform int so the conversion below cannot truncate
+		// (on 32-bit builds a huge address must be rejected, not wrapped
+		// into some other, in-range block).
+		if a > uint64(math.MaxInt) {
+			return 0, 0, nil, nil, fmt.Errorf("netstore: block address %d out of range", a)
+		}
+		addrs[i] = int(a)
+	}
+	if op == opWrite {
+		payload = body[headerLen+8*count:]
+	}
+	return op, seq, addrs, payload, nil
+}
+
+// infoJSON is the infoPath (and grow response) body: the store geometry.
+type infoJSON struct {
+	NumBlocks int `json:"numBlocks"`
+	BlockSize int `json:"blockSize"`
+}
+
+// growJSON is the growPath request body.
+type growJSON struct {
+	NumBlocks int `json:"numBlocks"`
+}
+
+// traceJSON is the tracePath body: the server-side journal fingerprint. Hash
+// is hex-encoded (a uint64 does not survive JSON numbers). Requests counts
+// data-plane requests served successfully (rejected or failed ones don't
+// count); Replays is the subset that were retransmissions — acknowledged
+// from the dedup window (writes) or re-read (reads), and suppressed from
+// the journal either way.
+type traceJSON struct {
+	Len      int64  `json:"len"`
+	Hash     string `json:"hash"`
+	Requests int64  `json:"requests"`
+	Replays  int64  `json:"replays"`
+}

@@ -1,0 +1,298 @@
+package netstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/trace"
+)
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// TraceKeep is how many journal ops the in-memory recorder retains
+	// verbatim (the running hash and count always cover the full journal).
+	TraceKeep int
+	// Journal, when non-nil, receives one line per observed block access
+	// ("R 42\n" / "W 7\n") — the durable audit record of the adversary's
+	// view. A journal write failure fails the request: an unauditable access
+	// is not silently served.
+	Journal io.Writer
+	// DedupWindow is how many recent request ids the server remembers for
+	// replay suppression (default 4096). A client has at most a handful of
+	// requests in flight, so the default window exceeds any realistic
+	// replay distance by orders of magnitude. If an id IS evicted before a
+	// stale duplicate arrives, that duplicate is treated as new: it is
+	// journaled again and — for writes — re-executed, which can roll back a
+	// newer write to the same blocks. Do not shrink the window below the
+	// number of requests a client can have outstanding between a send and
+	// its last retry.
+	DedupWindow int
+}
+
+// Server is Bob as an actual process: it owns a BlockStore (memory- or
+// file-backed), serves the batched binary protocol, and journals the
+// per-block access sequence it observes — the adversary's view, recorded by
+// the adversary. Handlers are safe for concurrent use; requests serialize on
+// an internal mutex, so the journal order is the order requests were
+// executed in.
+type Server struct {
+	mu         sync.Mutex
+	store      extmem.BlockStore
+	b          int
+	blockBytes int
+	rec        *trace.Recorder
+	keep       int
+	journal    io.Writer
+	requests   int64
+	replays    int64
+	seen       map[uint64]struct{}
+	ring       []uint64 // eviction order for seen
+	ringNext   int
+	elems      []extmem.Element
+	jbuf       []byte // one batch's journal lines, written as a unit
+}
+
+// NewServer wraps a block store in a protocol server.
+func NewServer(store extmem.BlockStore, opts ServerOptions) *Server {
+	if opts.DedupWindow <= 0 {
+		opts.DedupWindow = 4096
+	}
+	return &Server{
+		store:      store,
+		b:          store.BlockSize(),
+		blockBytes: store.BlockSize() * extmem.ElementBytes,
+		rec:        trace.NewRecorder(opts.TraceKeep),
+		keep:       opts.TraceKeep,
+		journal:    opts.Journal,
+		seen:       make(map[uint64]struct{}, opts.DedupWindow),
+		ring:       make([]uint64, opts.DedupWindow),
+	}
+}
+
+// Handler returns the HTTP handler serving the protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+ioPath, s.handleIO)
+	mux.HandleFunc("GET "+infoPath, s.handleInfo)
+	mux.HandleFunc("POST "+growPath, s.handleGrow)
+	mux.HandleFunc("GET "+tracePath, s.handleTrace)
+	mux.HandleFunc("POST "+traceResetPath, s.handleTraceReset)
+	return mux
+}
+
+// TraceSummary returns the in-memory journal fingerprint (for in-process
+// tests; remote auditors use the tracePath endpoint).
+func (s *Server) TraceSummary() trace.Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.Summarize()
+}
+
+// TraceOps returns the retained journal prefix.
+func (s *Server) TraceOps() []trace.Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]trace.Op(nil), s.rec.Ops()...)
+}
+
+// ResetTrace clears the journal recorder and the request counters (the
+// replay-suppression window survives: ids keep increasing across phases).
+func (s *Server) ResetTrace() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = trace.NewRecorder(s.keep)
+	s.requests, s.replays = 0, 0
+}
+
+// Close closes the underlying store.
+func (s *Server) Close() error { return s.store.Close() }
+
+func (s *Server) handleIO(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchWire))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read request: %v", err), http.StatusBadRequest)
+		return
+	}
+	op, seq, addrs, payload, err := decodeRequest(body, s.blockBytes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// All shared state is touched inside serveIO's lock; the socket writes
+	// below happen after it is released, so one stalled client connection
+	// cannot wedge the whole server behind the mutex.
+	wire, status, msg := s.serveIO(op, seq, addrs, payload)
+	if status != http.StatusOK {
+		http.Error(w, msg, status)
+		return
+	}
+	if op == opRead {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(wire)
+	} else {
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+// serveIO executes one decoded data-plane request under the server mutex and
+// returns the read payload (reads only) or an error status + message.
+func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte) (wire []byte, status int, msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	replay := s.isReplay(seq)
+
+	// Address validation is the client's responsibility gone wrong (400,
+	// permanent); anything the store itself then fails on is the server's
+	// problem (500, and the client's retry budget applies — a transient
+	// disk fault must not abort a Sort built to survive transient faults).
+	numBlocks := s.store.NumBlocks()
+	for _, a := range addrs {
+		if a >= numBlocks {
+			return nil, http.StatusBadRequest,
+				fmt.Sprintf("netstore: block address %d out of range [0,%d)", a, numBlocks)
+		}
+	}
+	kind := trace.Read
+	if op == opWrite {
+		kind = trace.Write
+	}
+	elems := s.scratchElems(len(addrs))
+	if op == opRead {
+		// Replayed reads re-execute — the data is needed again and reads
+		// are pure.
+		if err := s.store.ReadBlocks(addrs, elems); err != nil {
+			return nil, http.StatusInternalServerError, err.Error()
+		}
+	} else if !replay {
+		extmem.DecodeElements(elems, payload)
+		if err := s.store.WriteBlocks(addrs, elems); err != nil {
+			return nil, http.StatusInternalServerError, err.Error()
+		}
+	}
+	// else: a replayed write is acknowledged without touching the store.
+	// Its first execution already landed; re-applying a stale duplicate
+	// (e.g. one abandoned to a timeout, arriving after a *newer* write to
+	// the same blocks) would roll that newer data back.
+	if !replay {
+		if err := s.record(kind, addrs); err != nil {
+			// The access executed but could not be journaled: fail the
+			// request WITHOUT marking the id as seen, so the client's
+			// replay gets journaled rather than suppressed as a phantom
+			// "replay" of a request the audit log never recorded.
+			return nil, http.StatusInternalServerError, fmt.Sprintf("journal: %v", err)
+		}
+		s.remember(seq)
+	}
+	// Counters advance only for requests actually served.
+	s.requests++
+	if replay {
+		s.replays++
+	}
+	if op == opRead {
+		// A fresh buffer per request: the response outlives the lock (it is
+		// written to the socket after release), so it cannot share scratch.
+		wire = make([]byte, len(addrs)*s.blockBytes)
+		extmem.EncodeElements(wire, elems)
+	}
+	return wire, http.StatusOK, ""
+}
+
+// isReplay reports whether seq is in the replay-suppression window: a
+// retransmission of a request the server already executed and journaled
+// (its response was lost on the way back).
+func (s *Server) isReplay(seq uint64) bool {
+	_, ok := s.seen[seq]
+	return ok
+}
+
+// remember commits seq to the replay-suppression window — only after the
+// request both executed and journaled, so suppression never hides an access
+// the audit log missed.
+func (s *Server) remember(seq uint64) {
+	delete(s.seen, s.ring[s.ringNext])
+	s.ring[s.ringNext] = seq
+	s.ringNext = (s.ringNext + 1) % len(s.ring)
+	s.seen[seq] = struct{}{}
+}
+
+// record journals one batch's per-block accesses: the file write goes out
+// as a single buffer first, and the in-memory recorder advances only once
+// that write succeeded, so the two views cannot diverge mid-batch.
+func (s *Server) record(kind trace.Kind, addrs []int) error {
+	if s.journal != nil {
+		s.jbuf = s.jbuf[:0]
+		for _, a := range addrs {
+			s.jbuf = fmt.Appendf(s.jbuf, "%c %d\n", kind, a)
+		}
+		if _, err := s.journal.Write(s.jbuf); err != nil {
+			return err
+		}
+	}
+	for _, a := range addrs {
+		s.rec.Record(kind, int64(a))
+	}
+	return nil
+}
+
+func (s *Server) scratchElems(blocks int) []extmem.Element {
+	if need := blocks * s.b; cap(s.elems) < need {
+		s.elems = make([]extmem.Element, need)
+	}
+	return s.elems[:blocks*s.b]
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	info := infoJSON{NumBlocks: s.store.NumBlocks(), BlockSize: s.b}
+	s.mu.Unlock()
+	writeJSON(w, info)
+}
+
+func (s *Server) handleGrow(w http.ResponseWriter, r *http.Request) {
+	var req growJSON
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("grow: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.NumBlocks < 0 {
+		http.Error(w, "grow: negative capacity", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.NumBlocks > s.store.NumBlocks() {
+		g, ok := s.store.(extmem.Growable)
+		if !ok {
+			http.Error(w, fmt.Sprintf("grow: %T cannot grow", s.store), http.StatusBadRequest)
+			return
+		}
+		if err := g.GrowTo(req.NumBlocks); err != nil {
+			http.Error(w, fmt.Sprintf("grow: %v", err), http.StatusInternalServerError)
+			return
+		}
+	}
+	writeJSON(w, infoJSON{NumBlocks: s.store.NumBlocks(), BlockSize: s.b})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sum := s.rec.Summarize()
+	tj := traceJSON{Len: sum.Len, Hash: fmt.Sprintf("%016x", sum.Hash),
+		Requests: s.requests, Replays: s.replays}
+	s.mu.Unlock()
+	writeJSON(w, tj)
+}
+
+func (s *Server) handleTraceReset(w http.ResponseWriter, r *http.Request) {
+	s.ResetTrace()
+	w.WriteHeader(http.StatusOK)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -28,6 +28,7 @@ import (
 
 	"oblivext/internal/core"
 	"oblivext/internal/extmem"
+	"oblivext/internal/extmem/netstore"
 	"oblivext/internal/extmem/shard"
 	"oblivext/internal/obsort"
 	"oblivext/internal/oram"
@@ -92,16 +93,39 @@ type Config struct {
 	// identical; only issue timing (and round-trip grouping, since chunks
 	// are half-window) changes.
 	Prefetch bool
+	// URL, when non-empty, backs the store with a real remote Bob: an
+	// obstore server (cmd/obstore) at this base URL, spoken to over the
+	// batched binary HTTP protocol — every vectored store call is exactly
+	// one request. The server's block size must equal BlockSize. Measured
+	// (not modeled) round-trip stats are read back with
+	// MeasuredNetworkStats; SimulatedRTT may still be set to charge an
+	// additional accounted model on top.
+	URL string
+	// ShardURLs backs individual shards with remote obstore servers; when
+	// non-empty its length must equal NumShards. Entries may be empty to
+	// mix backends: shard i uses ShardURLs[i] when set, else ShardPaths[i]
+	// when set, else memory. The fan-out then hits K real servers in
+	// parallel, unchanged.
+	ShardURLs []string
+	// NetTimeout bounds each HTTP attempt against a network backend
+	// (default 10s).
+	NetTimeout time.Duration
+	// NetRetries is how many times a failed network request is replayed
+	// before giving up (0 selects the default of 3; -1 disables retries
+	// entirely for fail-fast runs). Requests are idempotent and carry a
+	// stable id, so replays are safe and the server journals them once.
+	NetRetries int
 }
 
 // Client is Alice: a private cache plus a connection to the block store.
 // Not safe for concurrent use (any internal concurrency — the sharded
 // fan-out, the prefetching scans — stays behind the single-caller API).
 type Client struct {
-	env     *extmem.Env
-	store   extmem.BlockStore
-	net     extmem.NetModel     // non-nil when SimulatedRTT/PerBlock is configured
-	sharded *shard.ShardedStore // non-nil when NumShards > 1
+	env        *extmem.Env
+	store      extmem.BlockStore
+	net        extmem.NetModel     // non-nil when SimulatedRTT/PerBlock is configured
+	sharded    *shard.ShardedStore // non-nil when NumShards > 1
+	netClients []*netstore.Client  // remote backends in shard order; nil without URL/ShardURLs
 }
 
 // New creates a client.
@@ -133,6 +157,18 @@ func New(cfg Config) (*Client, error) {
 	if len(cfg.ShardPaths) > 0 && len(cfg.ShardPaths) != cfg.NumShards {
 		return nil, fmt.Errorf("oblivext: got %d ShardPaths for %d shards", len(cfg.ShardPaths), cfg.NumShards)
 	}
+	if len(cfg.ShardURLs) > 0 && len(cfg.ShardURLs) != cfg.NumShards {
+		return nil, fmt.Errorf("oblivext: got %d ShardURLs for %d shards", len(cfg.ShardURLs), cfg.NumShards)
+	}
+	if cfg.URL != "" && cfg.Path != "" {
+		return nil, errors.New("oblivext: URL and Path are mutually exclusive")
+	}
+	if cfg.URL != "" && (cfg.NumShards > 1 || len(cfg.ShardURLs) > 0 || len(cfg.ShardPaths) > 0) {
+		return nil, errors.New("oblivext: with sharding use ShardURLs, not URL")
+	}
+	if cfg.NetTimeout < 0 || cfg.NetRetries < -1 {
+		return nil, errors.New("oblivext: NetTimeout must be non-negative and NetRetries >= -1")
+	}
 	var enc *extmem.Encryptor
 	if len(cfg.EncryptionKey) > 0 {
 		var err error
@@ -151,36 +187,68 @@ func New(cfg Config) (*Client, error) {
 		})
 	}
 
+	netOpts := netstore.Options{Timeout: cfg.NetTimeout}
+	switch {
+	case cfg.NetRetries == -1:
+		netOpts.MaxAttempts = 1 // fail-fast: the first attempt is the only one
+	case cfg.NetRetries > 0:
+		netOpts.MaxAttempts = cfg.NetRetries + 1
+	}
+
 	c := &Client{}
 	var store extmem.BlockStore
-	// ShardPaths with NumShards == 1 still goes through the sharded
-	// constructor so the named file backs the store (a silent fall-through
-	// to memory would lose the data on Close).
-	if cfg.NumShards > 1 || len(cfg.ShardPaths) > 0 {
+	// ShardPaths/ShardURLs with NumShards == 1 still go through the sharded
+	// constructor so the named backend serves the store (a silent
+	// fall-through to memory would lose the data on Close).
+	if cfg.NumShards > 1 || len(cfg.ShardPaths) > 0 || len(cfg.ShardURLs) > 0 {
 		if cfg.Path != "" {
 			return nil, errors.New("oblivext: with NumShards > 1 use ShardPaths, not Path")
 		}
-		if enc != nil && len(cfg.ShardPaths) == 0 {
-			return nil, errors.New("oblivext: encryption requires file-backed shards (set ShardPaths)")
+		if enc != nil {
+			if len(cfg.ShardURLs) > 0 {
+				return nil, errors.New("oblivext: encryption requires file-backed shards, not network backends")
+			}
+			if len(cfg.ShardPaths) == 0 {
+				return nil, errors.New("oblivext: encryption requires file-backed shards (set ShardPaths)")
+			}
 		}
 		perShard := extmem.CeilDiv(cfg.StartBlocks, cfg.NumShards)
 		children := make([]extmem.BlockStore, cfg.NumShards)
+		closeBuilt := func(n int) {
+			for _, ch := range children[:n] {
+				ch.Close()
+			}
+		}
 		for i := range children {
-			if len(cfg.ShardPaths) > 0 {
+			switch {
+			case len(cfg.ShardURLs) > 0 && cfg.ShardURLs[i] != "":
+				nc, err := netstore.Dial(cfg.ShardURLs[i], netOpts)
+				if err != nil {
+					closeBuilt(i)
+					return nil, err
+				}
+				if nc.BlockSize() != cfg.BlockSize {
+					nc.Close()
+					closeBuilt(i)
+					return nil, fmt.Errorf("oblivext: shard %d server block size %d != BlockSize %d",
+						i, nc.BlockSize(), cfg.BlockSize)
+				}
+				c.netClients = append(c.netClients, nc)
+				children[i] = wrapNet(nc)
+			case len(cfg.ShardPaths) > 0 && cfg.ShardPaths[i] != "":
 				fs, err := extmem.NewFileStore(cfg.ShardPaths[i], perShard, cfg.BlockSize, enc)
 				if err != nil {
-					for _, ch := range children[:i] {
-						ch.Close()
-					}
+					closeBuilt(i)
 					return nil, err
 				}
 				children[i] = wrapNet(fs)
-			} else {
+			default:
 				children[i] = wrapNet(extmem.NewMemStore(perShard, cfg.BlockSize))
 			}
 		}
 		sh, err := shard.New(children)
 		if err != nil {
+			closeBuilt(len(children))
 			return nil, err
 		}
 		c.sharded = sh
@@ -188,6 +256,20 @@ func New(cfg Config) (*Client, error) {
 		if latency {
 			c.net = sh // critical-path model over the per-shard latencies
 		}
+	} else if cfg.URL != "" {
+		if enc != nil {
+			return nil, errors.New("oblivext: encryption requires a file-backed store, not a network backend")
+		}
+		nc, err := netstore.Dial(cfg.URL, netOpts)
+		if err != nil {
+			return nil, err
+		}
+		if nc.BlockSize() != cfg.BlockSize {
+			nc.Close()
+			return nil, fmt.Errorf("oblivext: server block size %d != BlockSize %d", nc.BlockSize(), cfg.BlockSize)
+		}
+		c.netClients = []*netstore.Client{nc}
+		store = wrapNet(nc)
 	} else if cfg.Path != "" {
 		fs, err := extmem.NewFileStore(cfg.Path, cfg.StartBlocks, cfg.BlockSize, enc)
 		if err != nil {
@@ -205,6 +287,21 @@ func New(cfg Config) (*Client, error) {
 	}
 	env := extmem.NewEnvOn(store, cfg.CacheWords, cfg.Seed)
 	env.D.SetMaxBatch(cfg.MaxBatchBlocks)
+	// A network backend bounds how many blocks one request may carry; cap
+	// the Disk's vectored batches to the tightest wire limit so a batch can
+	// never be rejected for size. Splitting only regroups round trips — the
+	// per-block trace Bob sees is unchanged.
+	if len(c.netClients) > 0 {
+		wireCap := c.netClients[0].MaxBatchBlocks()
+		for _, nc := range c.netClients[1:] {
+			if m := nc.MaxBatchBlocks(); m < wireCap {
+				wireCap = m
+			}
+		}
+		if cfg.MaxBatchBlocks == 0 || cfg.MaxBatchBlocks > wireCap {
+			env.D.SetMaxBatch(wireCap)
+		}
+	}
 	env.Prefetch = cfg.Prefetch
 	c.env, c.store = env, store
 	return c, nil
@@ -244,14 +341,17 @@ func (c *Client) Stats() IOStats {
 }
 
 // ResetStats zeroes the I/O counters, including the latency model's
-// round-trip and modeled-time counters and the per-shard counters when
-// configured.
+// round-trip and modeled-time counters, the per-shard counters, and the
+// measured network counters when configured.
 func (c *Client) ResetStats() {
 	c.env.D.ResetStats()
 	if c.sharded != nil {
 		c.sharded.ResetNetStats() // resets the per-shard latency models too
 	} else if c.net != nil {
 		c.net.ResetNetStats()
+	}
+	for _, nc := range c.netClients {
+		nc.ResetNetStats()
 	}
 }
 
@@ -299,6 +399,55 @@ type ShardIOStats struct {
 	// ModeledTime is the delay this shard's latency model charged (zero
 	// without SimulatedRTT/SimulatedPerBlock).
 	ModeledTime time.Duration
+}
+
+// NetIOStats is the measured — not modeled — cost of one network backend's
+// traffic: real wall-clock waits on actual HTTP requests, retries and
+// backoff included.
+type NetIOStats struct {
+	// Requests counts completed store interactions (retries of one request
+	// do not add to it).
+	Requests int64
+	// Retries counts replays forced by transport failures, timeouts, or 5xx
+	// responses; zero on a healthy network.
+	Retries int64
+	// BlocksMoved counts blocks transferred in completed interactions.
+	BlocksMoved int64
+	// MeasuredTime is the wall-clock wait summed over interactions, first
+	// attempt through final response.
+	MeasuredTime time.Duration
+	// MinRTT and MaxRTT are the fastest and slowest completed interactions.
+	MinRTT, MaxRTT time.Duration
+}
+
+// MeasuredNetworkStats returns per-server measured network counters — one
+// entry per network-backed shard in shard order, a single entry with URL —
+// or nil when no network backend is configured. They sit alongside the
+// modeled figures: ModeledNetworkTime is what the latency model charged,
+// MeasuredTime is what the wire actually took.
+func (c *Client) MeasuredNetworkStats() []NetIOStats {
+	if len(c.netClients) == 0 {
+		return nil
+	}
+	out := make([]NetIOStats, len(c.netClients))
+	for i, nc := range c.netClients {
+		s := nc.NetStats()
+		out[i] = NetIOStats{Requests: s.Requests, Retries: s.Retries, BlocksMoved: s.BlocksMoved,
+			MeasuredTime: s.Total, MinRTT: s.Min, MaxRTT: s.Max}
+	}
+	return out
+}
+
+// MeasuredNetworkTime returns the total wall-clock time spent waiting on
+// network requests, summed over servers (zero without a network backend).
+// With a sharded fan-out the per-server waits overlap, so elapsed time can
+// be lower than this sum.
+func (c *Client) MeasuredNetworkTime() time.Duration {
+	var total time.Duration
+	for _, nc := range c.netClients {
+		total += nc.NetStats().Total
+	}
+	return total
 }
 
 // ShardStats returns per-shard traffic counters (nil when unsharded). The
