@@ -1,15 +1,22 @@
-// Command obench runs the reproduction experiments (E1–E15 and the
+// Command obench runs the reproduction experiments (E1–E17 and the
 // Figure 1 rendering from DESIGN.md's index) and prints their tables as
 // markdown — the data recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
-//	obench            # run everything
-//	obench -exp E9    # run one experiment
-//	obench -list      # list experiment IDs
+//	obench                               # run everything
+//	obench -exp E9                       # run one experiment
+//	obench -exp E17 -json BENCH_oram.json # also write the tables as JSON
+//	obench -list                         # list experiment IDs
+//
+// -json writes the executed tables — headers, rows, notes, and the
+// machine-readable Metrics map where an experiment fills one — as a JSON
+// array, so CI can archive perf artifacts (the BENCH_oram.json artifact
+// tracks the ORAM round-trip trajectory across PRs).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +28,7 @@ import (
 func main() {
 	exp := flag.String("exp", "", "run a single experiment by ID (e.g. E9)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonPath := flag.String("json", "", "write the executed tables as a JSON array to this path")
 	flag.Parse()
 
 	if *list {
@@ -38,10 +46,25 @@ func main() {
 		}
 		run = []bench.Experiment{e}
 	}
+	var tables []*bench.Table
 	for _, e := range run {
 		start := time.Now()
 		table := e.Run()
+		tables = append(tables, table)
 		fmt.Println(table.Markdown())
 		fmt.Printf("_(%s completed in %v)_\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obench: marshal tables: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "obench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obench: wrote %d table(s) to %s\n", len(tables), *jsonPath)
 	}
 }

@@ -13,12 +13,15 @@ import (
 )
 
 // Table is one experiment's output: a title, column headers, and rows.
+// Metrics optionally carries machine-readable key figures (obench -json
+// serializes them so CI can track the perf trajectory across PRs).
 type Table struct {
 	ID      string
 	Title   string
 	Headers []string
 	Rows    [][]string
 	Notes   []string
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // Markdown renders the table as GitHub-flavored markdown.
@@ -63,6 +66,7 @@ func All() []Experiment {
 		{"E14", "Vectored block I/O: round trips scalar vs batched", E14},
 		{"E15", "Sharded multi-backend store: parallel fan-out speedup", E15},
 		{"E16", "Real HTTP backend: measured cost and server-audited trace", E16},
+		{"E17", "Batched ORAM accesses: measured round trips over a real server", E17},
 	}
 }
 

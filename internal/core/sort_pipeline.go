@@ -38,7 +38,10 @@ func consolidateColors(env *extmem.Env, a extmem.Array, colors int) extmem.Array
 	kg := min(k, colors)
 	in := env.Cache.Buf(kg * b)
 	wbuf := env.Cache.Buf(k * b)
-	wr := extmem.NewSeqWriter(out, 0, wbuf)
+	// Emitting is pure compute over the staging lists, so with Prefetch the
+	// double-buffered writer's flushes overlap it; the per-block write
+	// sequence is identical either way.
+	wr := extmem.NewSeqWriterPipelined(out, 0, wbuf, env.Prefetch)
 
 	emit := func(quota int) {
 		emitted := 0
@@ -65,6 +68,7 @@ func consolidateColors(env *extmem.Env, a extmem.Array, colors int) extmem.Array
 		}
 		for clo := lo; clo < hi; clo += kg {
 			chi := min(clo+kg, hi)
+			wr.Join() // a flush may be in flight; the writer owns the disk until joined
 			a.ReadRange(clo, chi, in[:(chi-clo)*b])
 			for i := clo; i < chi; i++ {
 				for _, e := range in[(i-clo)*b : (i-clo+1)*b] {
@@ -126,6 +130,11 @@ func deal(env *extmem.Env, a extmem.Array, colors, batch, quota int) ([]extmem.A
 
 	buf := env.Cache.Buf(batch * b)
 	wbuf := env.Cache.Buf(env.ScanBatchN(1, quota) * b)
+	// The color arrays are independent targets fed from the in-cache batch
+	// buffer, so one pipelined writer retargeted color by color overlaps
+	// color c's flush with color c+1's compute (async when Prefetch; the
+	// flush boundaries — and so the per-block trace — are mode-independent).
+	wr := extmem.NewSeqWriterPipelined(out[0], 0, wbuf, env.Prefetch)
 	ok := true
 	for g := 0; g < batches; g++ {
 		lo := g * batch
@@ -134,6 +143,7 @@ func deal(env *extmem.Env, a extmem.Array, colors, batch, quota int) ([]extmem.A
 			hi = n
 		}
 		cnt := hi - lo
+		wr.Join() // the previous batch's last flush may still be in flight
 		a.ReadRange(lo, hi, buf[:cnt*b])
 		// Index the batch's full blocks by color (private).
 		perColor := make([][]int, colors+1)
@@ -148,7 +158,7 @@ func deal(env *extmem.Env, a extmem.Array, colors, batch, quota int) ([]extmem.A
 			if len(perColor[c]) > quota {
 				ok = false // Corollary 19 overflow; excess blocks dropped
 			}
-			wr := extmem.NewSeqWriter(out[c-1], g*quota, wbuf)
+			wr.Retarget(out[c-1], g*quota)
 			for s := 0; s < quota; s++ {
 				blk := wr.Next()
 				if s < len(perColor[c]) {
@@ -159,9 +169,10 @@ func deal(env *extmem.Env, a extmem.Array, colors, batch, quota int) ([]extmem.A
 					}
 				}
 			}
-			wr.Flush()
+			wr.FlushAsync()
 		}
 	}
+	wr.Join()
 	env.Cache.Free(wbuf)
 	env.Cache.Free(buf)
 	return out, ok

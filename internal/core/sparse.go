@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"oblivext/internal/extmem"
 	"oblivext/internal/iblt"
@@ -81,20 +82,24 @@ func CompactMarkedTight(env *extmem.Env, a extmem.Array, rCap int) (extmem.Array
 	}
 	CompactBlocksTight(env, cons, PredOccupied, 0)
 	if cons.Len() < rCap {
-		// Pad: allocate the full capacity and copy the prefix.
+		// Pad: allocate the full capacity and copy the prefix, a chunked
+		// run copy with zero-fill past the prefix.
 		out := env.D.Alloc(rCap)
-		blk := env.Cache.Buf(env.B())
-		for i := 0; i < rCap; i++ {
-			if i < cons.Len() {
-				cons.Read(i, blk)
-			} else {
-				for t := range blk {
-					blk[t] = extmem.Element{}
-				}
+		b := env.B()
+		k := env.ScanBatchN(1, rCap)
+		buf := env.Cache.Buf(k * b)
+		for lo := 0; lo < rCap; lo += k {
+			hi := min(lo+k, rCap)
+			rh := min(hi, cons.Len())
+			if rh > lo {
+				cons.ReadRange(lo, rh, buf[:(rh-lo)*b])
 			}
-			out.Write(i, blk)
+			for t := max(rh, lo) * b; t < hi*b; t++ {
+				buf[t-lo*b] = extmem.Element{}
+			}
+			out.WriteRange(lo, hi, buf[:(hi-lo)*b])
 		}
-		env.Cache.Free(blk)
+		env.Cache.Free(buf)
 		return out, marked, nil
 	}
 	return cons.Slice(0, rCap), marked, nil
@@ -127,27 +132,39 @@ func CompactBlocksSparse(env *extmem.Env, a extmem.Array, rCap int, p SparsePara
 	out := env.D.Alloc(rCap)
 
 	// Table storage: one sum block per cell plus packed (count, keySum)
-	// headers, B per block.
+	// headers, B per block. Zeroing is a chunked run write.
 	sums := env.D.Alloc(m)
 	hdrs := env.D.Alloc(extmem.CeilDiv(m, b))
-	zero := env.Cache.Buf(b)
+	zk := env.ScanBatchN(1, sums.Len())
+	zero := env.Cache.Buf(zk * b)
 	for i := range zero {
 		zero[i] = extmem.Element{}
 	}
-	for i := 0; i < sums.Len(); i++ {
-		sums.Write(i, zero)
+	for lo := 0; lo < sums.Len(); lo += zk {
+		hi := min(lo+zk, sums.Len())
+		sums.WriteRange(lo, hi, zero[:(hi-lo)*b])
 	}
-	for i := 0; i < hdrs.Len(); i++ {
-		hdrs.Write(i, zero)
+	for lo := 0; lo < hdrs.Len(); lo += zk {
+		hi := min(lo+zk, hdrs.Len())
+		hdrs.WriteRange(lo, hi, zero[:(hi-lo)*b])
 	}
 	env.Cache.Free(zero)
 
 	// Insertion pass: each position touches its k cells; unoccupied
 	// positions write the cells back unchanged (re-encrypted in the real
-	// deployment — indistinguishable either way).
+	// deployment — indistinguishable either way). The cell indices are hash
+	// outputs of the (public) position, so the k sum cells and their header
+	// blocks travel as vectored batches: one read and one write each —
+	// four round trips per position instead of 4k. Colliding hash functions
+	// are deduplicated first-touch so each address appears once per batch;
+	// the in-cache copy absorbs the multiplicity exactly as the scalar
+	// read-modify-write sequence did.
 	ablk := env.Cache.Buf(b)
-	sblk := env.Cache.Buf(b)
-	hblk := env.Cache.Buf(b)
+	g := env.ScanBatchN(2, p.K) // unique cells per vectored group
+	sbuf := env.Cache.Buf(g * b)
+	hbuf := env.Cache.Buf(g * b)
+	cells := make([]int, 0, p.K)
+	hblks := make([]int, 0, p.K)
 	occCount := 0
 	for i := 0; i < n; i++ {
 		a.Read(i, ablk)
@@ -155,28 +172,59 @@ func CompactBlocksSparse(env *extmem.Env, a extmem.Array, rCap int, p SparsePara
 		if occ {
 			occCount++
 		}
+		// Keys are positions offset by one so that a zero keySum is never a
+		// valid key; the peeler subtracts the offset back.
+		cells = cells[:0]
+		hblks = hblks[:0]
 		for j := 0; j < p.K; j++ {
-			// Keys are positions offset by one so that a zero keySum is
-			// never a valid key; the peeler subtracts the offset back.
 			c := hasher.Index(j, uint64(i)+1)
-			sums.Read(c, sblk)
-			hdrs.Read(c/b, hblk)
-			if occ {
-				for t := 0; t < b; t++ {
-					sblk[t].Key += ablk[t].Key
-					sblk[t].Val += ablk[t].Val
-					sblk[t].Pos += ablk[t].Pos
-					sblk[t].Flags += ablk[t].Flags
-				}
-				hblk[c%b].Val++                // count
-				hblk[c%b].Key += uint64(i) + 1 // keySum (keys offset by 1 so key 0 is distinguishable)
+			if !slices.Contains(cells, c) {
+				cells = append(cells, c)
 			}
-			sums.Write(c, sblk)
-			hdrs.Write(c/b, hblk)
+			if !slices.Contains(hblks, c/b) {
+				hblks = append(hblks, c/b)
+			}
+		}
+		for glo := 0; glo < len(cells); glo += g {
+			grp := cells[glo:min(glo+g, len(cells))]
+			sums.ReadMany(grp, sbuf[:len(grp)*b])
+			if occ {
+				for j := 0; j < p.K; j++ {
+					c := hasher.Index(j, uint64(i)+1)
+					gi := slices.Index(grp, c)
+					if gi < 0 {
+						continue
+					}
+					sblk := sbuf[gi*b : (gi+1)*b]
+					for t := 0; t < b; t++ {
+						sblk[t].Key += ablk[t].Key
+						sblk[t].Val += ablk[t].Val
+						sblk[t].Pos += ablk[t].Pos
+						sblk[t].Flags += ablk[t].Flags
+					}
+				}
+			}
+			sums.WriteMany(grp, sbuf[:len(grp)*b])
+		}
+		for glo := 0; glo < len(hblks); glo += g {
+			grp := hblks[glo:min(glo+g, len(hblks))]
+			hdrs.ReadMany(grp, hbuf[:len(grp)*b])
+			if occ {
+				for j := 0; j < p.K; j++ {
+					c := hasher.Index(j, uint64(i)+1)
+					gi := slices.Index(grp, c/b)
+					if gi < 0 {
+						continue
+					}
+					hbuf[gi*b+c%b].Val++                // count
+					hbuf[gi*b+c%b].Key += uint64(i) + 1 // keySum (offset keys: key 0 stays distinguishable)
+				}
+			}
+			hdrs.WriteMany(grp, hbuf[:len(grp)*b])
 		}
 	}
-	env.Cache.Free(hblk)
-	env.Cache.Free(sblk)
+	env.Cache.Free(hbuf)
+	env.Cache.Free(sbuf)
 	env.Cache.Free(ablk)
 
 	// Peel: private if the whole table fits comfortably in cache,
@@ -215,22 +263,30 @@ func peelPrivate(env *extmem.Env, sums, hdrs extmem.Array, h *rng.Hasher, m, rCa
 		cells[i].ValSum = flat[i*w : (i+1)*w]
 	}
 
-	blk := env.Cache.Buf(b)
-	for c := 0; c < m; c++ {
-		sums.Read(c, blk)
-		encodeBlockWords(cells[c].ValSum, blk)
-	}
-	for hb := 0; hb < hdrs.Len(); hb++ {
-		hdrs.Read(hb, blk)
-		for t := 0; t < b; t++ {
-			c := hb*b + t
-			if c >= m {
-				break
-			}
-			cells[c].Count = int64(blk[t].Val)
-			cells[c].KeySum = blk[t].Key
+	kc := env.ScanBatchN(1, m)
+	cbuf := env.Cache.Buf(kc * b)
+	for lo := 0; lo < m; lo += kc {
+		hi := min(lo+kc, m)
+		sums.ReadRange(lo, hi, cbuf[:(hi-lo)*b])
+		for c := lo; c < hi; c++ {
+			encodeBlockWords(cells[c].ValSum, cbuf[(c-lo)*b:(c-lo+1)*b])
 		}
 	}
+	for lo := 0; lo < hdrs.Len(); lo += kc {
+		hi := min(lo+kc, hdrs.Len())
+		hdrs.ReadRange(lo, hi, cbuf[:(hi-lo)*b])
+		for hb := lo; hb < hi; hb++ {
+			for t := 0; t < b; t++ {
+				c := hb*b + t
+				if c >= m {
+					break
+				}
+				cells[c].Count = int64(cbuf[(hb-lo)*b+t].Val)
+				cells[c].KeySum = cbuf[(hb-lo)*b+t].Key
+			}
+		}
+	}
+	env.Cache.Free(cbuf)
 
 	type rec struct {
 		key   uint64
@@ -246,8 +302,13 @@ func peelPrivate(env *extmem.Env, sums, hdrs extmem.Array, h *rng.Hasher, m, rCa
 		}
 	}, nil)
 
-	// Emit exactly rCap blocks: recovered cells then empties.
+	// Emit exactly rCap blocks: recovered cells then empties, streamed
+	// through a vectored sequential writer.
+	kw := env.ScanBatchN(1, rCap)
+	wbuf := env.Cache.Buf(kw * b)
+	wr := extmem.NewSeqWriter(out, 0, wbuf)
 	for i := 0; i < rCap; i++ {
+		blk := wr.Next()
 		if i < len(recs) {
 			decodeBlockWords(blk, recs[i].words)
 		} else {
@@ -255,9 +316,9 @@ func peelPrivate(env *extmem.Env, sums, hdrs extmem.Array, h *rng.Hasher, m, rCa
 				blk[t] = extmem.Element{}
 			}
 		}
-		out.Write(i, blk)
 	}
-	env.Cache.Free(blk)
+	wr.Flush()
+	env.Cache.Free(wbuf)
 	env.Cache.Release(rCap * (w + 1))
 	env.Cache.Release(m * (w + 2))
 	return len(recs), nil
@@ -282,27 +343,36 @@ func peelViaORAM(env *extmem.Env, sums, hdrs extmem.Array, h *rng.Hasher, m, rCa
 		return 0, err
 	}
 
-	// Load the table into the cell ORAM.
-	blk := env.Cache.Buf(b)
-	hdr := env.Cache.Buf(b)
+	// Load the table into the cell ORAM. The direct sums/hdrs reads are
+	// chunked run reads (a chunk's cells span at most kc/b+1 header
+	// blocks); the ORAM writes dominate the cost regardless.
 	words := make([]uint64, cb*b)
 	env.Cache.Acquire(cb * b)
-	for c := 0; c < m; c++ {
-		sums.Read(c, blk)
-		hdrs.Read(c/b, hdr)
-		words[0] = uint64(hdr[c%b].Val)
-		words[1] = hdr[c%b].Key
-		encodeBlockWords(words[2:2+extmem.ElementWords*b], blk)
-		for j := 0; j < cb; j++ {
-			if err := cellRAM.Write(c*cb+j, words[j*b:(j+1)*b]); err != nil {
-				env.Cache.Free(hdr)
-				env.Cache.Free(blk)
-				env.Cache.Release(cb * b)
-				return 0, err
+	kc := env.ScanBatchN(2, m)
+	sb := env.Cache.Buf(kc * b)
+	hb := env.Cache.Buf((kc/b + 1) * b)
+	for lo := 0; lo < m; lo += kc {
+		hi := min(lo+kc, m)
+		sums.ReadRange(lo, hi, sb[:(hi-lo)*b])
+		h0, h1 := lo/b, (hi-1)/b+1
+		hdrs.ReadRange(h0, h1, hb[:(h1-h0)*b])
+		for c := lo; c < hi; c++ {
+			hdr := hb[(c/b-h0)*b : (c/b-h0+1)*b]
+			words[0] = uint64(hdr[c%b].Val)
+			words[1] = hdr[c%b].Key
+			encodeBlockWords(words[2:2+extmem.ElementWords*b], sb[(c-lo)*b:(c-lo+1)*b])
+			for j := 0; j < cb; j++ {
+				if err := cellRAM.Write(c*cb+j, words[j*b:(j+1)*b]); err != nil {
+					env.Cache.Free(hb)
+					env.Cache.Free(sb)
+					env.Cache.Release(cb * b)
+					return 0, err
+				}
 			}
 		}
 	}
-	env.Cache.Free(hdr)
+	env.Cache.Free(hb)
+	env.Cache.Free(sb)
 
 	cs := &oramCells{ram: cellRAM, m: m, cb: cb, b: b, cw: cw}
 	emitted := 0
@@ -334,7 +404,12 @@ func peelViaORAM(env *extmem.Env, sums, hdrs extmem.Array, h *rng.Hasher, m, rCa
 		oramErr = cs.err
 	}
 
-	// Dump the output ORAM into the result array.
+	// Dump the output ORAM into the result array, streaming the result
+	// blocks through a vectored sequential writer (the ORAM reads keep
+	// their own fixed trace).
+	kw := env.ScanBatchN(1, rCap)
+	wbuf := env.Cache.Buf(kw * b)
+	wr := extmem.NewSeqWriter(out, 0, wbuf)
 	for i := 0; i < rCap; i++ {
 		for j := 0; j < ob; j++ {
 			v, e := outRAM.Read(i*ob + j)
@@ -345,6 +420,7 @@ func peelViaORAM(env *extmem.Env, sums, hdrs extmem.Array, h *rng.Hasher, m, rCa
 				copy(outWords[j*b:(j+1)*b], v)
 			}
 		}
+		blk := wr.Next()
 		if i < emitted {
 			decodeBlockWords(blk, outWords)
 		} else {
@@ -352,9 +428,9 @@ func peelViaORAM(env *extmem.Env, sums, hdrs extmem.Array, h *rng.Hasher, m, rCa
 				blk[t] = extmem.Element{}
 			}
 		}
-		out.Write(i, blk)
 	}
-	env.Cache.Free(blk)
+	wr.Flush()
+	env.Cache.Free(wbuf)
 	env.Cache.Release(cb * b)
 	env.Cache.Release(ob * b)
 	if emitted > rCap {

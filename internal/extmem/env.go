@@ -15,11 +15,14 @@ type Env struct {
 	Cache *Cache
 	Tape  *rng.Tape
 	M     int
-	// Prefetch makes read-only pass-structured scans use the double-buffered
-	// SeqReader: the next chunk's fetch overlaps the current chunk's in-cache
-	// compute. The per-block access sequence is unchanged (the chunks are
-	// half the cache window instead of the whole, so round-trip counts
-	// differ, but the trace Bob sees block by block is identical).
+	// Prefetch makes pass-structured I/O double-buffered: read scans use
+	// the SeqReader (the next chunk's fetch overlaps the current chunk's
+	// in-cache compute) and sequential writers use the pipelined SeqWriter
+	// (one half-buffer flushes in the background while the caller fills
+	// the other). The per-block access sequence is unchanged (the chunks
+	// are half the cache window instead of the whole, so round-trip counts
+	// differ, but the trace Bob sees block by block is identical in either
+	// mode).
 	Prefetch bool
 }
 

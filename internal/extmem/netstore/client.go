@@ -28,18 +28,48 @@ type Options struct {
 	// Backoff is the delay before the first retry, doubling per further
 	// retry and capped at one second (default 10ms).
 	Backoff time.Duration
-	// Transport overrides the HTTP transport (default
-	// http.DefaultTransport). The fault-injection tests use this to drop,
-	// delay, and corrupt responses.
+	// MaxIdleConnsPerHost sizes the keep-alive pool of the client's default
+	// transport (0 selects 4). A batched ORAM access is a drumbeat of
+	// small sequential requests — one per probed level plus the grouped
+	// write-back — so connection reuse, not parallelism, is what keeps the
+	// per-request cost at one RTT instead of one RTT plus a dial. Size it
+	// to the fan-out width when several shard clients share one Transport
+	// (oblivext.New does): all K sub-batches of a vectored call are in
+	// flight at once and, when shard URLs point at one host, land on the
+	// same per-host pool. Ignored when Transport is set.
+	MaxIdleConnsPerHost int
+	// Transport overrides the HTTP transport (default: NewTransport, a
+	// keep-alive transport with an explicit idle pool). The
+	// fault-injection tests use this to drop, delay, and corrupt
+	// responses.
 	Transport http.RoundTripper
 }
 
 const (
-	defaultTimeout     = 10 * time.Second
-	defaultMaxAttempts = 4
-	defaultBackoff     = 10 * time.Millisecond
-	maxBackoff         = time.Second
+	defaultTimeout        = 10 * time.Second
+	defaultMaxAttempts    = 4
+	defaultBackoff        = 10 * time.Millisecond
+	maxBackoff            = time.Second
+	defaultMaxIdlePerHost = 4
 )
+
+// NewTransport returns the transport a Client uses when Options.Transport
+// is nil: http.DefaultTransport's dialer and TLS settings with keep-alives
+// on and an explicit idle pool, so steady request streams (the batched
+// ORAM access pattern above all) reuse connections instead of re-dialing.
+// perHost sizes the per-host idle pool; values below the default of 4 are
+// raised to it.
+func NewTransport(perHost int) *http.Transport {
+	if perHost < defaultMaxIdlePerHost {
+		perHost = defaultMaxIdlePerHost
+	}
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConnsPerHost = perHost
+	if t.MaxIdleConns < 4*perHost {
+		t.MaxIdleConns = 4 * perHost
+	}
+	return t
+}
 
 // Stats is the measured (not modeled) network cost of the traffic a Client
 // has issued: real wall-clock waits, as opposed to the LatencyStore's
@@ -100,7 +130,7 @@ func Dial(baseURL string, opts Options) (*Client, error) {
 	}
 	transport := opts.Transport
 	if transport == nil {
-		transport = http.DefaultTransport
+		transport = NewTransport(opts.MaxIdleConnsPerHost)
 	}
 	c := &Client{
 		base:        strings.TrimRight(baseURL, "/"),

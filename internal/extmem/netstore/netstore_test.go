@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"oblivext/internal/extmem"
@@ -330,4 +332,61 @@ func equalElems(a, b []extmem.Element) bool {
 		}
 	}
 	return true
+}
+
+// TestTransportTuning pins the connection-pool contract: NewTransport
+// raises the per-host idle pool to the requested fan-out width (never below
+// the default), keeps keep-alives enabled, and a default-dialed client
+// actually reuses connections — a steady stream of requests to one server
+// must not open one connection per request.
+func TestTransportTuning(t *testing.T) {
+	tr := NewTransport(16)
+	if tr.MaxIdleConnsPerHost != 16 {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want 16", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns < 64 {
+		t.Fatalf("MaxIdleConns = %d, want >= 4x per-host", tr.MaxIdleConns)
+	}
+	if tr.DisableKeepAlives {
+		t.Fatal("keep-alives disabled")
+	}
+	if low := NewTransport(1); low.MaxIdleConnsPerHost < 4 {
+		t.Fatalf("per-host pool %d below the default floor", low.MaxIdleConnsPerHost)
+	}
+
+	srv := NewServer(extmem.NewMemStore(64, 4), ServerOptions{})
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	var mu sync.Mutex
+	conns := map[string]bool{}
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			mu.Lock()
+			conns[c.RemoteAddr().String()] = true
+			mu.Unlock()
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+	c, err := Dial(ts.URL, Options{MaxIdleConnsPerHost: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]extmem.Element, 4)
+	for i := 0; i < 50; i++ {
+		if err := c.WriteBlock(i%64, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ReadBlock(i%64, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// One warm connection serves the serial drumbeat; allow slack for the
+	// dial-time control request, but 100 sequential requests must not cost
+	// anywhere near 100 dials.
+	if len(conns) > 4 {
+		t.Fatalf("%d connections opened for 100 sequential requests — keep-alive reuse is broken", len(conns))
+	}
 }

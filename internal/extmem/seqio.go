@@ -149,16 +149,33 @@ func (r *SeqReader) Close() {
 // The buffer must be a positive multiple of the array's block size and must
 // be checked out of the Cache by the caller (SeqWriter does no accounting of
 // its own). Call Flush before freeing the buffer.
+//
+// A writer built with NewSeqWriterPipelined is the write-side dual of
+// SeqReader: the buffer is split into two halves, and when one half fills
+// its flush can run on a background goroutine while the caller fills the
+// other half — a remote Bob's write round trip overlaps Alice's in-cache
+// compute. The per-block write sequence is identical in all modes (the
+// flush boundaries are fixed at half-buffer granularity whether or not the
+// flush is asynchronous; only issue timing moves). At most one flush is
+// ever in flight, and the writer must be the only source of disk I/O while
+// one is pending: callers that interleave their own reads or writes must
+// call Join first.
 type SeqWriter struct {
 	a    Array
-	buf  []Element
+	buf  []Element // fill half (sync mode: the whole buffer)
 	b    int
 	next int // array index the first buffered block will be written to
 	fill int // blocks currently buffered
+
+	duplex  bool // two halves with half-granularity flush boundaries
+	async   bool // flushes run on a background goroutine
+	other   []Element
+	pending bool
+	done    chan any // carries the flush goroutine's recover()
 }
 
 // NewSeqWriter returns a writer that will write its first block at index
-// start of a.
+// start of a, flushing whole buffers synchronously.
 func NewSeqWriter(a Array, start int, buf []Element) *SeqWriter {
 	b := a.B()
 	if len(buf) == 0 || len(buf)%b != 0 {
@@ -167,13 +184,39 @@ func NewSeqWriter(a Array, start int, buf []Element) *SeqWriter {
 	return &SeqWriter{a: a, buf: buf, b: b, next: start}
 }
 
+// NewSeqWriterPipelined returns a double-buffered writer over the two
+// halves of buf: flush boundaries sit at half-buffer granularity, and with
+// async set each half's flush overlaps the caller's in-cache compute on the
+// other half. async=false keeps the flushes synchronous at the identical
+// boundaries — the apples-to-apples baseline, with a per-block trace
+// bit-identical to the async run. A buffer too small to split (one block)
+// degrades to the synchronous whole-buffer writer.
+func NewSeqWriterPipelined(a Array, start int, buf []Element, async bool) *SeqWriter {
+	b := a.B()
+	if len(buf) == 0 || len(buf)%b != 0 {
+		panic(fmt.Sprintf("extmem: SeqWriter buffer %d not a positive multiple of block size %d", len(buf), b))
+	}
+	half := len(buf) / (2 * b) * b // blocks per half, floored to block multiple
+	if half == 0 {
+		return &SeqWriter{a: a, buf: buf, b: b, next: start}
+	}
+	return &SeqWriter{
+		a: a, buf: buf[:half], other: buf[half : 2*half], b: b, next: start,
+		duplex: true, async: async, done: make(chan any, 1),
+	}
+}
+
 // Next returns the slot for the next output block; the caller fills it with
-// exactly B elements. A full buffer is flushed before the slot is handed
-// out, so the returned slice is always valid until the following Next or
-// Flush call.
+// exactly B elements. A full buffer (half, for a pipelined writer) is
+// flushed before the slot is handed out, so the returned slice is always
+// valid until the following Next, Flush, or FlushAsync call.
 func (w *SeqWriter) Next() []Element {
 	if (w.fill+1)*w.b > len(w.buf) {
-		w.Flush()
+		if w.duplex {
+			w.flushHalf()
+		} else {
+			w.Flush()
+		}
 	}
 	s := w.buf[w.fill*w.b : (w.fill+1)*w.b]
 	w.fill++
@@ -183,8 +226,69 @@ func (w *SeqWriter) Next() []Element {
 // Pos returns the array index the next Next() slot will be written to.
 func (w *SeqWriter) Pos() int { return w.next + w.fill }
 
-// Flush writes the buffered blocks with one vectored call.
+// flushHalf hands the filled half to the flusher (joining any flush already
+// in flight first) and makes the idle half current.
+func (w *SeqWriter) flushHalf() {
+	if w.fill == 0 {
+		return
+	}
+	w.Join()
+	a, lo, n, src := w.a, w.next, w.fill, w.buf
+	w.next += w.fill
+	w.fill = 0
+	w.buf, w.other = w.other, w.buf
+	if !w.async {
+		a.WriteRange(lo, lo+n, src[:n*w.b])
+		return
+	}
+	w.pending = true
+	go func() {
+		defer func() { w.done <- recover() }()
+		a.WriteRange(lo, lo+n, src[:n*w.b])
+	}()
+}
+
+// FlushAsync pushes the buffered blocks toward the store without waiting
+// for the write to land: on a pipelined writer the partially filled half is
+// flushed exactly like a full one (in the background when async), so the
+// write overlaps whatever the caller computes next. On a plain writer it is
+// Flush. Call Join (or Flush) before performing other disk I/O.
+func (w *SeqWriter) FlushAsync() {
+	if w.duplex {
+		w.flushHalf()
+		return
+	}
+	w.Flush()
+}
+
+// Join waits for an in-flight background flush, re-raising a panic it hit.
+// After Join the caller may safely issue its own disk I/O. It is idempotent
+// and a no-op for synchronous writers.
+func (w *SeqWriter) Join() {
+	if !w.pending {
+		return
+	}
+	w.pending = false
+	if p := <-w.done; p != nil {
+		panic(p)
+	}
+}
+
+// Retarget points the writer at a new destination: subsequent blocks go to
+// index start of a. Buffered blocks must have been flushed first (Flush or
+// FlushAsync); a background flush of the old target may still be in flight.
+func (w *SeqWriter) Retarget(a Array, start int) {
+	if w.fill != 0 {
+		panic("extmem: SeqWriter retarget with unflushed blocks")
+	}
+	w.a = a
+	w.next = start
+}
+
+// Flush writes the buffered blocks with one vectored call and joins any
+// background flush, so the caller may free the buffer or issue its own I/O.
 func (w *SeqWriter) Flush() {
+	w.Join()
 	if w.fill == 0 {
 		return
 	}

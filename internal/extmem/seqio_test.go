@@ -97,3 +97,110 @@ func TestSeqReaderPrefetchesAhead(t *testing.T) {
 		t.Fatalf("after one Next + Close, %d block reads recorded — the second chunk was never prefetched", got)
 	}
 }
+
+// TestSeqWriterPipelinedMatchesPlain pins the pipelined writer's contract:
+// for every output shape (sub-half, half-aligned, ragged tail) and every
+// mode — plain whole-buffer writer, pipelined sync, pipelined async — the
+// array contents are identical, and the two pipelined modes issue the
+// identical per-block write trace (their flush boundaries sit at the same
+// half-buffer marks whether or not the flush runs in the background).
+func TestSeqWriterPipelinedMatchesPlain(t *testing.T) {
+	const b = 4
+	for _, tc := range []struct{ nBlocks, half int }{
+		{1, 2}, {3, 2}, {4, 2}, {5, 2}, {16, 3}, {17, 4}, {2, 1},
+	} {
+		t.Run(fmt.Sprintf("n=%d_half=%d", tc.nBlocks, tc.half), func(t *testing.T) {
+			write := func(mode int) ([]Element, trace.Summary) {
+				d := NewDisk(NewMemStore(tc.nBlocks, b))
+				a := d.Alloc(tc.nBlocks)
+				rec := trace.NewRecorder(1 << 16)
+				d.SetRecorder(rec)
+				buf := make([]Element, 2*tc.half*b)
+				var w *SeqWriter
+				switch mode {
+				case 0:
+					w = NewSeqWriter(a, 0, buf)
+				case 1:
+					w = NewSeqWriterPipelined(a, 0, buf, false)
+				default:
+					w = NewSeqWriterPipelined(a, 0, buf, true)
+				}
+				for i := 0; i < tc.nBlocks; i++ {
+					if got := w.Pos(); got != i {
+						t.Fatalf("mode %d: Pos() = %d before block %d", mode, got, i)
+					}
+					blk := w.Next()
+					for t := range blk {
+						blk[t] = Element{Key: uint64(i*100 + t), Flags: FlagOccupied}
+					}
+				}
+				w.Flush()
+				w.Flush() // idempotent
+				got := make([]Element, tc.nBlocks*b)
+				a.ReadRange(0, tc.nBlocks, got)
+				return got, rec.Summarize()
+			}
+			plainData, _ := write(0)
+			syncData, syncTrace := write(1)
+			asyncData, asyncTrace := write(2)
+			for i := range plainData {
+				if plainData[i] != syncData[i] || plainData[i] != asyncData[i] {
+					t.Fatalf("element %d differs: plain %+v sync %+v async %+v",
+						i, plainData[i], syncData[i], asyncData[i])
+				}
+			}
+			if !syncTrace.Equal(asyncTrace) {
+				t.Fatalf("pipelined traces differ: sync %v async %v", syncTrace, asyncTrace)
+			}
+		})
+	}
+}
+
+// TestSeqWriterRetarget pins the deal-step usage: one pipelined writer
+// retargeted across independent destination arrays, FlushAsync between
+// retargets, with the background flush of the previous target still in
+// flight while the next target's blocks are produced.
+func TestSeqWriterRetarget(t *testing.T) {
+	const b, n, targets = 4, 6, 3
+	d := NewDisk(NewMemStore(targets*n, b))
+	arrs := make([]Array, targets)
+	for c := range arrs {
+		arrs[c] = d.Alloc(n)
+	}
+	buf := make([]Element, 2*2*b)
+	w := NewSeqWriterPipelined(arrs[0], 0, buf, true)
+	for c := 0; c < targets; c++ {
+		w.Retarget(arrs[c], 0)
+		for i := 0; i < n; i++ {
+			blk := w.Next()
+			for t := range blk {
+				blk[t] = Element{Key: uint64(c*1000 + i)}
+			}
+		}
+		w.FlushAsync()
+	}
+	w.Join()
+	got := make([]Element, n*b)
+	for c := 0; c < targets; c++ {
+		arrs[c].ReadRange(0, n, got)
+		for i := 0; i < n; i++ {
+			if got[i*b].Key != uint64(c*1000+i) {
+				t.Fatalf("target %d block %d holds key %d", c, i, got[i*b].Key)
+			}
+		}
+	}
+}
+
+// TestSeqWriterRetargetUnflushedPanics pins the misuse guard.
+func TestSeqWriterRetargetUnflushedPanics(t *testing.T) {
+	d := NewDisk(NewMemStore(8, 4))
+	a := d.Alloc(8)
+	w := NewSeqWriterPipelined(a, 0, make([]Element, 4*4), true)
+	w.Next()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retarget with unflushed blocks did not panic")
+		}
+	}()
+	w.Retarget(a, 4)
+}

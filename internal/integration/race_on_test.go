@@ -1,0 +1,12 @@
+//go:build race
+
+package integration
+
+// raceEnabled reports that this binary was built with the race detector.
+// The randomized suite uses it to trim its heaviest backend × size
+// duplicates: under the detector every store interaction costs roughly an
+// order of magnitude more wall clock (each HTTP request and each per-shard
+// fan-out goroutine is instrumented), so the largest network and sharded
+// randomized-sorter cases alone would exceed go test's per-package timeout
+// while adding no interleaving coverage beyond their smaller siblings.
+const raceEnabled = true

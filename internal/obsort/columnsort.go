@@ -63,15 +63,12 @@ func ColumnSort(env *extmem.Env, a extmem.Array, less Less) error {
 		return err
 	}
 	if s <= 1 {
-		// Single column: one in-cache sort of the whole array.
+		// Single column: one in-cache sort of the whole array, loaded and
+		// stored with one vectored run each.
 		buf := env.Cache.Buf(ne)
-		for i := 0; i < n; i++ {
-			a.Read(i, buf[i*b:(i+1)*b])
-		}
+		a.ReadRange(0, n, buf[:n*b])
 		InCache(buf, less)
-		for i := 0; i < n; i++ {
-			a.Write(i, buf[i*b:(i+1)*b])
-		}
+		a.WriteRange(0, n, buf[:n*b])
 		env.Cache.Free(buf)
 		return nil
 	}
@@ -82,29 +79,28 @@ func ColumnSort(env *extmem.Env, a extmem.Array, less Less) error {
 	work := env.D.Alloc(r * s / b)
 	aux := env.D.Alloc(r * s / b)
 
-	// Load input, padding the tail with empty (+inf) cells.
-	buf := env.Cache.Buf(b)
-	for i := 0; i < n; i++ {
-		a.Read(i, buf)
-		work.Write(i, buf)
-	}
-	for i := range buf {
-		buf[i] = extmem.Element{}
-	}
-	for i := n; i < r*s/b; i++ {
-		work.Write(i, buf)
+	// Load input, padding the tail with empty (+inf) cells — a chunked run
+	// copy (one column of cache is the budget every later step needs too).
+	kl := min(env.ScanBatchN(1, r*s/b), rb)
+	buf := env.Cache.Buf(kl * b)
+	for lo := 0; lo < r*s/b; lo += kl {
+		hi := min(lo+kl, r*s/b)
+		rh := min(hi, n)
+		if rh > lo {
+			a.ReadRange(lo, rh, buf[:(rh-lo)*b])
+		}
+		for t := max(rh, lo) * b; t < hi*b; t++ {
+			buf[t-lo*b] = extmem.Element{}
+		}
+		work.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	env.Cache.Free(buf)
 
 	sortRange := func(arr extmem.Array, startBlk int) {
 		col := env.Cache.Buf(r)
-		for i := 0; i < rb; i++ {
-			arr.Read(startBlk+i, col[i*b:(i+1)*b])
-		}
+		arr.ReadRange(startBlk, startBlk+rb, col)
 		InCache(col, less)
-		for i := 0; i < rb; i++ {
-			arr.Write(startBlk+i, col[i*b:(i+1)*b])
-		}
+		arr.WriteRange(startBlk, startBlk+rb, col)
 		env.Cache.Free(col)
 	}
 	sortCols := func(arr extmem.Array) {
@@ -113,47 +109,52 @@ func ColumnSort(env *extmem.Env, a extmem.Array, less Less) error {
 		}
 	}
 
+	// strided returns the block indices {t, rb+t, 2rb+t, …}: block t of every
+	// column — one vectored batch per transpose band (the address list is a
+	// pure function of the geometry, not the data).
+	strided := make([]int, s)
+	stride := func(t int) []int {
+		for j := 0; j < s; j++ {
+			strided[j] = j*rb + t
+		}
+		return strided
+	}
 	// transpose: element at column-major flat f moves to flat
 	// (f mod s)*r + (f div s) — "pick up by columns, lay down by rows".
+	// Each band is one contiguous vectored read and one strided vectored
+	// write (block t of every column).
 	transpose := func(src, dst extmem.Array) {
 		band := env.Cache.Buf(s * b)
 		out := env.Cache.Buf(s * b)
 		for t := 0; t < rb; t++ {
-			for j := 0; j < s; j++ {
-				src.Read(t*s+j, band[j*b:(j+1)*b])
-			}
+			src.ReadRange(t*s, (t+1)*s, band)
 			for li := 0; li < s*b; li++ {
 				f := t*s*b + li
 				j2 := f % s
 				i2 := (f / s) - t*b // row offset within this band: in [0,B)
 				out[j2*b+i2] = band[li]
 			}
-			for j2 := 0; j2 < s; j2++ {
-				dst.Write(j2*rb+t, out[j2*b:(j2+1)*b])
-			}
+			dst.WriteMany(stride(t), out)
 		}
 		env.Cache.Free(out)
 		env.Cache.Free(band)
 	}
 	// untranspose: the inverse permutation — "pick up by rows, lay down by
 	// columns": destination flat g takes the element at source flat
-	// (g mod s)*r + (g div s).
+	// (g mod s)*r + (g div s). The strided read and contiguous write mirror
+	// transpose.
 	untranspose := func(src, dst extmem.Array) {
 		band := env.Cache.Buf(s * b)
 		out := env.Cache.Buf(s * b)
 		for t := 0; t < rb; t++ {
-			for j := 0; j < s; j++ {
-				src.Read(j*rb+t, band[j*b:(j+1)*b])
-			}
+			src.ReadMany(stride(t), band)
 			for li := 0; li < s*b; li++ {
 				g := t*s*b + li
 				j := g % s
 				i := g/s - t*b
 				out[li] = band[j*b+i]
 			}
-			for u := 0; u < s; u++ {
-				dst.Write(t*s+u, out[u*b:(u+1)*b])
-			}
+			dst.WriteRange(t*s, (t+1)*s, out)
 		}
 		env.Cache.Free(out)
 		env.Cache.Free(band)
@@ -170,10 +171,13 @@ func ColumnSort(env *extmem.Env, a extmem.Array, less Less) error {
 		sortRange(work, j*rb+rb/2)
 	}
 
-	buf = env.Cache.Buf(b)
-	for i := 0; i < n; i++ {
-		work.Read(i, buf)
-		a.Write(i, buf)
+	// Copy the sorted prefix back as a chunked run copy.
+	ko := min(env.ScanBatchN(1, n), rb)
+	buf = env.Cache.Buf(ko * b)
+	for lo := 0; lo < n; lo += ko {
+		hi := min(lo+ko, n)
+		work.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	env.Cache.Free(buf)
 	return nil

@@ -12,7 +12,10 @@
 // initialized to zero. Every logical access probes one bucket per live
 // level (real key at the first level that might hold it, PRF-driven dummies
 // elsewhere), so the address trace is independent of the access sequence's
-// keys and of the stored values.
+// keys and of the stored values. I/O is vectored: each probed bucket's beta
+// slots travel as one read round trip and all write-backs are deferred into
+// a single grouped flush, so one access costs at most LiveLevels()+1 store
+// interactions, and the rebuild passes move cache-sized runs per round trip.
 package oram
 
 import (
@@ -63,6 +66,7 @@ type ORAM struct {
 	seed    uint64
 	failed  bool
 	rebuild RebuildStats
+	addrs   []int // probe address scratch (addresses are public, not cache-accounted)
 }
 
 type level struct {
@@ -154,6 +158,21 @@ func (o *ORAM) LevelRanges() [][2]int {
 // failure); subsequent accesses return ErrOverflow.
 func (o *ORAM) Failed() bool { return o.failed }
 
+// LiveLevels returns how many levels the next access will probe — the L in
+// the per-access round-trip bound of L reads plus one grouped write-back.
+func (o *ORAM) LiveLevels() int {
+	live := 0
+	for i := range o.levels {
+		if o.levels[i].live {
+			live++
+		}
+	}
+	return live
+}
+
+// BucketSize returns beta, the number of entry blocks per hash bucket.
+func (o *ORAM) BucketSize() int { return o.beta }
+
 func (o *ORAM) lvl(l int) *level { return &o.levels[l-o.l0-1] }
 
 // bucketOf returns the PRF bucket for a key at a level epoch.
@@ -213,8 +232,36 @@ func (o *ORAM) access(i int, newData []uint64) ([]uint64, error) {
 		}
 	}
 
-	// Probe one bucket per live level; real key until found, dummies after.
-	blkbuf := o.env.Cache.Buf(o.b)
+	// Probe one bucket per live level. Reads stay sequential across levels
+	// (the level-l bucket depends on found-so-far), but each bucket's beta
+	// slots travel as one vectored read, and every write-back is deferred:
+	// the probed blocks are flushed with a single grouped WriteMany at the
+	// end, so one access costs at most LiveLevels()+1 round trips instead
+	// of 2·beta·LiveLevels() scalar ones. The write-backs have no ordering
+	// dependency — each probed block is rewritten (re-encrypted in the real
+	// deployment) whether or not it held the key, so the trace keeps its
+	// fixed, access-independent shape.
+	live := o.LiveLevels()
+	wcap := (o.env.M-o.env.Cache.Used())/o.b - 1 // write-back buffer budget, in blocks
+	if wcap < 1 {
+		wcap = 1
+	}
+	if wcap > o.beta*live {
+		wcap = o.beta * live
+	}
+	if wcap == 0 {
+		wcap = 1 // no live levels: keep the buffer checkout well-formed
+	}
+	buf := o.env.Cache.Buf(wcap * o.b)
+	o.addrs = o.addrs[:0]
+	held := 0 // probed blocks buffered for the grouped write-back
+	flush := func() {
+		if held > 0 {
+			o.env.D.WriteMany(o.addrs[:held], buf[:held*o.b])
+			o.addrs = o.addrs[:0]
+			held = 0
+		}
+	}
 	for l := o.l0 + 1; l <= o.lmax; l++ {
 		lv := o.lvl(l)
 		if !lv.live {
@@ -226,23 +273,43 @@ func (o *ORAM) access(i int, newData []uint64) ([]uint64, error) {
 		} else {
 			bkt = o.bucketOf(lv, l, 1<<40|o.ts)
 		}
-		for s := 0; s < o.beta; s++ {
-			lv.table.Read(bkt*o.beta+s, blkbuf)
-			if i >= 0 && !found && blkbuf[0].Occupied() && blkbuf[0].Color() == i {
-				payload = extractPayload(blkbuf)
-				found = true
-				// Erase the found entry so future epochs cannot hold two
-				// live copies (content-only change; the write below is
-				// performed for every probed block to keep the trace
-				// fixed).
-				for t := range blkbuf {
-					blkbuf[t].Flags &^= extmem.FlagOccupied
+		base := lv.table.Base() + bkt*o.beta
+		for s := 0; s < o.beta; {
+			c := o.beta - s
+			if c > wcap {
+				c = wcap // cache too small for a whole bucket: chunk it
+			}
+			if held+c > wcap {
+				flush() // make room; only undersized caches ever hit this
+			}
+			for j := 0; j < c; j++ {
+				o.addrs = append(o.addrs, base+s+j)
+			}
+			chunk := buf[held*o.b : (held+c)*o.b]
+			o.env.D.ReadMany(o.addrs[held:held+c], chunk)
+			if i >= 0 && !found {
+				for j := 0; j < c; j++ {
+					blk := chunk[j*o.b : (j+1)*o.b]
+					if blk[0].Occupied() && blk[0].Color() == i {
+						payload = extractPayload(blk)
+						found = true
+						// Erase the found entry so future epochs cannot
+						// hold two live copies (content-only change; every
+						// probed block is written back regardless, keeping
+						// the trace fixed).
+						for t := range blk {
+							blk[t].Flags &^= extmem.FlagOccupied
+						}
+						break
+					}
 				}
 			}
-			lv.table.Write(bkt*o.beta+s, blkbuf)
+			held += c
+			s += c
 		}
 	}
-	o.env.Cache.Free(blkbuf)
+	flush() // the one grouped write-back of every probed bucket
+	o.env.Cache.Free(buf)
 
 	if i >= 0 {
 		if payload == nil {

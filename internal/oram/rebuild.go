@@ -39,20 +39,24 @@ func (o *ORAM) rebuildOnSchedule() error {
 }
 
 // initialBuild loads the n zeroed logical blocks into the largest level.
+// The entries are produced in cache, so the pipelined writer's flushes
+// overlap the production of the next chunk.
 func (o *ORAM) initialBuild() error {
 	mark := o.env.D.Mark()
 	defer o.env.D.Release(mark)
 	src := o.env.D.Alloc(o.n)
-	blk := o.env.Cache.Buf(o.b)
+	wbuf := o.env.Cache.Buf(o.env.ScanBatchN(1, o.n) * o.b)
+	wr := extmem.NewSeqWriterPipelined(src, 0, wbuf, o.env.Prefetch)
 	for i := 0; i < o.n; i++ {
+		blk := wr.Next()
 		for t := range blk {
 			blk[t] = extmem.Element{Flags: extmem.FlagOccupied}
 			blk[t].SetColor(i)
 			blk[t].SetCellDest(i & 0x7fffffff)
 		}
-		src.Write(i, blk)
 	}
-	o.env.Cache.Free(blk)
+	wr.Flush()
+	o.env.Cache.Free(wbuf)
 	o.ts = uint64(o.n)
 	o.t = 0
 	return o.rebuildInto(o.lmax, []extmem.Array{src}, false)
@@ -112,12 +116,13 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 	mark := o.env.D.Mark()
 	defer o.env.D.Release(mark)
 	work := o.env.D.Alloc(total)
-	blk := o.env.Cache.Buf(b)
 
 	// Copy sources and the buffer, converting each live entry from table
 	// form (metadata in color/dest bits) to in-flight form (metadata in
-	// Key/Pos); then append the fillers.
-	toFlight := func() {
+	// Key/Pos); then append the fillers. Sources are read a vectored chunk
+	// at a time and the conversion is pure compute, so the pipelined
+	// writer's flushes overlap it.
+	toFlight := func(blk []extmem.Element) {
 		if !blk[0].Occupied() {
 			return
 		}
@@ -129,24 +134,31 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 			blk[t].Flags = extmem.FlagOccupied
 		}
 	}
-	w := 0
+	kc := o.env.ScanBatchN(2, total)
+	rbuf := o.env.Cache.Buf(kc * b)
+	wbuf := o.env.Cache.Buf(kc * b)
+	wr := extmem.NewSeqWriterPipelined(work, 0, wbuf, o.env.Prefetch)
 	for _, s := range sources {
-		for i := 0; i < s.Len(); i++ {
-			s.Read(i, blk)
-			toFlight()
-			work.Write(w, blk)
-			w++
+		for lo := 0; lo < s.Len(); lo += kc {
+			hi := min(lo+kc, s.Len())
+			wr.Join()
+			s.ReadRange(lo, hi, rbuf[:(hi-lo)*b])
+			for i := lo; i < hi; i++ {
+				blk := wr.Next()
+				copy(blk, rbuf[(i-lo)*b:(i-lo+1)*b])
+				toFlight(blk)
+			}
 		}
 	}
 	if withBuf {
 		for i := 0; i < o.bufCap; i++ {
+			blk := wr.Next()
 			copy(blk, o.buf[i*b:(i+1)*b])
-			toFlight()
-			work.Write(w, blk)
-			w++
+			toFlight(blk)
 		}
 	}
 	for i := 0; i < fill; i++ {
+		blk := wr.Next()
 		for t := range blk {
 			blk[t] = extmem.Element{
 				Key:   fillerKey,
@@ -154,110 +166,128 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 				Flags: extmem.FlagOccupied,
 			}
 		}
-		work.Write(w, blk)
-		w++
 	}
-	o.env.Cache.Free(blk)
+	wr.Flush()
+	o.env.Cache.Free(wbuf)
+	o.env.Cache.Free(rbuf)
 	o.sorter(o.env, work, obsort.ByKey)
-	blk = o.env.Cache.Buf(b)
 
 	// Pass 1: drop stale duplicates (the freshest copy of each key sorts
 	// first), assign buckets under the new epoch, and give fillers their
-	// deterministic buckets.
+	// deterministic buckets. Each chunk is read with one vectored call,
+	// rewritten in cache, and written back with one vectored call; every
+	// block is written whether kept or discarded, keeping the trace fixed.
+	kp := o.env.ScanBatchN(1, total)
+	pbuf := o.env.Cache.Buf(kp * b)
 	prevKey := int64(-1)
 	fillerIdx := 0
 	overflow := false
-	for i := 0; i < total; i++ {
-		work.Read(i, blk)
-		if !blk[0].Occupied() {
-			work.Write(i, blk) // discarded; keep the trace fixed
-			continue
-		}
-		if blk[0].Key == fillerKey {
-			bkt := uint64(fillerIdx / o.beta)
-			ts := uint64(fillerIdx)
-			fillerIdx++
-			for t := range blk {
-				blk[t].Key = bkt<<33 | fillerBit
-				blk[t].Pos = ts<<8 | uint64(t)
+	for lo := 0; lo < total; lo += kp {
+		hi := min(lo+kp, total)
+		work.ReadRange(lo, hi, pbuf[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			blk := pbuf[(i-lo)*b : (i-lo+1)*b]
+			if !blk[0].Occupied() {
+				continue // discarded; still written back below
 			}
-		} else {
-			key := blk[0].Key
-			ts := maxTS - blk[0].Pos>>8
-			if int64(key) == prevKey {
+			if blk[0].Key == fillerKey {
+				bkt := uint64(fillerIdx / o.beta)
+				ts := uint64(fillerIdx)
+				fillerIdx++
 				for t := range blk {
-					blk[t].Flags &^= extmem.FlagOccupied
-				}
-			} else {
-				prevKey = int64(key)
-				bkt := uint64(o.bucketOf(tl, target, key))
-				for t := range blk {
-					blk[t].Key = bkt<<33 | key
+					blk[t].Key = bkt<<33 | fillerBit
 					blk[t].Pos = ts<<8 | uint64(t)
 				}
+			} else {
+				key := blk[0].Key
+				ts := maxTS - blk[0].Pos>>8
+				if int64(key) == prevKey {
+					for t := range blk {
+						blk[t].Flags &^= extmem.FlagOccupied
+					}
+				} else {
+					prevKey = int64(key)
+					bkt := uint64(o.bucketOf(tl, target, key))
+					for t := range blk {
+						blk[t].Key = bkt<<33 | key
+						blk[t].Pos = ts<<8 | uint64(t)
+					}
+				}
 			}
 		}
-		work.Write(i, blk)
+		work.WriteRange(lo, hi, pbuf[:(hi-lo)*b])
 	}
-	o.env.Cache.Free(blk)
+	o.env.Cache.Free(pbuf)
 	o.sorter(o.env, work, obsort.ByKey)
-	blk = o.env.Cache.Buf(b)
 
 	// Pass 2: keep exactly beta entries per bucket (reals sort before
-	// fillers within a bucket, so only real overflow is a failure).
+	// fillers within a bucket, so only real overflow is a failure). Same
+	// vectored read-rewrite-write chunking as pass 1.
+	kp = o.env.ScanBatchN(1, total)
+	pbuf = o.env.Cache.Buf(kp * b)
 	curBucket := int64(-1)
 	kept := 0
-	for i := 0; i < total; i++ {
-		work.Read(i, blk)
-		if blk[0].Occupied() {
-			bkt := int64(blk[0].Key >> 33)
-			real := blk[0].Key&fillerBit == 0
-			if bkt != curBucket {
-				curBucket = bkt
-				kept = 0
-			}
-			kept++
-			if kept > o.beta {
-				if real {
-					overflow = true
+	for lo := 0; lo < total; lo += kp {
+		hi := min(lo+kp, total)
+		work.ReadRange(lo, hi, pbuf[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			blk := pbuf[(i-lo)*b : (i-lo+1)*b]
+			if blk[0].Occupied() {
+				bkt := int64(blk[0].Key >> 33)
+				real := blk[0].Key&fillerBit == 0
+				if bkt != curBucket {
+					curBucket = bkt
+					kept = 0
 				}
-				for t := range blk {
-					blk[t].Flags &^= extmem.FlagOccupied
+				kept++
+				if kept > o.beta {
+					if real {
+						overflow = true
+					}
+					for t := range blk {
+						blk[t].Flags &^= extmem.FlagOccupied
+					}
 				}
 			}
 		}
-		work.Write(i, blk)
+		work.WriteRange(lo, hi, pbuf[:(hi-lo)*b])
 	}
-	o.env.Cache.Free(blk)
+	o.env.Cache.Free(pbuf)
 	o.sorter(o.env, work, obsort.ByKey)
-	blk = o.env.Cache.Buf(b)
 
 	// Pass 3: the survivors are exactly buckets*beta blocks in bucket
 	// order; install them as the new table, converting back to table form
-	// and demoting fillers to empty slots.
-	for i := 0; i < fill; i++ {
-		work.Read(i, blk)
-		if !blk[0].Occupied() {
-			panic("oram: rebuild prefix not fully occupied")
-		}
-		if blk[0].Key&fillerBit != 0 {
-			for t := range blk {
-				blk[t] = extmem.Element{}
+	// and demoting fillers to empty slots — chunked run reads from the work
+	// prefix, chunked run writes into the table.
+	ki := o.env.ScanBatchN(1, fill)
+	ibuf := o.env.Cache.Buf(ki * b)
+	for lo := 0; lo < fill; lo += ki {
+		hi := min(lo+ki, fill)
+		work.ReadRange(lo, hi, ibuf[:(hi-lo)*b])
+		for i := lo; i < hi; i++ {
+			blk := ibuf[(i-lo)*b : (i-lo+1)*b]
+			if !blk[0].Occupied() {
+				panic("oram: rebuild prefix not fully occupied")
 			}
-		} else {
-			key := int(blk[0].Key & keyLowMask)
-			ts := int(blk[0].Pos >> 8)
-			for t := range blk {
-				blk[t].Key = 0
-				blk[t].Pos = 0
-				blk[t].Flags = extmem.FlagOccupied
-				blk[t].SetColor(key)
-				blk[t].SetCellDest(ts & 0x7fffffff)
+			if blk[0].Key&fillerBit != 0 {
+				for t := range blk {
+					blk[t] = extmem.Element{}
+				}
+			} else {
+				key := int(blk[0].Key & keyLowMask)
+				ts := int(blk[0].Pos >> 8)
+				for t := range blk {
+					blk[t].Key = 0
+					blk[t].Pos = 0
+					blk[t].Flags = extmem.FlagOccupied
+					blk[t].SetColor(key)
+					blk[t].SetCellDest(ts & 0x7fffffff)
+				}
 			}
 		}
-		tl.table.Write(i, blk)
+		tl.table.WriteRange(lo, hi, ibuf[:(hi-lo)*b])
 	}
-	o.env.Cache.Free(blk)
+	o.env.Cache.Free(ibuf)
 
 	tl.live = true
 	o.rebuild.Count++

@@ -87,11 +87,13 @@ type Config struct {
 	// given path (length must equal NumShards); otherwise shards are
 	// in-memory. EncryptionKey applies per shard.
 	ShardPaths []string
-	// Prefetch double-buffers the read-only pass scans: while the client
-	// computes over one half of its cache window, the next half's blocks
-	// are already in flight. The per-block access sequence Bob observes is
-	// identical; only issue timing (and round-trip grouping, since chunks
-	// are half-window) changes.
+	// Prefetch double-buffers the pass-structured I/O: read scans fetch
+	// the next half-window while the client computes over the current one,
+	// and write-heavy passes (the sort pipeline's deal step, the ORAM
+	// rebuild streams) flush one half-buffer in the background while the
+	// client fills the other. The per-block access sequence Bob observes
+	// is identical; only issue timing (and round-trip grouping, since
+	// chunks are half-window) changes.
 	Prefetch bool
 	// URL, when non-empty, backs the store with a real remote Bob: an
 	// obstore server (cmd/obstore) at this base URL, spoken to over the
@@ -193,6 +195,20 @@ func New(cfg Config) (*Client, error) {
 		netOpts.MaxAttempts = 1 // fail-fast: the first attempt is the only one
 	case cfg.NetRetries > 0:
 		netOpts.MaxAttempts = cfg.NetRetries + 1
+	}
+	// All network clients share one keep-alive transport whose idle pool is
+	// sized to the fan-out: one vectored call puts NumShards requests in
+	// flight at once, and when shard URLs point at the same host they all
+	// draw on the same per-host pool. Sized right, the steady drumbeat of
+	// batched ORAM accesses reuses warm connections instead of re-dialing.
+	hasNet := cfg.URL != ""
+	for _, u := range cfg.ShardURLs {
+		if u != "" {
+			hasNet = true
+		}
+	}
+	if hasNet {
+		netOpts.Transport = netstore.NewTransport(cfg.NumShards + 2)
 	}
 
 	c := &Client{}
@@ -327,7 +343,14 @@ type IOStats struct {
 	Writes int64
 	// RoundTrips counts store interactions. With vectored I/O
 	// (MaxBatchBlocks != 1) one round trip moves many blocks, so
-	// RoundTrips can be far below Reads+Writes.
+	// RoundTrips can be far below Reads+Writes. Write-backs may also be
+	// deferred and grouped: an ORAM access reads each probed bucket as one
+	// interaction but buffers every write-back and flushes them as a
+	// single grouped interaction at the end of the access, so its Writes
+	// advance by beta per live level while RoundTrips advances by one.
+	// Grouping and deferral never change the per-block trace — Reads,
+	// Writes, and the recorded (kind, address) sequence are identical to
+	// the scalar path's.
 	RoundTrips int64
 }
 
