@@ -1,4 +1,4 @@
-// Command obench runs the reproduction experiments (E1–E17 and the
+// Command obench runs the reproduction experiments (E1–E18 and the
 // Figure 1 rendering from DESIGN.md's index) and prints their tables as
 // markdown — the data recorded in EXPERIMENTS.md.
 //
@@ -11,8 +11,9 @@
 //
 // -json writes the executed tables — headers, rows, notes, and the
 // machine-readable Metrics map where an experiment fills one — as a JSON
-// array, so CI can archive perf artifacts (the BENCH_oram.json artifact
-// tracks the ORAM round-trip trajectory across PRs).
+// array, so CI can archive perf artifacts (the BENCH_oram.json and
+// BENCH_crypt.json artifacts track the ORAM round-trip and
+// encryption-overhead trajectories across PRs).
 package main
 
 import (

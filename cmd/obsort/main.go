@@ -1,8 +1,9 @@
-// Command obsort demonstrates the library end to end on a real file: it
-// generates records, outsources them to a (optionally encrypted)
-// file-backed block store, sorts them with the paper's randomized oblivious
-// sort, verifies the result, and reports the I/O counts and trace
-// fingerprint the storage server would observe.
+// Command obsort demonstrates the library end to end: it generates
+// records, outsources them to a block store (in-memory, file-backed,
+// sharded, or a real obstore server — with -encrypt every block is sealed
+// client-side first, whatever the backend), sorts them with the paper's
+// randomized oblivious sort, verifies the result, and reports the I/O
+// counts and trace fingerprint the storage server would observe.
 //
 // Usage:
 //
@@ -10,6 +11,8 @@
 //	obsort -n 100000 -shards 4 -rtt 20ms -perblock 1ms -prefetch
 //	obsort -n 100000 -url http://localhost:9220                  # a real Bob (cmd/obstore)
 //	obsort -n 100000 -shards 2 -urls http://h1:9220,http://h2:9220
+//	obsort -n 100000 -b 16 -encrypt -url https://h:9222 -tls-ca cert.pem -auth-token s3cret
+//	                                 # TLS + auth + client-side sealing (server runs -b 18)
 package main
 
 import (
@@ -29,7 +32,7 @@ func main() {
 	b := flag.Int("b", 16, "block size B in records (power of two)")
 	m := flag.Int("m", 4096, "private cache size M in records")
 	file := flag.String("file", "", "back the store with this file (default: in-memory)")
-	encrypt := flag.Bool("encrypt", false, "AES-CTR encrypt blocks (requires -file)")
+	encrypt := flag.Bool("encrypt", false, "seal every block client-side (AES-CTR + HMAC, fresh IV per write) before it reaches any backend; a remote obstore must run with -b = B+2")
 	seed := flag.Uint64("seed", 1, "random tape seed")
 	det := flag.Bool("deterministic", false, "use the deterministic (Lemma 2) sort instead")
 	shards := flag.Int("shards", 1, "stripe the store across this many backends, fanned out in parallel (with -file, shard i is backed by <file>.<i>)")
@@ -40,11 +43,15 @@ func main() {
 	urls := flag.String("urls", "", "comma-separated obstore base URLs, one per shard (implies -shards)")
 	netTimeout := flag.Duration("net-timeout", 0, "per-request timeout against a network backend (0 = default 10s)")
 	netRetries := flag.Int("net-retries", 0, "replays of a failed network request before giving up (0 = default 3, -1 = fail fast)")
+	authToken := flag.String("auth-token", "", "bearer token presented to network backends (must match obstore -auth-token)")
+	tlsCA := flag.String("tls-ca", "", "PEM file of root certificates to trust for https:// backends (e.g. obstore's self-signed cert)")
+	tlsSkipVerify := flag.Bool("tls-skip-verify", false, "disable TLS certificate verification (smoke tests only)")
 	flag.Parse()
 
 	cfg := oblivext.Config{BlockSize: *b, CacheWords: *m, Seed: *seed, Path: *file,
 		NumShards: *shards, SimulatedRTT: *rtt, SimulatedPerBlock: *perblock, Prefetch: *prefetch,
-		URL: *url, NetTimeout: *netTimeout, NetRetries: *netRetries}
+		URL: *url, NetTimeout: *netTimeout, NetRetries: *netRetries,
+		AuthToken: *authToken, TLSRootCA: *tlsCA, TLSInsecureSkipVerify: *tlsSkipVerify}
 	if *urls != "" && *file != "" {
 		fatal(fmt.Errorf("-urls and -file are mutually exclusive: shards are either remote servers or local files"))
 	}
@@ -117,6 +124,10 @@ func main() {
 		st.Reads, st.Writes, st.Total(), float64(st.Total())/float64(arr.Blocks()))
 	fmt.Printf("round trips: %d (%.1f blocks per store interaction)\n",
 		st.RoundTrips, float64(st.Total())/float64(st.RoundTrips))
+	if st.BytesSealed > 0 || st.BytesOpened > 0 {
+		fmt.Printf("client-side crypto: %d bytes sealed / %d bytes opened (every block leaves as IV‖ct‖tag)\n",
+			st.BytesSealed, st.BytesOpened)
+	}
 	if client.NumShards() > 1 {
 		fmt.Printf("shards: %d —", client.NumShards())
 		for i, s := range client.ShardStats() {

@@ -8,10 +8,19 @@
 //
 //	obstore -addr :9220 -blocks 4096 -b 8 -journal /tmp/bob.trace
 //	obstore -addr :9221 -file /tmp/bob.dat -blocks 65536 -b 16
+//	obstore -addr :9222 -tls-cert cert.pem -tls-key key.pem -auth-token s3cret
 //
 // Point a client at it:
 //
 //	obsort -n 100000 -url http://localhost:9220
+//	obsort -n 100000 -url https://localhost:9222 -tls-ca cert.pem -auth-token s3cret -encrypt
+//
+// With -tls-cert/-tls-key the server speaks HTTPS; with -auth-token every
+// endpoint requires a matching "Authorization: Bearer" header. Neither
+// affects what Bob stores: for that, the *client* sets EncryptionKey
+// (obsort -encrypt) so blocks arrive already sealed — a sealed block
+// occupies B+2 elements, so run the server with -b set to the client's
+// BlockSize+2 (see docs/THREAT_MODEL.md).
 //
 // Endpoints: POST /v1/io (batched binary data plane), GET /v1/info
 // (geometry), POST /v1/grow, GET /v1/trace (journal fingerprint:
@@ -40,11 +49,18 @@ func main() {
 	file := flag.String("file", "", "back the store with this file (default: in-memory)")
 	journal := flag.String("journal", "", "write one line per observed block access to this file (truncated at startup, so the file always matches this run's /v1/trace fingerprint)")
 	traceKeep := flag.Int("trace-keep", 0, "journal ops retained verbatim in memory (hash covers all regardless)")
+	tlsCert := flag.String("tls-cert", "", "serve HTTPS with this PEM certificate (requires -tls-key)")
+	tlsKey := flag.String("tls-key", "", "PEM private key for -tls-cert")
+	authToken := flag.String("auth-token", "", "require this bearer token on every request (Authorization: Bearer <token>)")
 	flag.Parse()
+
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fatal(fmt.Errorf("-tls-cert and -tls-key must be set together"))
+	}
 
 	var store extmem.BlockStore
 	if *file != "" {
-		fs, err := extmem.NewFileStore(*file, *blocks, *b, nil)
+		fs, err := extmem.NewFileStore(*file, *blocks, *b)
 		if err != nil {
 			fatal(err)
 		}
@@ -53,7 +69,7 @@ func main() {
 		store = extmem.NewMemStore(*blocks, *b)
 	}
 
-	opts := netstore.ServerOptions{TraceKeep: *traceKeep}
+	opts := netstore.ServerOptions{TraceKeep: *traceKeep, AuthToken: *authToken}
 	var jf *os.File
 	if *journal != "" {
 		f, err := os.Create(*journal)
@@ -100,10 +116,25 @@ func main() {
 	if *journal != "" {
 		jdesc = *journal
 	}
-	log.Printf("obstore: serving %d blocks of %d elements on %s (store: %s, journal: %s)",
-		*blocks, *b, *addr, backing, jdesc)
-	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fatal(err)
+	security := "http, no auth"
+	switch {
+	case *tlsCert != "" && *authToken != "":
+		security = "https + bearer auth"
+	case *tlsCert != "":
+		security = "https, no auth"
+	case *authToken != "":
+		security = "http + bearer auth"
+	}
+	log.Printf("obstore: serving %d blocks of %d elements on %s (store: %s, journal: %s, %s)",
+		*blocks, *b, *addr, backing, jdesc, security)
+	var serveErr error
+	if *tlsCert != "" {
+		serveErr = hs.ListenAndServeTLS(*tlsCert, *tlsKey)
+	} else {
+		serveErr = hs.ListenAndServe()
+	}
+	if serveErr != nil && serveErr != http.ErrServerClosed {
+		fatal(serveErr)
 	}
 	// ListenAndServe returns as soon as the listener closes; wait for
 	// Shutdown to drain in-flight handlers before touching the journal and

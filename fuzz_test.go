@@ -36,6 +36,19 @@ func fuzzRecords(n int, seed uint64) []Record {
 	return out
 }
 
+// fuzzKey derives a 32-byte encryption key from the fuzzed seed. One leg of
+// every fuzz case runs with client-side encryption on, so the sealing path
+// is fuzzed alongside the algorithms — and since the two legs' traces are
+// compared, every case also re-proves that sealing never changes what the
+// adversary sees.
+func fuzzKey(seed uint64) []byte {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(seed>>(8*(i%8))) ^ byte(i*37+11)
+	}
+	return key
+}
+
 func FuzzCompactTight(f *testing.F) {
 	f.Add(uint16(100), uint64(3), uint8(10), uint8(3))
 	f.Add(uint16(1), uint64(1), uint8(1), uint8(0))
@@ -51,8 +64,8 @@ func FuzzCompactTight(f *testing.F) {
 		pred := func(r Record) bool { return r.Key%mod == rem }
 		capacity := int64(n) // public: chosen from workload knowledge, not data
 
-		run := func(recs []Record) (TraceSummary, []Record, error) {
-			c, err := New(Config{BlockSize: 8, CacheWords: 256, Seed: 123})
+		run := func(recs []Record, key []byte) (TraceSummary, []Record, error) {
+			c, err := New(Config{BlockSize: 8, CacheWords: 256, Seed: 123, EncryptionKey: key})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -77,7 +90,7 @@ func FuzzCompactTight(f *testing.F) {
 		}
 
 		recs := fuzzRecords(n, seed)
-		traceA, got, errA := run(recs)
+		traceA, got, errA := run(recs, nil)
 
 		if errA == nil {
 			var want []Record
@@ -99,14 +112,16 @@ func FuzzCompactTight(f *testing.F) {
 		}
 
 		// Degenerate same-size input: constant keys, so the marked count is
-		// all-or-nothing — about as different from recs as it gets.
+		// all-or-nothing — about as different from recs as it gets. This leg
+		// runs with client-side encryption on, so trace equality also pins
+		// that sealing is invisible to the adversary's view.
 		constant := make([]Record, n)
 		for i := range constant {
 			constant[i] = Record{Key: 5, Val: uint64(i)}
 		}
-		traceB, _, errB := run(constant)
+		traceB, _, errB := run(constant, fuzzKey(seed))
 		if errA == nil && errB == nil && traceA != traceB {
-			t.Fatalf("n=%d: compaction trace depends on data: %+v vs %+v", n, traceA, traceB)
+			t.Fatalf("n=%d: compaction trace depends on data or encryption: %+v vs %+v", n, traceA, traceB)
 		}
 		if errA != nil || errB != nil {
 			// A declared failure aborts early: its trace must be no longer
@@ -136,8 +151,8 @@ func FuzzSelect(f *testing.F) {
 		n := int(nRaw)%1024 + 1
 		k := int64(kRaw)%int64(n) + 1
 
-		run := func(recs []Record, rank int64) (TraceSummary, Record, error) {
-			c, err := New(Config{BlockSize: 8, CacheWords: 256, Seed: 321})
+		run := func(recs []Record, rank int64, key []byte) (TraceSummary, Record, error) {
+			c, err := New(Config{BlockSize: 8, CacheWords: 256, Seed: 321, EncryptionKey: key})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -152,7 +167,7 @@ func FuzzSelect(f *testing.F) {
 		}
 
 		recs := fuzzRecords(n, seed)
-		traceA, got, errA := run(recs, k)
+		traceA, got, errA := run(recs, k, nil)
 
 		if errA == nil {
 			keys := make([]uint64, n)
@@ -167,17 +182,17 @@ func FuzzSelect(f *testing.F) {
 			t.Fatalf("unexpected error: %v", errA)
 		}
 
-		// Same size, degenerate data, and a *different* rank: neither the
-		// values nor the rank may show in the trace (the rank is Alice's
-		// secret; only N is public).
+		// Same size, degenerate data, a *different* rank, and encryption on:
+		// neither the values, the rank, nor the sealing may show in the
+		// trace (the rank is Alice's secret; only N is public).
 		constant := make([]Record, n)
 		for i := range constant {
 			constant[i] = Record{Key: 5, Val: uint64(i)}
 		}
 		otherK := int64(n) - k + 1
-		traceB, _, errB := run(constant, otherK)
+		traceB, _, errB := run(constant, otherK, fuzzKey(seed))
 		if errA == nil && errB == nil && traceA != traceB {
-			t.Fatalf("n=%d: selection trace depends on data or rank (k=%d vs %d): %+v vs %+v",
+			t.Fatalf("n=%d: selection trace depends on data, rank, or encryption (k=%d vs %d): %+v vs %+v",
 				n, k, otherK, traceA, traceB)
 		}
 		if errA != nil && errB == nil && traceA.Len > traceB.Len {

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one generator per experiment in
-// DESIGN.md's index (E1–E16 plus the Figure 1 rendering), each producing
+// DESIGN.md's index (E1–E18 plus the Figure 1 rendering), each producing
 // the markdown table recorded in EXPERIMENTS.md. cmd/obench runs them.
 package bench
 
@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"E15", "Sharded multi-backend store: parallel fan-out speedup", E15},
 		{"E16", "Real HTTP backend: measured cost and server-audited trace", E16},
 		{"E17", "Batched ORAM accesses: measured round trips over a real server", E17},
+		{"E18", "Client-side encryption overhead: sealed vs plaintext backends", E18},
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -14,7 +15,10 @@ import (
 // assumes (§1): AES-CTR with a fresh random IV per write plus an HMAC-SHA256
 // tag (encrypt-then-MAC), so re-encrypting an unchanged block is
 // indistinguishable from writing new data, and tampering is detected (Bob is
-// honest-but-curious, but detection keeps the model honest).
+// honest-but-curious, but detection keeps the model honest). It is the
+// crypto primitive under the CryptStore decorator, which applies it per
+// block over any backend; see docs/THREAT_MODEL.md for what it does and
+// does not protect against.
 type Encryptor struct {
 	block cipher.Block
 	mac   []byte // HMAC key
@@ -41,10 +45,24 @@ func NewEncryptor(key []byte) (*Encryptor, error) {
 // WireSize returns the on-disk size of an encrypted block of plainSize bytes.
 func (e *Encryptor) WireSize(plainSize int) int { return ivSize + plainSize + tagSize }
 
-// Seal appends IV || ciphertext || tag to dst. A fresh IV is drawn from
-// crypto/rand on every call; sealing the same plaintext twice yields
-// different wire bytes.
-func (e *Encryptor) Seal(dst, plain []byte) ([]byte, error) {
+// tag computes HMAC(addr ‖ IV ‖ ciphertext) into out. Binding the block
+// address into the tag makes each seal valid at exactly one location: a
+// server that transposes two validly sealed blocks produces an
+// authentication failure, not silently relocated data.
+func (e *Encryptor) tag(out []byte, addr uint64, body []byte) {
+	var a [8]byte
+	binary.LittleEndian.PutUint64(a[:], addr)
+	h := hmac.New(sha256.New, e.mac)
+	h.Write(a[:])
+	h.Write(body)
+	copy(out, h.Sum(nil))
+}
+
+// Seal appends IV || ciphertext || tag to dst, bound to the block address
+// (Open at any other address fails). A fresh IV is drawn from crypto/rand
+// on every call; sealing the same plaintext twice yields different wire
+// bytes.
+func (e *Encryptor) Seal(dst, plain []byte, addr uint64) ([]byte, error) {
 	off := len(dst)
 	dst = append(dst, make([]byte, ivSize+len(plain)+tagSize)...)
 	iv := dst[off : off+ivSize]
@@ -53,22 +71,20 @@ func (e *Encryptor) Seal(dst, plain []byte) ([]byte, error) {
 	}
 	ct := dst[off+ivSize : off+ivSize+len(plain)]
 	cipher.NewCTR(e.block, iv).XORKeyStream(ct, plain)
-	h := hmac.New(sha256.New, e.mac)
-	h.Write(dst[off : off+ivSize+len(plain)])
-	copy(dst[off+ivSize+len(plain):], h.Sum(nil))
+	e.tag(dst[off+ivSize+len(plain):], addr, dst[off:off+ivSize+len(plain)])
 	return dst, nil
 }
 
-// Open verifies and decrypts a sealed block, appending the plaintext to dst.
-func (e *Encryptor) Open(dst, wire []byte) ([]byte, error) {
+// Open verifies a sealed block against the address it was read from and
+// decrypts it, appending the plaintext to dst.
+func (e *Encryptor) Open(dst, wire []byte, addr uint64) ([]byte, error) {
 	if len(wire) < ivSize+tagSize {
 		return nil, errors.New("extmem: sealed block too short")
 	}
 	body := wire[:len(wire)-tagSize]
-	tag := wire[len(wire)-tagSize:]
-	h := hmac.New(sha256.New, e.mac)
-	h.Write(body)
-	if !hmac.Equal(tag, h.Sum(nil)) {
+	var want [tagSize]byte
+	e.tag(want[:], addr, body)
+	if !hmac.Equal(wire[len(wire)-tagSize:], want[:]) {
 		return nil, errors.New("extmem: block authentication failed")
 	}
 	iv := body[:ivSize]

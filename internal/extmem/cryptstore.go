@@ -1,0 +1,233 @@
+package extmem
+
+import "fmt"
+
+// CryptOverheadElements is the per-block footprint of the encryption
+// envelope (IV + MAC tag), rounded up to whole elements: a sealed block of B
+// plaintext elements occupies B + CryptOverheadElements elements in the
+// child store.
+const CryptOverheadElements = (ivSize + tagSize + ElementBytes - 1) / ElementBytes
+
+// CryptChildBlockSize returns the block size (in elements) the child store
+// under a CryptStore must have to hold sealed blocks of b plaintext
+// elements.
+func CryptChildBlockSize(b int) int { return b + CryptOverheadElements }
+
+// CryptStore is the client-side encryption decorator: an extmem.BlockStore
+// that seals every block written through it (AES-CTR with a fresh random IV
+// per write, plus an HMAC-SHA256 tag, encrypt-then-MAC) and opens every
+// block read back, storing only IV‖ciphertext‖tag in the child store. The
+// child may be any BlockStore — memory, file, latency-modeled, the sharded
+// fan-out, or the HTTP network client — so Bob, whatever his substrate,
+// only ever holds semantically secure ciphertext, which is exactly the
+// paper's §1 assumption ("Alice encrypts her data before outsourcing it").
+//
+// Geometry: the store presents blocks of B plaintext elements upward while
+// the child holds blocks of CryptChildBlockSize(B) elements (the sealed
+// wire image, zero-padded to whole elements). Addresses map one-to-one and
+// every vectored call maps to exactly one child call over the same address
+// list, so the decorator changes neither the access trace nor the
+// round-trip count — only the bytes Bob stores.
+//
+// Each seal is bound to its block address (the HMAC covers addr‖IV‖ct), so
+// a server that transposes two validly sealed blocks triggers an
+// authentication failure, not silently relocated data.
+//
+// Never-written child blocks read back all-zero; CryptStore decodes an
+// all-zero wire image as a zeroed plaintext block rather than a forgery
+// (a genuine seal starts with 16 random IV bytes, so an honest all-zero
+// wire image never occurs). The flip side is that a server which *zeroes*
+// a written slot rolls it back to the never-written state undetected —
+// one instance of the freshness/rollback non-goal docs/THREAT_MODEL.md
+// declares. Any other wire image that fails authentication — a tampering
+// or corruption event — is returned as an error, which the Disk layer
+// escalates to a panic: integrity violations abort the computation loudly
+// rather than feeding the algorithms attacker-chosen plaintext.
+//
+// Like every BlockStore, a CryptStore is driven by one caller at a time
+// (the Disk, including its prefetch goroutines, which synchronize before
+// handing the buffer over); the scratch buffers and counters rely on that.
+type CryptStore struct {
+	child BlockStore
+	enc   *Encryptor
+	b     int // plaintext block size exposed upward
+	cb    int // child (sealed) block size in elements
+	wire  int // sealed image length in bytes, <= cb*ElementBytes
+
+	bytesSealed int64
+	bytesOpened int64
+
+	plain []byte    // one plaintext block, encoded
+	sbuf  []byte    // one sealed block, padded to cb elements
+	celem []Element // child-geometry staging for vectored calls
+}
+
+// NewCryptStore wraps child with the encryption decorator, presenting
+// blocks of b plaintext elements. The child's block size must be
+// CryptChildBlockSize(b) — the caller provisions the child with the sealed
+// footprint.
+func NewCryptStore(child BlockStore, enc *Encryptor, b int) (*CryptStore, error) {
+	if enc == nil {
+		return nil, fmt.Errorf("extmem: CryptStore needs an encryptor")
+	}
+	if b <= 0 {
+		return nil, fmt.Errorf("extmem: invalid CryptStore block size %d", b)
+	}
+	if want := CryptChildBlockSize(b); child.BlockSize() != want {
+		return nil, fmt.Errorf("extmem: child block size %d != sealed block size %d (B=%d + %d overhead elements)",
+			child.BlockSize(), want, b, CryptOverheadElements)
+	}
+	plain := b * ElementBytes
+	return &CryptStore{
+		child: child,
+		enc:   enc,
+		b:     b,
+		cb:    CryptChildBlockSize(b),
+		wire:  enc.WireSize(plain),
+		plain: make([]byte, plain),
+		sbuf:  make([]byte, CryptChildBlockSize(b)*ElementBytes),
+	}, nil
+}
+
+// Child returns the wrapped store (Bob's side of the boundary).
+func (s *CryptStore) Child() BlockStore { return s.child }
+
+// BytesSealed returns the cumulative ciphertext bytes produced by writes —
+// the wire footprint Bob stores, envelope included.
+func (s *CryptStore) BytesSealed() int64 { return s.bytesSealed }
+
+// BytesOpened returns the cumulative ciphertext bytes verified and
+// decrypted by reads (all-zero never-written blocks are not counted: no
+// crypto ran).
+func (s *CryptStore) BytesOpened() int64 { return s.bytesOpened }
+
+// ResetCryptStats zeroes the sealed/opened byte counters.
+func (s *CryptStore) ResetCryptStats() { s.bytesSealed, s.bytesOpened = 0, 0 }
+
+// seal encodes and seals one plaintext block (bound to its address) into
+// the staging buffer, decoding it as child-geometry elements into dst.
+func (s *CryptStore) seal(addr int, dst []Element, src []Element) error {
+	EncodeElements(s.plain, src)
+	out, err := s.enc.Seal(s.sbuf[:0], s.plain, uint64(addr))
+	if err != nil {
+		return err
+	}
+	// Zero the padding up to a whole child block; the pad is public
+	// structure, not data.
+	for i := len(out); i < len(s.sbuf); i++ {
+		s.sbuf[i] = 0
+	}
+	DecodeElements(dst, s.sbuf)
+	s.bytesSealed += int64(s.wire)
+	return nil
+}
+
+// open verifies and decodes one sealed child block into dst. An all-zero
+// wire image is a never-written block and decodes to zeroed elements.
+func (s *CryptStore) open(addr int, src []Element, dst []Element) error {
+	allZero := true
+	for _, e := range src {
+		if e != (Element{}) {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		clear(dst)
+		return nil
+	}
+	EncodeElements(s.sbuf, src)
+	buf, err := s.enc.Open(s.plain[:0], s.sbuf[:s.wire], uint64(addr))
+	if err != nil {
+		return fmt.Errorf("extmem: block %d: %w", addr, err)
+	}
+	DecodeElements(dst, buf)
+	s.bytesOpened += int64(s.wire)
+	return nil
+}
+
+// childElems returns the child-geometry staging buffer for n blocks.
+func (s *CryptStore) childElems(n int) []Element {
+	if need := n * s.cb; cap(s.celem) < need {
+		s.celem = make([]Element, need)
+	}
+	return s.celem[:n*s.cb]
+}
+
+// ReadBlock implements BlockStore: one child read, then open.
+func (s *CryptStore) ReadBlock(addr int, dst []Element) error {
+	if len(dst) != s.b {
+		return fmt.Errorf("extmem: buffer length %d != block size %d", len(dst), s.b)
+	}
+	buf := s.childElems(1)
+	if err := s.child.ReadBlock(addr, buf); err != nil {
+		return err
+	}
+	return s.open(addr, buf, dst)
+}
+
+// WriteBlock implements BlockStore: seal under a fresh IV, one child write.
+func (s *CryptStore) WriteBlock(addr int, src []Element) error {
+	if len(src) != s.b {
+		return fmt.Errorf("extmem: buffer length %d != block size %d", len(src), s.b)
+	}
+	buf := s.childElems(1)
+	if err := s.seal(addr, buf, src); err != nil {
+		return err
+	}
+	return s.child.WriteBlock(addr, buf)
+}
+
+// ReadBlocks implements BlockStore: the whole batch is fetched with a
+// single child call over the same address list (one interaction, identical
+// trace), then each block is opened individually.
+func (s *CryptStore) ReadBlocks(addrs []int, dst []Element) error {
+	if len(dst) != len(addrs)*s.b {
+		return fmt.Errorf("extmem: buffer length %d != %d blocks of %d elements", len(dst), len(addrs), s.b)
+	}
+	buf := s.childElems(len(addrs))
+	if err := s.child.ReadBlocks(addrs, buf); err != nil {
+		return err
+	}
+	for i, addr := range addrs {
+		if err := s.open(addr, buf[i*s.cb:(i+1)*s.cb], dst[i*s.b:(i+1)*s.b]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBlocks implements BlockStore: every block is sealed under its own
+// fresh IV — vectoring batches the transfer, never the envelope — then the
+// batch travels as a single child call over the same address list.
+func (s *CryptStore) WriteBlocks(addrs []int, src []Element) error {
+	if len(src) != len(addrs)*s.b {
+		return fmt.Errorf("extmem: buffer length %d != %d blocks of %d elements", len(src), len(addrs), s.b)
+	}
+	buf := s.childElems(len(addrs))
+	for i, addr := range addrs {
+		if err := s.seal(addr, buf[i*s.cb:(i+1)*s.cb], src[i*s.b:(i+1)*s.b]); err != nil {
+			return err
+		}
+	}
+	return s.child.WriteBlocks(addrs, buf)
+}
+
+// NumBlocks implements BlockStore: addresses map one-to-one to the child.
+func (s *CryptStore) NumBlocks() int { return s.child.NumBlocks() }
+
+// BlockSize implements BlockStore: the plaintext block size.
+func (s *CryptStore) BlockSize() int { return s.b }
+
+// Close implements BlockStore.
+func (s *CryptStore) Close() error { return s.child.Close() }
+
+// GrowTo implements Growable when the child does. Fresh child blocks read
+// back all-zero, which open decodes as zeroed plaintext.
+func (s *CryptStore) GrowTo(n int) error {
+	g, ok := s.child.(Growable)
+	if !ok {
+		return fmt.Errorf("extmem: %T cannot grow", s.child)
+	}
+	return g.GrowTo(n)
+}

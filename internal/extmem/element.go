@@ -3,10 +3,13 @@
 // honest-but-curious storage server that serves fixed-size blocks of B words
 // and observes every block address Alice touches.
 //
-// The package provides block stores (in-memory, file-backed, encrypted), an
-// instrumented Disk that counts I/Os and records the adversary's view, arena
-// allocation for the scratch arrays the algorithms need, and a Cache
-// accountant that enforces — rather than assumes — the private-memory bound.
+// The package provides block stores (in-memory, file-backed, plus the
+// CryptStore decorator that makes any of them — and the sharded/network
+// stores built on the same interface — hold only client-side-sealed
+// ciphertext), an instrumented Disk that counts I/Os and records the
+// adversary's view, arena allocation for the scratch arrays the algorithms
+// need, and a Cache accountant that enforces — rather than assumes — the
+// private-memory bound.
 package extmem
 
 // Flag bits carried by every element. Flags travel inside block contents, so

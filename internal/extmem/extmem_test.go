@@ -198,7 +198,7 @@ func TestCodecRoundTripProperty(t *testing.T) {
 
 func TestFileStoreRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "blocks.dat")
-	s, err := NewFileStore(path, 6, 4, nil)
+	s, err := NewFileStore(path, 6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,11 @@ func TestEncryptedFileStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "enc.dat")
-	s, err := NewFileStore(path, 3, 2, enc)
+	fs, err := NewFileStore(path, 3, CryptChildBlockSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCryptStore(fs, enc, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +267,11 @@ func TestReEncryptionIndistinguishable(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "reenc.dat")
-	s, err := NewFileStore(path, 1, 2, enc)
+	fs, err := NewFileStore(path, 1, CryptChildBlockSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCryptStore(fs, enc, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,15 +300,20 @@ func TestReEncryptionIndistinguishable(t *testing.T) {
 func TestEncryptorTamperDetection(t *testing.T) {
 	key := make([]byte, 32)
 	enc, _ := NewEncryptor(key)
-	wire, err := enc.Seal(nil, []byte("hello block"))
+	wire, err := enc.Seal(nil, []byte("hello block"), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := enc.Open(nil, wire); err != nil {
+	if _, err := enc.Open(nil, wire, 7); err != nil {
 		t.Fatalf("honest open failed: %v", err)
 	}
+	// The seal is bound to its address: a validly sealed block served from
+	// the wrong location must not authenticate.
+	if _, err := enc.Open(nil, wire, 8); err == nil {
+		t.Fatal("relocated block authenticated")
+	}
 	wire[len(wire)/2] ^= 1
-	if _, err := enc.Open(nil, wire); err == nil {
+	if _, err := enc.Open(nil, wire, 7); err == nil {
 		t.Fatal("tampered block authenticated")
 	}
 }

@@ -7,25 +7,20 @@ import (
 
 // FileStore is a BlockStore backed by a real file, exercising the library on
 // an actual secondary-storage device. Each block occupies a fixed slot of
-// BlockSize()*ElementBytes bytes (plus the encryption envelope when an
-// encryptor is attached).
+// BlockSize()*ElementBytes bytes. The store holds whatever bytes it is
+// handed: encryption is not its concern — wrap it in a CryptStore to make
+// the file hold ciphertext only.
 type FileStore struct {
 	f     *os.File
 	b     int
 	n     int
 	slot  int
-	enc   *Encryptor
-	plain []byte
-	wire  []byte
-	vwire []byte // scratch for vectored transfers, grown on demand
+	vwire []byte // scratch for transfers, grown on demand
 }
 
 // NewFileStore creates (truncating) a file-backed store of n blocks of b
-// elements at path. If enc is non-nil every block is encrypted with a fresh
-// IV on each write, so the server cannot tell a rewrite of identical
-// plaintext from a write of new data — the paper's semantic-security
-// assumption.
-func NewFileStore(path string, n, b int, enc *Encryptor) (*FileStore, error) {
+// elements at path. Blocks start zeroed.
+func NewFileStore(path string, n, b int) (*FileStore, error) {
 	if n < 0 || b <= 0 {
 		return nil, fmt.Errorf("extmem: invalid FileStore geometry n=%d b=%d", n, b)
 	}
@@ -33,25 +28,13 @@ func NewFileStore(path string, n, b int, enc *Encryptor) (*FileStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	plain := b * ElementBytes
-	slot := plain
-	if enc != nil {
-		slot = enc.WireSize(plain)
-	}
-	s := &FileStore{f: f, b: b, n: n, slot: slot, enc: enc,
-		plain: make([]byte, plain), wire: make([]byte, slot)}
+	slot := b * ElementBytes
+	s := &FileStore{f: f, b: b, n: n, slot: slot}
+	// Truncate pre-sizes the file; the holes read back as zero bytes, which
+	// decode to zeroed elements.
 	if err := f.Truncate(int64(n) * int64(slot)); err != nil {
 		f.Close()
 		return nil, err
-	}
-	// Initialize every slot so that reads of never-written blocks decrypt
-	// cleanly to zeroed elements.
-	zero := make([]Element, b)
-	for i := 0; i < n; i++ {
-		if err := s.WriteBlock(i, zero); err != nil {
-			f.Close()
-			return nil, err
-		}
 	}
 	return s, nil
 }
@@ -61,18 +44,11 @@ func (s *FileStore) ReadBlock(addr int, dst []Element) error {
 	if err := s.check(addr, len(dst)); err != nil {
 		return err
 	}
-	if _, err := s.f.ReadAt(s.wire, int64(addr)*int64(s.slot)); err != nil {
+	wire := s.vecWire(1)
+	if _, err := s.f.ReadAt(wire, int64(addr)*int64(s.slot)); err != nil {
 		return err
 	}
-	buf := s.wire
-	if s.enc != nil {
-		var err error
-		buf, err = s.enc.Open(s.plain[:0], s.wire)
-		if err != nil {
-			return fmt.Errorf("extmem: block %d: %w", addr, err)
-		}
-	}
-	DecodeElements(dst, buf)
+	DecodeElements(dst, wire)
 	return nil
 }
 
@@ -81,22 +57,14 @@ func (s *FileStore) WriteBlock(addr int, src []Element) error {
 	if err := s.check(addr, len(src)); err != nil {
 		return err
 	}
-	EncodeElements(s.plain, src)
-	buf := s.plain
-	if s.enc != nil {
-		var err error
-		buf, err = s.enc.Seal(s.wire[:0], s.plain)
-		if err != nil {
-			return err
-		}
-	}
-	_, err := s.f.WriteAt(buf, int64(addr)*int64(s.slot))
+	wire := s.vecWire(1)
+	EncodeElements(wire, src)
+	_, err := s.f.WriteAt(wire, int64(addr)*int64(s.slot))
 	return err
 }
 
 // ReadBlocks implements BlockStore. A contiguous address run is served with
-// one ReadAt covering the whole byte range; decryption and decoding remain
-// per block.
+// one ReadAt covering the whole byte range.
 func (s *FileStore) ReadBlocks(addrs []int, dst []Element) error {
 	if len(dst) != len(addrs)*s.b {
 		return fmt.Errorf("extmem: buffer length %d != %d blocks of %d elements", len(dst), len(addrs), s.b)
@@ -114,11 +82,7 @@ func (s *FileStore) ReadBlocks(addrs []int, dst []Element) error {
 		if _, err := s.f.ReadAt(wire, int64(addrs[0])*int64(s.slot)); err != nil {
 			return err
 		}
-		for i, addr := range addrs {
-			if err := s.decodeSlot(addr, wire[i*s.slot:(i+1)*s.slot], dst[i*s.b:(i+1)*s.b]); err != nil {
-				return err
-			}
-		}
+		DecodeElements(dst, wire)
 		return nil
 	}
 	for i, addr := range addrs {
@@ -129,10 +93,8 @@ func (s *FileStore) ReadBlocks(addrs []int, dst []Element) error {
 	return nil
 }
 
-// WriteBlocks implements BlockStore. Every block is individually encoded and
-// (when an encryptor is attached) sealed under its own fresh IV — vectoring
-// batches the transfer, never the encryption envelope; a contiguous run then
-// goes to disk with one WriteAt.
+// WriteBlocks implements BlockStore; a contiguous run goes to disk with one
+// WriteAt.
 func (s *FileStore) WriteBlocks(addrs []int, src []Element) error {
 	if len(src) != len(addrs)*s.b {
 		return fmt.Errorf("extmem: buffer length %d != %d blocks of %d elements", len(src), len(addrs), s.b)
@@ -147,11 +109,7 @@ func (s *FileStore) WriteBlocks(addrs []int, src []Element) error {
 	}
 	if contiguous(addrs) {
 		wire := s.vecWire(len(addrs))
-		for i := range addrs {
-			if err := s.encodeSlot(wire[i*s.slot:(i+1)*s.slot], src[i*s.b:(i+1)*s.b]); err != nil {
-				return err
-			}
-		}
+		EncodeElements(wire, src)
 		_, err := s.f.WriteAt(wire, int64(addrs[0])*int64(s.slot))
 		return err
 	}
@@ -171,34 +129,8 @@ func (s *FileStore) vecWire(n int) []byte {
 	return s.vwire[:n*s.slot]
 }
 
-// decodeSlot turns one on-disk slot into elements, decrypting if configured.
-func (s *FileStore) decodeSlot(addr int, slot []byte, dst []Element) error {
-	buf := slot
-	if s.enc != nil {
-		var err error
-		buf, err = s.enc.Open(s.plain[:0], slot)
-		if err != nil {
-			return fmt.Errorf("extmem: block %d: %w", addr, err)
-		}
-	}
-	DecodeElements(dst, buf)
-	return nil
-}
-
-// encodeSlot serializes one block into the given slot (len == s.slot),
-// sealing with a fresh IV when encryption is configured.
-func (s *FileStore) encodeSlot(dst []byte, src []Element) error {
-	EncodeElements(s.plain, src)
-	if s.enc == nil {
-		copy(dst, s.plain)
-		return nil
-	}
-	_, err := s.enc.Seal(dst[:0], s.plain)
-	return err
-}
-
-// GrowTo implements Growable: the file is extended and the fresh slots are
-// initialized so reads decrypt cleanly.
+// GrowTo implements Growable: the file is extended; the fresh slots read
+// back as zero bytes (zeroed elements).
 func (s *FileStore) GrowTo(n int) error {
 	if n <= s.n {
 		return nil
@@ -206,14 +138,7 @@ func (s *FileStore) GrowTo(n int) error {
 	if err := s.f.Truncate(int64(n) * int64(s.slot)); err != nil {
 		return err
 	}
-	old := s.n
 	s.n = n
-	zero := make([]Element, s.b)
-	for i := old; i < n; i++ {
-		if err := s.WriteBlock(i, zero); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 

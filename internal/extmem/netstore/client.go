@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	crand "crypto/rand"
+	"crypto/tls"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -43,6 +44,15 @@ type Options struct {
 	// fault-injection tests use this to drop, delay, and corrupt
 	// responses.
 	Transport http.RoundTripper
+	// TLS, when non-nil, configures the default transport's TLS client
+	// settings (root CAs for a self-signed obstore certificate, or
+	// InsecureSkipVerify for smoke tests). Ignored when Transport is set —
+	// an explicit Transport carries its own TLS config.
+	TLS *tls.Config
+	// AuthToken, when non-empty, is sent as "Authorization: Bearer <token>"
+	// on every request. It must match the server's -auth-token; a mismatch
+	// is a permanent 401, not a retried fault.
+	AuthToken string
 }
 
 const (
@@ -106,6 +116,7 @@ type Client struct {
 	timeout     time.Duration
 	maxAttempts int
 	backoff     time.Duration
+	authToken   string
 
 	mu    sync.Mutex
 	n     int // capacity in blocks; grows via GrowTo
@@ -130,7 +141,11 @@ func Dial(baseURL string, opts Options) (*Client, error) {
 	}
 	transport := opts.Transport
 	if transport == nil {
-		transport = NewTransport(opts.MaxIdleConnsPerHost)
+		t := NewTransport(opts.MaxIdleConnsPerHost)
+		if opts.TLS != nil {
+			t.TLSClientConfig = opts.TLS
+		}
+		transport = t
 	}
 	c := &Client{
 		base:        strings.TrimRight(baseURL, "/"),
@@ -138,6 +153,7 @@ func Dial(baseURL string, opts Options) (*Client, error) {
 		timeout:     opts.Timeout,
 		maxAttempts: opts.MaxAttempts,
 		backoff:     opts.Backoff,
+		authToken:   opts.AuthToken,
 	}
 	// Request ids start at a random point so that successive client
 	// processes against one long-lived server cannot collide inside its
@@ -295,6 +311,7 @@ func (c *Client) attempt(body []byte, respLen int) (data []byte, retryable bool,
 		return nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, true, err // transport/deadline failure: replay
@@ -317,6 +334,13 @@ func (c *Client) attempt(body []byte, respLen int) (data []byte, retryable bool,
 		return nil, false, fmt.Errorf("response body %d bytes, want %d (server geometry changed?)", len(data), respLen)
 	}
 	return data, false, nil
+}
+
+// authorize attaches the bearer token, when one is configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.authToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.authToken)
+	}
 }
 
 // account folds one completed interaction into the measured stats.
@@ -354,6 +378,7 @@ func (c *Client) controlJSON(method, path string, body []byte, out any) error {
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		c.authorize(req)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return true, err

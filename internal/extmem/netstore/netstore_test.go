@@ -390,3 +390,59 @@ func TestTransportTuning(t *testing.T) {
 		t.Fatalf("%d connections opened for 100 sequential requests — keep-alive reuse is broken", len(conns))
 	}
 }
+
+// TestBearerAuth pins the token gate: with ServerOptions.AuthToken set,
+// every endpoint — data plane, control plane, and the trace/journal
+// surface — requires the matching bearer token; the wrong or missing token
+// is a permanent 401 (no retries burned), and an authorized client works
+// end to end.
+func TestBearerAuth(t *testing.T) {
+	const b, token = 4, "unit-test-token"
+	srv := NewServer(extmem.NewMemStore(16, b), ServerOptions{AuthToken: token})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// No token: dial (control plane) is rejected without retries.
+	if _, err := Dial(ts.URL, Options{MaxAttempts: 1}); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("tokenless dial: %v", err)
+	}
+	// Wrong token: same.
+	if _, err := Dial(ts.URL, Options{MaxAttempts: 1, AuthToken: "nope"}); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("wrong-token dial: %v", err)
+	}
+	// Right token: the full surface works.
+	c, err := Dial(ts.URL, Options{AuthToken: token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	in := blockOf(b, 9)
+	if err := c.WriteBlock(3, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]extmem.Element, b)
+	if err := c.ReadBlock(3, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("authorized round trip mismatch at %d", i)
+		}
+	}
+	if err := c.GrowTo(32); err != nil {
+		t.Fatalf("authorized grow: %v", err)
+	}
+	st, err := c.FetchServerTrace()
+	if err != nil || st.Len == 0 {
+		t.Fatalf("authorized trace fetch: %v, %+v", err, st)
+	}
+	// An unauthorized caller cannot even read the journal fingerprint.
+	resp, err := ts.Client().Get(ts.URL + tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless trace fetch: %v", resp.Status)
+	}
+}

@@ -1,10 +1,13 @@
 package netstore
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 
 	"oblivext/internal/extmem"
@@ -31,6 +34,14 @@ type ServerOptions struct {
 	// number of requests a client can have outstanding between a send and
 	// its last retry.
 	DedupWindow int
+	// AuthToken, when non-empty, requires every request (data and control
+	// plane, the trace endpoints included) to carry a matching
+	// "Authorization: Bearer <token>" header; anything else is rejected
+	// with 401 before it can touch the store or the journal. The check is
+	// constant-time over digests. The token authenticates the caller to
+	// Bob — it is a transport credential shared out of band, not part of
+	// Alice's encryption key.
+	AuthToken string
 }
 
 // Server is Bob as an actual process: it owns a BlockStore (memory- or
@@ -53,7 +64,9 @@ type Server struct {
 	ring       []uint64 // eviction order for seen
 	ringNext   int
 	elems      []extmem.Element
-	jbuf       []byte // one batch's journal lines, written as a unit
+	jbuf       []byte   // one batch's journal lines, written as a unit
+	authDigest [32]byte // sha256 of the bearer token; zero when auth is off
+	authOn     bool
 }
 
 // NewServer wraps a block store in a protocol server.
@@ -61,7 +74,7 @@ func NewServer(store extmem.BlockStore, opts ServerOptions) *Server {
 	if opts.DedupWindow <= 0 {
 		opts.DedupWindow = 4096
 	}
-	return &Server{
+	s := &Server{
 		store:      store,
 		b:          store.BlockSize(),
 		blockBytes: store.BlockSize() * extmem.ElementBytes,
@@ -71,9 +84,15 @@ func NewServer(store extmem.BlockStore, opts ServerOptions) *Server {
 		seen:       make(map[uint64]struct{}, opts.DedupWindow),
 		ring:       make([]uint64, opts.DedupWindow),
 	}
+	if opts.AuthToken != "" {
+		s.authDigest = sha256.Sum256([]byte(opts.AuthToken))
+		s.authOn = true
+	}
+	return s
 }
 
-// Handler returns the HTTP handler serving the protocol.
+// Handler returns the HTTP handler serving the protocol. With an AuthToken
+// configured every endpoint sits behind the bearer-token check.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+ioPath, s.handleIO)
@@ -81,7 +100,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST "+growPath, s.handleGrow)
 	mux.HandleFunc("GET "+tracePath, s.handleTrace)
 	mux.HandleFunc("POST "+traceResetPath, s.handleTraceReset)
-	return mux
+	if !s.authOn {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || !s.tokenOK(token) {
+			http.Error(w, "netstore: missing or invalid bearer token", http.StatusUnauthorized)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// tokenOK compares the presented token against the configured one in
+// constant time (over fixed-length digests, so the comparison leaks neither
+// contents nor length).
+func (s *Server) tokenOK(token string) bool {
+	d := sha256.Sum256([]byte(token))
+	return subtle.ConstantTimeCompare(d[:], s.authDigest[:]) == 1
 }
 
 // TraceSummary returns the in-memory journal fingerprint (for in-process

@@ -53,9 +53,9 @@ func TestMemStoreVectored(t *testing.T) {
 	}
 }
 
-// TestFileStoreVectoredEncrypted round-trips a dataset through an
-// AES-CTR+HMAC file store with WriteBlocks/ReadBlocks and verifies both the
-// contents and the fresh-IV re-encryption of every block.
+// TestFileStoreVectoredEncrypted round-trips a dataset through a CryptStore
+// over a file store with WriteBlocks/ReadBlocks and verifies both the
+// contents and the fresh-IV re-encryption of every block in the file.
 func TestFileStoreVectoredEncrypted(t *testing.T) {
 	key := make([]byte, 32)
 	for i := range key {
@@ -67,7 +67,11 @@ func TestFileStoreVectoredEncrypted(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "enc.dat")
 	const nBlocks, b = 12, 8
-	s, err := NewFileStore(path, nBlocks, b, enc)
+	fs, err := NewFileStore(path, nBlocks, CryptChildBlockSize(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCryptStore(fs, enc, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +107,7 @@ func TestFileStoreVectoredEncrypted(t *testing.T) {
 	// Fresh-IV re-encryption per block: rewriting identical plaintext must
 	// change every block's wire bytes (semantic security — Bob cannot tell
 	// a rewrite from new data).
-	slot := enc.WireSize(b * ElementBytes)
+	slot := CryptChildBlockSize(b) * ElementBytes
 	wireOf := func(addr int) []byte {
 		raw, err := os.ReadFile(path)
 		if err != nil {

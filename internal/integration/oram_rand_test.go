@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"oblivext/internal/core"
@@ -62,7 +63,50 @@ func backends() []backendCase {
 			t.Cleanup(func() { c.Close() })
 			return extmem.NewEnvOn(c, cacheM, seed)
 		}},
+		// The crypt leg runs the whole randomized suite through the
+		// client-side encryption decorator: every write seals under a fresh
+		// IV, every read authenticates and opens, and — via the shared
+		// trace-invariance tests — the logical trace must stay bit-identical
+		// to the plaintext backends'.
+		{"crypt-mem", func(t *testing.T, startBlocks int, seed uint64) *extmem.Env {
+			cs, err := extmem.NewCryptStore(
+				extmem.NewMemStore(startBlocks, extmem.CryptChildBlockSize(blockB)), testEncryptor(t), blockB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return extmem.NewEnvOn(cs, cacheM, seed)
+		}},
+		{"crypt-network", func(t *testing.T, startBlocks int, seed uint64) *extmem.Env {
+			srv := netstore.NewServer(
+				extmem.NewMemStore(startBlocks, extmem.CryptChildBlockSize(blockB)), netstore.ServerOptions{})
+			ts := httptest.NewServer(srv.Handler())
+			t.Cleanup(ts.Close)
+			c, err := netstore.Dial(ts.URL, netstore.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+			cs, err := extmem.NewCryptStore(c, testEncryptor(t), blockB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return extmem.NewEnvOn(cs, cacheM, seed)
+		}},
 	}
+}
+
+// testEncryptor builds the fixed-key encryptor the crypt backends share.
+func testEncryptor(t *testing.T) *extmem.Encryptor {
+	t.Helper()
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i*29 + 5)
+	}
+	enc, err := extmem.NewEncryptor(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
 }
 
 // sorters are the two rebuild strategies: deterministic bitonic (Lemma 2's
@@ -103,14 +147,24 @@ func TestORAMRandomizedBackends(t *testing.T) {
 				// cost; over real HTTP those runs buy minutes of wall clock
 				// and no extra coverage beyond the n=16 case.
 				ops := tc.ops
-				if be.name == "network" && sc.name == "randomized" && tc.n > 16 {
+				overHTTP := be.name == "network" || be.name == "crypt-network"
+				isCrypt := strings.HasPrefix(be.name, "crypt-")
+				if overHTTP && sc.name == "randomized" && tc.n > 16 {
+					continue
+				}
+				// The crypt legs are here to exercise the sealing path under
+				// randomized workloads and pin its trace invariance — size
+				// coverage belongs to the plaintext backends. Per-block
+				// HMAC-SHA256 makes the randomized sorter's rebuild volume
+				// ~10× slower sealed, so cap the crypt cases.
+				if isCrypt && (tc.n > 32 || (sc.name == "randomized" && tc.n > 16)) {
 					continue
 				}
 				// Under the race detector every interaction is ~10× slower;
 				// keep one representative per backend and drop the heavy
 				// duplicates (they add size, not interleaving coverage).
 				if raceEnabled {
-					if be.name == "network" && (tc.n > 16 || sc.name == "randomized") {
+					if (overHTTP || isCrypt) && (tc.n > 16 || sc.name == "randomized") {
 						continue
 					}
 					if be.name == "sharded-4" && sc.name == "randomized" && tc.n > 32 {

@@ -255,8 +255,11 @@ func TestPublicNetworkConfigValidation(t *testing.T) {
 	if _, err := New(Config{BlockSize: 8, NumShards: 2, ShardURLs: []string{ts.URL}}); err == nil {
 		t.Error("ShardURLs length mismatch accepted")
 	}
-	if _, err := New(Config{BlockSize: 8, URL: ts.URL, EncryptionKey: make([]byte, 32)}); err == nil {
-		t.Error("encryption over network backend accepted")
+	// An encrypted client needs the server provisioned with the sealed
+	// footprint (B+2); a plaintext-sized server must be rejected.
+	_, tsPlain := obstore(t, 16, 8)
+	if _, err := New(Config{BlockSize: 8, URL: tsPlain.URL, EncryptionKey: make([]byte, 32)}); err == nil {
+		t.Error("encrypted client accepted a server sized for plaintext blocks")
 	}
 	if _, err := New(Config{BlockSize: 8, URL: "http://127.0.0.1:1", NetTimeout: 50000000, NetRetries: 1}); err == nil {
 		t.Error("dial to dead server succeeded")

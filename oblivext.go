@@ -22,8 +22,11 @@
 package oblivext
 
 import (
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"oblivext/internal/core"
@@ -52,9 +55,14 @@ type Config struct {
 	// Path, when non-empty, backs the store with a real file at that path
 	// instead of memory.
 	Path string
-	// EncryptionKey, when 32 bytes long, encrypts every block with
-	// AES-CTR + HMAC under a fresh IV per write (file-backed stores only):
-	// the semantically secure re-encryption the paper assumes.
+	// EncryptionKey, when 32 bytes long, makes Alice encrypt client-side:
+	// every block is sealed with AES-CTR + HMAC-SHA256 under a fresh IV per
+	// write — the semantically secure re-encryption the paper assumes —
+	// before it leaves the process, for *every* backend (memory, file,
+	// sharded, and the HTTP network store alike). Bob only ever holds
+	// IV‖ciphertext‖tag; see docs/THREAT_MODEL.md. A sealed block occupies
+	// BlockSize + 2 elements on the backend, so a network server must be
+	// provisioned with that block size (obstore -b BlockSize+2).
 	EncryptionKey []byte
 	// StartBlocks is the initial store capacity in blocks (file stores are
 	// fixed at this size; memory stores grow). Default 1024.
@@ -85,7 +93,8 @@ type Config struct {
 	NumShards int
 	// ShardPaths, when non-empty, backs each shard with a file at the
 	// given path (length must equal NumShards); otherwise shards are
-	// in-memory. EncryptionKey applies per shard.
+	// in-memory. With EncryptionKey set the shard files hold ciphertext
+	// only (blocks are sealed above the fan-out).
 	ShardPaths []string
 	// Prefetch double-buffers the pass-structured I/O: read scans fetch
 	// the next half-window while the client computes over the current one,
@@ -98,10 +107,11 @@ type Config struct {
 	// URL, when non-empty, backs the store with a real remote Bob: an
 	// obstore server (cmd/obstore) at this base URL, spoken to over the
 	// batched binary HTTP protocol — every vectored store call is exactly
-	// one request. The server's block size must equal BlockSize. Measured
-	// (not modeled) round-trip stats are read back with
-	// MeasuredNetworkStats; SimulatedRTT may still be set to charge an
-	// additional accounted model on top.
+	// one request. The server's block size must equal BlockSize (or
+	// BlockSize+2 with EncryptionKey set: sealed blocks carry the IV+tag
+	// envelope). Measured (not modeled) round-trip stats are read back
+	// with MeasuredNetworkStats; SimulatedRTT may still be set to charge
+	// an additional accounted model on top.
 	URL string
 	// ShardURLs backs individual shards with remote obstore servers; when
 	// non-empty its length must equal NumShards. Entries may be empty to
@@ -117,6 +127,22 @@ type Config struct {
 	// entirely for fail-fast runs). Requests are idempotent and carry a
 	// stable id, so replays are safe and the server journals them once.
 	NetRetries int
+	// AuthToken, when non-empty, is presented to every network backend as
+	// an "Authorization: Bearer" credential; it must match the server's
+	// -auth-token. A mismatch is a permanent 401, not a retried fault.
+	AuthToken string
+	// TLSRootCA, when non-empty, is the path to a PEM file of root
+	// certificates to trust when dialing https:// backends — typically the
+	// self-signed certificate an obstore was started with (-tls-cert).
+	// System roots apply when unset.
+	TLSRootCA string
+	// TLSInsecureSkipVerify disables server-certificate verification for
+	// https:// backends. Smoke tests only: it surrenders authentication of
+	// Bob, leaving the connection open to man-in-the-middle interception
+	// (contents stay protected by EncryptionKey, but the access trace and
+	// data integrity guarantees against an *active* network attacker do
+	// not).
+	TLSInsecureSkipVerify bool
 }
 
 // Client is Alice: a private cache plus a connection to the block store.
@@ -128,6 +154,7 @@ type Client struct {
 	net        extmem.NetModel     // non-nil when SimulatedRTT/PerBlock is configured
 	sharded    *shard.ShardedStore // non-nil when NumShards > 1
 	netClients []*netstore.Client  // remote backends in shard order; nil without URL/ShardURLs
+	crypt      *extmem.CryptStore  // non-nil when EncryptionKey is set
 }
 
 // New creates a client.
@@ -179,6 +206,14 @@ func New(cfg Config) (*Client, error) {
 			return nil, err
 		}
 	}
+	// With encryption the backends hold sealed blocks: every child store is
+	// provisioned with the inflated block size and the CryptStore decorator
+	// at the top of the stack translates, so the Disk and the algorithms see
+	// plaintext blocks of BlockSize elements regardless.
+	innerB := cfg.BlockSize
+	if enc != nil {
+		innerB = extmem.CryptChildBlockSize(cfg.BlockSize)
+	}
 	latency := cfg.SimulatedRTT > 0 || cfg.SimulatedPerBlock > 0
 	wrapNet := func(s extmem.BlockStore) extmem.BlockStore {
 		if !latency {
@@ -189,12 +224,27 @@ func New(cfg Config) (*Client, error) {
 		})
 	}
 
-	netOpts := netstore.Options{Timeout: cfg.NetTimeout}
+	netOpts := netstore.Options{Timeout: cfg.NetTimeout, AuthToken: cfg.AuthToken}
 	switch {
 	case cfg.NetRetries == -1:
 		netOpts.MaxAttempts = 1 // fail-fast: the first attempt is the only one
 	case cfg.NetRetries > 0:
 		netOpts.MaxAttempts = cfg.NetRetries + 1
+	}
+	if cfg.TLSRootCA != "" || cfg.TLSInsecureSkipVerify {
+		tc := &tls.Config{InsecureSkipVerify: cfg.TLSInsecureSkipVerify}
+		if cfg.TLSRootCA != "" {
+			pem, err := os.ReadFile(cfg.TLSRootCA)
+			if err != nil {
+				return nil, fmt.Errorf("oblivext: TLSRootCA: %w", err)
+			}
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(pem) {
+				return nil, fmt.Errorf("oblivext: TLSRootCA %s: no certificates found", cfg.TLSRootCA)
+			}
+			tc.RootCAs = pool
+		}
+		netOpts.TLS = tc
 	}
 	// All network clients share one keep-alive transport whose idle pool is
 	// sized to the fan-out: one vectored call puts NumShards requests in
@@ -208,7 +258,11 @@ func New(cfg Config) (*Client, error) {
 		}
 	}
 	if hasNet {
-		netOpts.Transport = netstore.NewTransport(cfg.NumShards + 2)
+		tr := netstore.NewTransport(cfg.NumShards + 2)
+		// The shared transport carries the TLS settings itself: Dial's own
+		// TLS wiring only applies when it builds the transport.
+		tr.TLSClientConfig = netOpts.TLS
+		netOpts.Transport = tr
 	}
 
 	c := &Client{}
@@ -219,14 +273,6 @@ func New(cfg Config) (*Client, error) {
 	if cfg.NumShards > 1 || len(cfg.ShardPaths) > 0 || len(cfg.ShardURLs) > 0 {
 		if cfg.Path != "" {
 			return nil, errors.New("oblivext: with NumShards > 1 use ShardPaths, not Path")
-		}
-		if enc != nil {
-			if len(cfg.ShardURLs) > 0 {
-				return nil, errors.New("oblivext: encryption requires file-backed shards, not network backends")
-			}
-			if len(cfg.ShardPaths) == 0 {
-				return nil, errors.New("oblivext: encryption requires file-backed shards (set ShardPaths)")
-			}
 		}
 		perShard := extmem.CeilDiv(cfg.StartBlocks, cfg.NumShards)
 		children := make([]extmem.BlockStore, cfg.NumShards)
@@ -243,23 +289,22 @@ func New(cfg Config) (*Client, error) {
 					closeBuilt(i)
 					return nil, err
 				}
-				if nc.BlockSize() != cfg.BlockSize {
+				if nc.BlockSize() != innerB {
 					nc.Close()
 					closeBuilt(i)
-					return nil, fmt.Errorf("oblivext: shard %d server block size %d != BlockSize %d",
-						i, nc.BlockSize(), cfg.BlockSize)
+					return nil, fmt.Errorf("oblivext: shard %d server block size %d != %s", i, nc.BlockSize(), wantB(cfg.BlockSize, innerB))
 				}
 				c.netClients = append(c.netClients, nc)
 				children[i] = wrapNet(nc)
 			case len(cfg.ShardPaths) > 0 && cfg.ShardPaths[i] != "":
-				fs, err := extmem.NewFileStore(cfg.ShardPaths[i], perShard, cfg.BlockSize, enc)
+				fs, err := extmem.NewFileStore(cfg.ShardPaths[i], perShard, innerB)
 				if err != nil {
 					closeBuilt(i)
 					return nil, err
 				}
 				children[i] = wrapNet(fs)
 			default:
-				children[i] = wrapNet(extmem.NewMemStore(perShard, cfg.BlockSize))
+				children[i] = wrapNet(extmem.NewMemStore(perShard, innerB))
 			}
 		}
 		sh, err := shard.New(children)
@@ -273,33 +318,39 @@ func New(cfg Config) (*Client, error) {
 			c.net = sh // critical-path model over the per-shard latencies
 		}
 	} else if cfg.URL != "" {
-		if enc != nil {
-			return nil, errors.New("oblivext: encryption requires a file-backed store, not a network backend")
-		}
 		nc, err := netstore.Dial(cfg.URL, netOpts)
 		if err != nil {
 			return nil, err
 		}
-		if nc.BlockSize() != cfg.BlockSize {
+		if nc.BlockSize() != innerB {
 			nc.Close()
-			return nil, fmt.Errorf("oblivext: server block size %d != BlockSize %d", nc.BlockSize(), cfg.BlockSize)
+			return nil, fmt.Errorf("oblivext: server block size %d != %s", nc.BlockSize(), wantB(cfg.BlockSize, innerB))
 		}
 		c.netClients = []*netstore.Client{nc}
 		store = wrapNet(nc)
 	} else if cfg.Path != "" {
-		fs, err := extmem.NewFileStore(cfg.Path, cfg.StartBlocks, cfg.BlockSize, enc)
+		fs, err := extmem.NewFileStore(cfg.Path, cfg.StartBlocks, innerB)
 		if err != nil {
 			return nil, err
 		}
 		store = wrapNet(fs)
 	} else {
-		if enc != nil {
-			return nil, errors.New("oblivext: encryption requires a file-backed store (set Path)")
-		}
-		store = wrapNet(extmem.NewMemStore(cfg.StartBlocks, cfg.BlockSize))
+		store = wrapNet(extmem.NewMemStore(cfg.StartBlocks, innerB))
 	}
 	if latency && c.net == nil {
 		c.net = store.(extmem.NetModel)
+	}
+	// Alice-side encryption is the top of the store stack, directly under
+	// the Disk: everything below — latency models, the sharded fan-out, the
+	// wire — only ever handles sealed blocks.
+	if enc != nil {
+		cs, err := extmem.NewCryptStore(store, enc, cfg.BlockSize)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		c.crypt = cs
+		store = cs
 	}
 	env := extmem.NewEnvOn(store, cfg.CacheWords, cfg.Seed)
 	env.D.SetMaxBatch(cfg.MaxBatchBlocks)
@@ -321,6 +372,16 @@ func New(cfg Config) (*Client, error) {
 	env.Prefetch = cfg.Prefetch
 	c.env, c.store = env, store
 	return c, nil
+}
+
+// wantB renders the expected backend block size for a mismatch error,
+// explaining the +2 sealed footprint when encryption is on.
+func wantB(blockSize, innerB int) string {
+	if innerB == blockSize {
+		return fmt.Sprintf("BlockSize %d", blockSize)
+	}
+	return fmt.Sprintf("sealed block size %d (BlockSize %d + %d envelope elements; run obstore with -b %d)",
+		innerB, blockSize, innerB-blockSize, innerB)
 }
 
 // Close releases the backing store.
@@ -352,6 +413,12 @@ type IOStats struct {
 	// Writes, and the recorded (kind, address) sequence are identical to
 	// the scalar path's.
 	RoundTrips int64
+	// BytesSealed and BytesOpened account the client-side crypto: total
+	// ciphertext bytes produced by writes and verified+decrypted by reads
+	// (envelope included). Zero without EncryptionKey; benchmarks report
+	// them as the crypto-overhead line.
+	BytesSealed int64
+	BytesOpened int64
 }
 
 // Total returns reads plus writes.
@@ -360,7 +427,12 @@ func (s IOStats) Total() int64 { return s.Reads + s.Writes }
 // Stats returns cumulative I/O counters.
 func (c *Client) Stats() IOStats {
 	st := c.env.D.Stats()
-	return IOStats{Reads: st.Reads, Writes: st.Writes, RoundTrips: st.RoundTrips}
+	out := IOStats{Reads: st.Reads, Writes: st.Writes, RoundTrips: st.RoundTrips}
+	if c.crypt != nil {
+		out.BytesSealed = c.crypt.BytesSealed()
+		out.BytesOpened = c.crypt.BytesOpened()
+	}
+	return out
 }
 
 // ResetStats zeroes the I/O counters, including the latency model's
@@ -368,6 +440,9 @@ func (c *Client) Stats() IOStats {
 // measured network counters when configured.
 func (c *Client) ResetStats() {
 	c.env.D.ResetStats()
+	if c.crypt != nil {
+		c.crypt.ResetCryptStats()
+	}
 	if c.sharded != nil {
 		c.sharded.ResetNetStats() // resets the per-shard latency models too
 	} else if c.net != nil {

@@ -201,8 +201,8 @@ func TestPublicConfigValidation(t *testing.T) {
 	if _, err := New(Config{BlockSize: 8, CacheWords: 8}); err == nil {
 		t.Error("tiny cache accepted")
 	}
-	if _, err := New(Config{EncryptionKey: make([]byte, 32)}); err == nil {
-		t.Error("encryption without file store accepted")
+	if _, err := New(Config{EncryptionKey: make([]byte, 7)}); err == nil {
+		t.Error("short encryption key accepted")
 	}
 	if _, err := New(Config{Path: "/nonexistent-dir-xyz/f.dat"}); err == nil {
 		t.Error("bad path accepted")
