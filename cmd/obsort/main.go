@@ -1,15 +1,17 @@
 // Command obsort demonstrates the library end to end: it generates
 // records, outsources them to a block store (in-memory, file-backed,
 // sharded, or a real obstore server — with -encrypt every block is sealed
-// client-side first, whatever the backend), sorts them with the paper's
-// randomized oblivious sort, verifies the result, and reports the I/O
-// counts and trace fingerprint the storage server would observe.
+// client-side first, whatever the backend), sorts them with the selected
+// oblivious sorter engine (the paper's randomized sort by default),
+// verifies the result, and reports the I/O counts and trace fingerprint
+// the storage server would observe.
 //
 // Usage:
 //
 //	obsort -n 100000 -b 16 -m 4096 -file /tmp/store.dat -encrypt
+//	obsort -n 100000 -sorter bucket                              # or zigzag, bitonic, auto
 //	obsort -n 100000 -shards 4 -rtt 20ms -perblock 1ms -prefetch
-//	obsort -n 100000 -url http://localhost:9220                  # a real Bob (cmd/obstore)
+//	obsort -n 100000 -sorter auto -url http://localhost:9220     # a real Bob (cmd/obstore)
 //	obsort -n 100000 -shards 2 -urls http://h1:9220,http://h2:9220
 //	obsort -n 100000 -b 16 -encrypt -url https://h:9222 -tls-ca cert.pem -auth-token s3cret
 //	                                 # TLS + auth + client-side sealing (server runs -b 18)
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"oblivext"
+	"oblivext/internal/obsort"
 )
 
 func main() {
@@ -34,7 +37,8 @@ func main() {
 	file := flag.String("file", "", "back the store with this file (default: in-memory)")
 	encrypt := flag.Bool("encrypt", false, "seal every block client-side (AES-CTR + HMAC, fresh IV per write) before it reaches any backend; a remote obstore must run with -b = B+2")
 	seed := flag.Uint64("seed", 1, "random tape seed")
-	det := flag.Bool("deterministic", false, "use the deterministic (Lemma 2) sort instead")
+	sorter := flag.String("sorter", "randomized", "sorter engine: auto, randomized, bitonic, bucket, or zigzag")
+	det := flag.Bool("deterministic", false, "deprecated alias for -sorter=bitonic")
 	shards := flag.Int("shards", 1, "stripe the store across this many backends, fanned out in parallel (with -file, shard i is backed by <file>.<i>)")
 	rtt := flag.Duration("rtt", 0, "model each backend as remote with this round-trip delay (e.g. 20ms)")
 	perblock := flag.Duration("perblock", 0, "bandwidth component of the latency model, per block moved")
@@ -48,7 +52,10 @@ func main() {
 	tlsSkipVerify := flag.Bool("tls-skip-verify", false, "disable TLS certificate verification (smoke tests only)")
 	flag.Parse()
 
-	cfg := oblivext.Config{BlockSize: *b, CacheWords: *m, Seed: *seed, Path: *file,
+	if *det {
+		*sorter = "bitonic"
+	}
+	cfg := oblivext.Config{BlockSize: *b, CacheWords: *m, Seed: *seed, Path: *file, Sorter: *sorter,
 		NumShards: *shards, SimulatedRTT: *rtt, SimulatedPerBlock: *perblock, Prefetch: *prefetch,
 		URL: *url, NetTimeout: *netTimeout, NetRetries: *netRetries,
 		AuthToken: *authToken, TLSRootCA: *tlsCA, TLSInsecureSkipVerify: *tlsSkipVerify}
@@ -101,9 +108,7 @@ func main() {
 
 	client.ResetStats()
 	start := time.Now()
-	if *det {
-		arr.SortDeterministic()
-	} else if err := arr.Sort(); err != nil {
+	if err := arr.Sort(); err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -119,7 +124,18 @@ func main() {
 	}
 	st := client.Stats()
 	ts := client.TraceSummary()
-	fmt.Printf("sorted %d records (B=%d, M=%d) in %v\n", *n, *b, *m, elapsed.Round(time.Millisecond))
+	engine := *sorter
+	if engine == obsort.EngineAuto {
+		// The pick is a public function of the geometry and backend kind;
+		// recompute it here so the report names the engine that actually ran.
+		backend := "mem"
+		if *url != "" || *urls != "" {
+			backend = "net"
+		}
+		engine = fmt.Sprintf("auto (picked %s)", obsort.Pick(arr.Blocks(), *b, *m, backend))
+	}
+	fmt.Printf("sorted %d records (B=%d, M=%d) with the %s engine in %v\n",
+		*n, *b, *m, engine, elapsed.Round(time.Millisecond))
 	fmt.Printf("block I/O: %d reads + %d writes = %d (%.2f per data block)\n",
 		st.Reads, st.Writes, st.Total(), float64(st.Total())/float64(arr.Blocks()))
 	fmt.Printf("round trips: %d (%.1f blocks per store interaction)\n",

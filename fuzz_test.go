@@ -139,6 +139,91 @@ func FuzzCompactTight(f *testing.F) {
 	})
 }
 
+func FuzzSort(f *testing.F) {
+	// One seed per engine (engineRaw selects modulo the engine list), plus
+	// boundary sizes and a single-record case.
+	f.Add(uint16(100), uint64(3), uint8(0))
+	f.Add(uint16(1), uint64(1), uint8(1))
+	f.Add(uint16(1000), uint64(2), uint8(2))
+	f.Add(uint16(513), uint64(7), uint8(3))
+	f.Add(uint16(64), uint64(11), uint8(4))
+	f.Add(uint16(257), uint64(42), uint8(8))
+
+	engines := []string{"randomized", "bitonic", "zigzag", "bucket", "auto"}
+	f.Fuzz(func(t *testing.T, nRaw uint16, seed uint64, engineRaw uint8) {
+		n := int(nRaw)%1024 + 1
+		engine := engines[int(engineRaw)%len(engines)]
+
+		run := func(recs []Record, key []byte) (TraceSummary, []Record, error) {
+			// CacheWords 512 keeps the bucket engine's declared-overflow
+			// probability negligible at these sizes, so a retry (public, but
+			// a longer trace) cannot make the two legs diverge.
+			c, err := New(Config{BlockSize: 8, CacheWords: 512, Seed: 555, EncryptionKey: key, Sorter: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			arr, err := c.Store(recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.EnableTrace(0)
+			if err := arr.Sort(); err != nil {
+				return c.TraceSummary(), nil, err
+			}
+			got, err := arr.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c.TraceSummary(), got, nil
+		}
+
+		recs := fuzzRecords(n, seed)
+		traceA, got, errA := run(recs, nil)
+
+		if errA == nil {
+			want := append([]Record(nil), recs...)
+			sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+			if len(got) != len(want) {
+				t.Fatalf("engine=%s n=%d: %d records after sort, want %d", engine, n, len(got), len(want))
+			}
+			for i := range want { // stable: insertion order breaks ties
+				if got[i] != want[i] {
+					t.Fatalf("engine=%s n=%d position %d: %+v, want %+v", engine, n, i, got[i], want[i])
+				}
+			}
+		} else if !errors.Is(errA, core.ErrSortFailed) {
+			// Only the randomized engine may fail; the deterministic engines
+			// never do, and bucket retries declared overflows internally.
+			t.Fatalf("engine=%s: unexpected error: %v", engine, errA)
+		}
+
+		// Degenerate same-size input (all keys equal — maximal ties) with
+		// client-side encryption on: neither the data nor the sealing may
+		// show in the trace.
+		constant := make([]Record, n)
+		for i := range constant {
+			constant[i] = Record{Key: 5, Val: uint64(i)}
+		}
+		traceB, _, errB := run(constant, fuzzKey(seed))
+		if errA == nil && errB == nil && traceA != traceB {
+			t.Fatalf("engine=%s n=%d: sort trace depends on data or encryption: %+v vs %+v",
+				engine, n, traceA, traceB)
+		}
+		// A declared randomized-sort failure aborts at the failed check, so
+		// its trace is a prefix of the success path's.
+		if errA != nil && errB == nil && traceA.Len > traceB.Len {
+			t.Fatalf("failed run traced more than a completed one: %+v vs %+v", traceA, traceB)
+		}
+		if errB != nil && errA == nil && traceB.Len > traceA.Len {
+			t.Fatalf("failed run traced more than a completed one: %+v vs %+v", traceB, traceA)
+		}
+		if traceA.Len == 0 {
+			t.Fatal("empty trace recorded")
+		}
+	})
+}
+
 func FuzzSelect(f *testing.F) {
 	f.Add(uint16(100), uint16(50), uint64(1))
 	f.Add(uint16(1), uint16(1), uint64(1))

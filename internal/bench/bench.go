@@ -68,6 +68,7 @@ func All() []Experiment {
 		{"E16", "Real HTTP backend: measured cost and server-audited trace", E16},
 		{"E17", "Batched ORAM accesses: measured round trips over a real server", E17},
 		{"E18", "Client-side encryption overhead: sealed vs plaintext backends", E18},
+		{"E19", "Sorter engines head-to-head: randomized vs bitonic vs zigzag vs bucket", E19},
 	}
 }
 

@@ -109,12 +109,15 @@ func testEncryptor(t *testing.T) *extmem.Encryptor {
 	return enc
 }
 
-// sorters are the two rebuild strategies: deterministic bitonic (Lemma 2's
-// role) and the paper's randomized sort (the §1 headline configuration).
+// sorters are the rebuild strategies under test: the auto-selecting default
+// (nil Sorter — every rebuild picks an engine from its own public geometry),
+// deterministic bitonic (Lemma 2's role), and the paper's randomized sort
+// (the §1 headline configuration).
 var sorters = []struct {
 	name string
 	s    obsort.Sorter
 }{
+	{"auto", nil},
 	{"bitonic", obsort.BitonicSorter},
 	{"randomized", core.RandomizedSorter},
 }
@@ -137,15 +140,14 @@ func TestORAMRandomizedBackends(t *testing.T) {
 		for _, sc := range sorters {
 			for _, tc := range cases {
 				// ORAM accesses are batched (≤ LiveLevels+1 round trips per
-				// access instead of 2·beta·L scalar ones), so the network
-				// backend runs the full size matrix with uncapped op counts
-				// — the HTTP caps this suite used to need are gone. The one
-				// remaining economy is the randomized rebuild sorter at
-				// larger n: its rebuilds move ~50× bitonic's block volume at
-				// this tiny cache (>10^6 round trips per run at n=32), which
-				// is rebuild-sort constant factors, not the per-access probe
-				// cost; over real HTTP those runs buy minutes of wall clock
-				// and no extra coverage beyond the n=16 case.
+				// access instead of 2·beta·L scalar ones), so the default
+				// auto-selected engine and bitonic run the full size matrix
+				// on every backend, real HTTP included — no network caps.
+				// The randomized rebuild sorter keeps exactly one small HTTP
+				// case (n=16) as a regression control: its rebuilds move
+				// ~50× a deterministic engine's block volume at this tiny
+				// cache, which over loopback HTTP buys minutes of wall clock
+				// and no coverage beyond the small case.
 				ops := tc.ops
 				overHTTP := be.name == "network" || be.name == "crypt-network"
 				isCrypt := strings.HasPrefix(be.name, "crypt-")
@@ -237,9 +239,9 @@ func checkPayload(t *testing.T, op, j int, got, want []uint64) {
 // store (each backend only changes who serves the sequence, never the
 // sequence).
 func TestORAMTraceInvarianceAcrossBackends(t *testing.T) {
-	// The bitonic sorter keeps this cheap over real HTTP; which rebuild
-	// sorter runs is irrelevant to the claim (both consume the same tape
-	// positions on every backend).
+	// Rebuilds run the default auto-selected engine: the pick is a public
+	// function of each rebuild's geometry, so it resolves identically on
+	// every backend and the claim covers the default configuration.
 	const n, ops, seed = 16, 32, 7
 	type result struct {
 		name string
@@ -250,7 +252,7 @@ func TestORAMTraceInvarianceAcrossBackends(t *testing.T) {
 	for _, be := range backends() {
 		env := be.make(t, 64, seed)
 		env.D.SetRecorder(trace.NewRecorder(0))
-		o, err := oram.New(env, n, oram.Options{Sorter: obsort.BitonicSorter})
+		o, err := oram.New(env, n, oram.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -335,7 +337,7 @@ func TestORAMAccessSequenceShapeInvariance(t *testing.T) {
 			env := be.make(t, 64, seed)
 			rec := trace.NewRecorder(1 << 22)
 			env.D.SetRecorder(rec)
-			o, err := oram.New(env, n, oram.Options{Sorter: obsort.BitonicSorter})
+			o, err := oram.New(env, n, oram.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,398 @@
+package obsort
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/trace"
+)
+
+func TestZigzagSortCorrectness(t *testing.T) {
+	r := rand.New(rand.NewPCG(21, 22))
+	for _, b := range []int{2, 8} {
+		for _, nBlocks := range []int{1, 2, 3, 5, 8, 17, 64} {
+			for _, kind := range []string{"rand", "sorted", "reverse", "dup", "equal"} {
+				for _, frac := range []int{100, 60} {
+					env := extmem.NewEnv(4*nBlocks+16, b, 8*b, 7)
+					a := env.D.Alloc(nBlocks)
+					nk := nBlocks * b * frac / 100
+					keys := genKeys(r, nk, kind)
+					fillArray(env, a, keys)
+					Zigzag(env, a, ByKey)
+					got := checkSortedPadded(t, readAll(a))
+					if !sameMultiset(got, keys) {
+						t.Fatalf("b=%d n=%d kind=%s frac=%d: multiset changed", b, nBlocks, kind, frac)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestZigzagNonPowerOfTwoBlockSize(t *testing.T) {
+	// Unlike Bitonic, Zigzag has no power-of-two block-size requirement.
+	r := rand.New(rand.NewPCG(23, 24))
+	for _, b := range []int{3, 6} {
+		env := extmem.NewEnv(128, b, 16*b, 5)
+		a := env.D.Alloc(19)
+		keys := genKeys(r, 19*b, "rand")
+		fillArray(env, a, keys)
+		Zigzag(env, a, ByKey)
+		got := checkSortedPadded(t, readAll(a))
+		if !sameMultiset(got, keys) {
+			t.Fatalf("b=%d: multiset changed", b)
+		}
+	}
+}
+
+func TestZigzagRespectsCacheBound(t *testing.T) {
+	env := extmem.NewEnv(64, 4, 32, 3)
+	a := env.D.Alloc(32)
+	r := rand.New(rand.NewPCG(25, 25))
+	fillArray(env, a, genKeys(r, 128, "rand"))
+	env.Cache.ResetHighWater()
+	Zigzag(env, a, ByKey)
+	if hw := env.Cache.HighWater(); hw > env.M {
+		t.Fatalf("zigzag used %d private elements, budget %d", hw, env.M)
+	}
+}
+
+func TestZigzagOblivious(t *testing.T) {
+	r := rand.New(rand.NewPCG(27, 27))
+	run := func(keys []uint64) trace.Summary {
+		env := extmem.NewEnv(64, 4, 32, 3)
+		a := env.D.Alloc(24)
+		fillArray(env, a, keys)
+		rec := trace.NewRecorder(0)
+		env.D.SetRecorder(rec)
+		Zigzag(env, a, ByKey)
+		return rec.Summarize()
+	}
+	s1 := run(genKeys(r, 96, "rand"))
+	s2 := run(genKeys(r, 96, "equal"))
+	s3 := run(genKeys(r, 96, "reverse"))
+	if !s1.Equal(s2) || !s1.Equal(s3) {
+		t.Fatalf("zigzag trace depends on data: %v %v %v", s1, s2, s3)
+	}
+}
+
+func TestZigzagIOCountMatchesMeasuredIO(t *testing.T) {
+	for _, cfg := range []struct{ n, b, m int }{{16, 4, 16}, {64, 4, 32}, {128, 8, 64}, {17, 4, 32}} {
+		env := extmem.NewEnv(cfg.n*2, cfg.b, cfg.m, 1)
+		a := env.D.Alloc(cfg.n)
+		r := rand.New(rand.NewPCG(4, 4))
+		fillArray(env, a, genKeys(r, cfg.n*cfg.b, "rand"))
+		env.D.ResetStats()
+		Zigzag(env, a, ByKey)
+		st := env.D.Stats()
+		want := ZigzagIOCount(cfg.n, cfg.b, cfg.m)
+		if st.Total() != want {
+			t.Errorf("n=%d b=%d m=%d: measured %d I/Os, predicted %d", cfg.n, cfg.b, cfg.m, st.Total(), want)
+		}
+	}
+}
+
+func TestZigzagPreservesMarkedFlags(t *testing.T) {
+	env := extmem.NewEnv(64, 4, 32, 3)
+	a := env.D.Alloc(8)
+	b := a.B()
+	buf := make([]extmem.Element, b)
+	for blk := 0; blk < 8; blk++ {
+		for tt := range buf {
+			idx := uint64(blk*b + tt)
+			buf[tt] = extmem.Element{Key: 1000 - idx, Pos: idx, Flags: extmem.FlagOccupied}
+			if idx%3 == 0 {
+				buf[tt].Flags |= extmem.FlagMarked
+			}
+		}
+		a.Write(blk, buf)
+	}
+	Zigzag(env, a, ByKey)
+	for _, e := range readAll(a) {
+		wantMarked := (1000-e.Key)%3 == 0
+		if e.Marked() != wantMarked {
+			t.Fatalf("marked flag lost across zigzag: key %d", e.Key)
+		}
+	}
+}
+
+// bucketEnv builds a geometry where BucketSort runs its own pipeline
+// rather than the Bitonic fallback.
+func bucketEnv(nBlocks, b, m int, seed uint64) (*extmem.Env, extmem.Array) {
+	env := extmem.NewEnv(16*nBlocks+64, b, m, seed)
+	return env, env.D.Alloc(nBlocks)
+}
+
+func TestBucketSortCorrectness(t *testing.T) {
+	r := rand.New(rand.NewPCG(31, 32))
+	for _, cfg := range []struct{ n, b, m int }{
+		{8, 8, 512}, {17, 8, 512}, {64, 8, 512}, {128, 8, 512},
+		{64, 4, 512}, {33, 2, 512},
+	} {
+		if !BucketSupported(cfg.n, cfg.b, cfg.m) {
+			t.Fatalf("n=%d b=%d m=%d: geometry unexpectedly unsupported", cfg.n, cfg.b, cfg.m)
+		}
+		for _, kind := range []string{"rand", "sorted", "reverse", "dup", "equal"} {
+			for _, frac := range []int{100, 60} {
+				env, a := bucketEnv(cfg.n, cfg.b, cfg.m, 7)
+				nk := cfg.n * cfg.b * frac / 100
+				keys := genKeys(r, nk, kind)
+				fillArray(env, a, keys)
+				if err := BucketSort(env, a, ByKey); err != nil {
+					t.Fatalf("n=%d b=%d kind=%s frac=%d: %v", cfg.n, cfg.b, kind, frac, err)
+				}
+				got := checkSortedPadded(t, readAll(a))
+				if !sameMultiset(got, keys) {
+					t.Fatalf("n=%d b=%d kind=%s frac=%d: multiset changed", cfg.n, cfg.b, kind, frac)
+				}
+			}
+		}
+	}
+}
+
+func TestBucketSortDeepRecursion(t *testing.T) {
+	// Small cache against a large array: the distribution phase must
+	// recurse more than one level (k1 > fLeaf·k2max).
+	const n, b, m = 1 << 10, 8, 512
+	env, a := bucketEnv(n, b, m, 11)
+	r := rand.New(rand.NewPCG(33, 34))
+	keys := genKeys(r, n*b, "rand")
+	fillArray(env, a, keys)
+	if err := BucketSort(env, a, ByKey); err != nil {
+		t.Fatalf("deep recursion run failed: %v", err)
+	}
+	got := checkSortedPadded(t, readAll(a))
+	if !sameMultiset(got, keys) {
+		t.Fatal("multiset changed")
+	}
+}
+
+func TestBucketSortRespectsCacheBound(t *testing.T) {
+	env, a := bucketEnv(128, 8, 512, 9)
+	r := rand.New(rand.NewPCG(35, 35))
+	fillArray(env, a, genKeys(r, 128*8, "rand"))
+	env.Cache.ResetHighWater()
+	if err := BucketSort(env, a, ByKey); err != nil {
+		t.Fatal(err)
+	}
+	if hw := env.Cache.HighWater(); hw > env.M {
+		t.Fatalf("bucket sort used %d private elements, budget %d", hw, env.M)
+	}
+}
+
+func TestBucketSortOblivious(t *testing.T) {
+	r := rand.New(rand.NewPCG(37, 37))
+	run := func(keys []uint64) trace.Summary {
+		env, a := bucketEnv(64, 8, 512, 7)
+		fillArray(env, a, keys)
+		rec := trace.NewRecorder(0)
+		env.D.SetRecorder(rec)
+		if err := BucketSort(env, a, ByKey); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Summarize()
+	}
+	s1 := run(genKeys(r, 512, "rand"))
+	s2 := run(genKeys(r, 512, "equal"))
+	s3 := run(genKeys(r, 512, "reverse"))
+	if !s1.Equal(s2) || !s1.Equal(s3) {
+		t.Fatalf("bucket sort trace depends on data: %v %v %v", s1, s2, s3)
+	}
+}
+
+func TestBucketIOCountMatchesMeasuredIO(t *testing.T) {
+	// Every pass of a successful run is geometry-addressed, so the I/O
+	// count prediction is exact, not a bound.
+	for _, cfg := range []struct{ n, b, m int }{{64, 8, 512}, {128, 8, 512}, {256, 4, 512}} {
+		env, a := bucketEnv(cfg.n, cfg.b, cfg.m, 7)
+		r := rand.New(rand.NewPCG(6, 6))
+		fillArray(env, a, genKeys(r, cfg.n*cfg.b, "rand"))
+		env.D.ResetStats()
+		if err := BucketSort(env, a, ByKey); err != nil {
+			t.Fatal(err)
+		}
+		st := env.D.Stats()
+		want := BucketIOCount(cfg.n, cfg.b, cfg.m)
+		if st.Total() != want {
+			t.Errorf("n=%d b=%d m=%d: measured %d I/Os, predicted %d", cfg.n, cfg.b, cfg.m, st.Total(), want)
+		}
+	}
+}
+
+func TestBucketSortTinyCacheFallsBack(t *testing.T) {
+	// Geometry the buckets cannot fit: BucketSort must quietly run the
+	// deterministic engine and still sort.
+	env := extmem.NewEnv(64, 8, 8*8, 7)
+	a := env.D.Alloc(16)
+	r := rand.New(rand.NewPCG(39, 39))
+	keys := genKeys(r, 16*8, "rand")
+	fillArray(env, a, keys)
+	if BucketSupported(16, 8, env.M) {
+		t.Fatal("tiny geometry unexpectedly supported")
+	}
+	if err := BucketSort(env, a, ByKey); err != nil {
+		t.Fatal(err)
+	}
+	if got := checkSortedPadded(t, readAll(a)); !sameMultiset(got, keys) {
+		t.Fatal("multiset changed")
+	}
+}
+
+// TestBucketSortOverflowDeclared pins the declared-failure contract across
+// a seed scan: failures happen (the geometry is deliberately tight),
+// successes happen, every failure is ErrBucketOverflow with the input
+// array untouched, its trace is a strict prefix of the success trace, and
+// all success traces for one seed are identical across inputs.
+func TestBucketSortOverflowDeclared(t *testing.T) {
+	const n, b, m = 64, 4, 96 // Z = 8 cells: overflow-prone by design
+	r := rand.New(rand.NewPCG(41, 41))
+	keys := genKeys(r, n*b, "rand")
+
+	run := func(seed uint64, keys []uint64) ([]trace.Op, error, []extmem.Element) {
+		env, a := bucketEnv(n, b, m, seed)
+		fillArray(env, a, keys)
+		rec := trace.NewRecorder(1 << 22)
+		env.D.SetRecorder(rec)
+		err := BucketSort(env, a, ByKey)
+		return rec.Ops(), err, readAll(a)
+	}
+
+	var successOps []trace.Op
+	fails, succs := 0, 0
+	for seed := uint64(1); seed <= 80 && (fails == 0 || succs == 0); seed++ {
+		ops, err, elems := run(seed, keys)
+		if err == nil {
+			succs++
+			successOps = ops
+			checkSortedPadded(t, elems)
+			continue
+		}
+		fails++
+		if !errors.Is(err, ErrBucketOverflow) {
+			t.Fatalf("seed %d: unexpected error %v", seed, err)
+		}
+		// The input array is untouched on failure.
+		env2, a2 := bucketEnv(n, b, m, seed)
+		fillArray(env2, a2, keys)
+		want := readAll(a2)
+		for i := range elems {
+			if elems[i] != want[i] {
+				t.Fatalf("seed %d: failed run modified the input at cell %d", seed, i)
+			}
+		}
+		// Same seed, different input: the failure trace is a prefix of
+		// that input's trace (success or a later failure).
+		ops2, _, _ := run(seed, genKeys(rand.New(rand.NewPCG(seed, 99)), n*b, "rand"))
+		if len(ops) > len(ops2) {
+			// The other input failed even earlier; prefix check swaps.
+			ops, ops2 = ops2, ops
+		}
+		for i := range ops {
+			if ops[i] != ops2[i] {
+				t.Fatalf("seed %d: failure trace diverges from same-seed trace at op %d", seed, i)
+			}
+		}
+	}
+	if fails == 0 || succs == 0 {
+		t.Fatalf("seed scan saw %d failures and %d successes; want both (geometry mistuned)", fails, succs)
+	}
+	// Success traces are identical across inputs for the same seed: find a
+	// succeeding seed and rerun it on a different input.
+	for seed := uint64(1); seed <= 80; seed++ {
+		ops, err, _ := run(seed, keys)
+		if err != nil {
+			continue
+		}
+		ops2, err2, _ := run(seed, genKeys(rand.New(rand.NewPCG(seed, 123)), n*b, "dup"))
+		if err2 != nil {
+			continue
+		}
+		if len(ops) != len(ops2) {
+			t.Fatalf("seed %d: success trace lengths differ across inputs: %d vs %d", seed, len(ops), len(ops2))
+		}
+		for i := range ops {
+			if ops[i] != ops2[i] {
+				t.Fatalf("seed %d: success traces diverge at op %d", seed, i)
+			}
+		}
+		_ = successOps
+		return
+	}
+	t.Fatal("no seed succeeded on both inputs")
+}
+
+func TestBucketSorterRetriesThenSorts(t *testing.T) {
+	// The adapter must always sort, even at the overflow-prone geometry.
+	const n, b, m = 64, 4, 96
+	for seed := uint64(1); seed <= 10; seed++ {
+		env, a := bucketEnv(n, b, m, seed)
+		r := rand.New(rand.NewPCG(seed, 77))
+		keys := genKeys(r, n*b, "rand")
+		fillArray(env, a, keys)
+		BucketSorter(env, a, ByKey)
+		if got := checkSortedPadded(t, readAll(a)); !sameMultiset(got, keys) {
+			t.Fatalf("seed %d: multiset changed", seed)
+		}
+	}
+}
+
+func TestPickPolicy(t *testing.T) {
+	// Within-cache inputs: bitonic's single windowed pass wins everywhere.
+	if got := Pick(16, 8, 4096, "mem"); got != EngineBitonic {
+		t.Errorf("small mem pick = %s, want bitonic", got)
+	}
+	// Large over HTTP: a deterministic merge-split engine must win — the
+	// acceptance bar is beating randomized, which never wins a pick.
+	got := Pick(1<<12, 8, 4096, "net")
+	if got != EngineZigzag && got != EngineBucket {
+		t.Errorf("large net pick = %s, want a merge-split engine", got)
+	}
+	// The pick is public: same geometry, same answer.
+	for _, backend := range []string{"mem", "net"} {
+		if Pick(1<<12, 8, 4096, backend) != Pick(1<<12, 8, 4096, backend) {
+			t.Fatal("pick not deterministic")
+		}
+	}
+	// Every pick is a valid engine the registry resolves.
+	for _, n := range []int{1, 7, 64, 1 << 10, 1 << 14} {
+		for _, backend := range []string{"mem", "net"} {
+			name := Pick(n, 8, 512, backend)
+			if !ValidEngine(name) {
+				t.Fatalf("pick returned unknown engine %q", name)
+			}
+			if PickSorter(name) == nil {
+				t.Fatalf("no sorter for picked engine %q", name)
+			}
+		}
+	}
+}
+
+func TestEngineNameValidation(t *testing.T) {
+	for _, n := range EngineNames() {
+		if !ValidEngine(n) {
+			t.Errorf("registry rejects its own name %q", n)
+		}
+	}
+	if ValidEngine("quicksort") {
+		t.Error("invalid name accepted")
+	}
+	if err := EngineNameError("quicksort"); err == nil {
+		t.Error("no rejection error")
+	}
+}
+
+func TestAutoSorterSorts(t *testing.T) {
+	r := rand.New(rand.NewPCG(51, 52))
+	for _, nBlocks := range []int{4, 64, 256} {
+		env := extmem.NewEnv(4*nBlocks+16, 8, 512, 7)
+		a := env.D.Alloc(nBlocks)
+		keys := genKeys(r, nBlocks*8, "rand")
+		fillArray(env, a, keys)
+		Auto(env, a, ByKey)
+		if got := checkSortedPadded(t, readAll(a)); !sameMultiset(got, keys) {
+			t.Fatalf("n=%d: multiset changed", nBlocks)
+		}
+	}
+}

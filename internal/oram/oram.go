@@ -90,7 +90,10 @@ func New(env *extmem.Env, n int, opts Options) (*ORAM, error) {
 	o := &ORAM{env: env, n: n, b: env.B(), seed: env.Tape.Uint64()}
 	o.sorter = opts.Sorter
 	if o.sorter == nil {
-		o.sorter = obsort.BitonicSorter
+		// Auto-select per rebuild geometry. The pick is a public function
+		// of (table size, B, M), so the rebuild trace stays deterministic
+		// in (n, B, t, seed).
+		o.sorter = obsort.Auto
 	}
 	o.beta = opts.BucketSize
 	if o.beta <= 0 {

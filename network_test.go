@@ -129,6 +129,102 @@ func TestPublicNetworkAdversaryView(t *testing.T) {
 	}
 }
 
+// sorterNetTrace sorts recs with the named engine over a real obstore
+// server and returns Alice's logical trace and Bob's independently
+// journaled trace (excluding the upload).
+func sorterNetTrace(t *testing.T, engine string, recs []Record) (client TraceSummary, server netstore.ServerTrace) {
+	t.Helper()
+	srv, ts := obstore(t, 8192, 8)
+	c, err := New(Config{BlockSize: 8, CacheWords: 1024, Seed: 77, URL: ts.URL, Sorter: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	arr, err := c.Store(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableTrace(0)
+	srv.ResetTrace()
+	if err := arr.Sort(); err != nil {
+		t.Fatal(err)
+	}
+	nc, err := netstore.Dial(ts.URL, netstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	st, err := nc.FetchServerTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.TraceSummary(), st
+}
+
+// sorterMemTrace sorts recs with the named engine on the in-process
+// MemStore with the same geometry and seed, returning the logical trace.
+func sorterMemTrace(t *testing.T, engine string, recs []Record) TraceSummary {
+	t.Helper()
+	c, err := New(Config{BlockSize: 8, CacheWords: 1024, Seed: 77, Sorter: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	arr, err := c.Store(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableTrace(0)
+	if err := arr.Sort(); err != nil {
+		t.Fatal(err)
+	}
+	return c.TraceSummary()
+}
+
+// TestSorterEnginesNetworkAdversaryView pins the obliviousness of every
+// sorter engine where it matters — over the wire, at the acceptance size
+// N = 2^12: the trace Bob himself journals is bit-identical across distinct
+// same-size inputs (bucket's overflow declarations included: at this seed
+// and geometry every attempt succeeds, and the success-path trace is
+// input-independent — the declared-failure prefix contract is pinned in the
+// obsort suite), identical to Alice's logical trace, and — for the concrete
+// engines — identical to the same workload's trace on the in-process
+// MemStore. "auto" is checked for input-independence only: its pick is a
+// public function of the backend kind, so the mem run may legitimately
+// resolve to a different engine than the net run.
+func TestSorterEnginesNetworkAdversaryView(t *testing.T) {
+	const n = 1 << 12
+	varied := mkRecords(n, 1)
+	constant := make([]Record, n)
+	for i := range constant {
+		constant[i] = Record{Key: 5, Val: uint64(i)}
+	}
+	for _, engine := range []string{"bitonic", "zigzag", "bucket", "auto"} {
+		t.Run(engine, func(t *testing.T) {
+			clientA, serverA := sorterNetTrace(t, engine, varied)
+			clientB, serverB := sorterNetTrace(t, engine, constant)
+			if serverA.Len != serverB.Len || serverA.Hash != serverB.Hash {
+				t.Fatalf("server-side trace depends on data: %+v vs %+v", serverA, serverB)
+			}
+			if clientA.Len != serverA.Len || clientA.Hash != serverA.Hash {
+				t.Fatalf("server journal %+v != client logical trace %+v", serverA, clientA)
+			}
+			if serverA.Len == 0 {
+				t.Fatal("empty trace: the sort never touched the server")
+			}
+			if engine != "auto" {
+				mem := sorterMemTrace(t, engine, varied)
+				if mem.Len != serverA.Len || mem.Hash != serverA.Hash {
+					t.Fatalf("network trace %+v != MemStore logical trace %+v", serverA, mem)
+				}
+				if clientB != mem {
+					t.Fatalf("client traces diverge across backends: %+v vs %+v", clientB, mem)
+				}
+			}
+		})
+	}
+}
+
 // TestPublicNetworkBackendCorrectness runs the full public workload over the
 // HTTP backend and checks results, stats, and measured network counters.
 func TestPublicNetworkBackendCorrectness(t *testing.T) {

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"oblivext/internal/core"
@@ -52,6 +53,16 @@ type Config struct {
 	CacheWords int
 	// Seed seeds the random tape; runs with equal seeds are reproducible.
 	Seed uint64
+	// Sorter selects the engine behind Array.Sort and the ORAM's level
+	// rebuilds: "randomized" (the paper's randomized sort — the default,
+	// also selected by ""), "bitonic", "zigzag", "bucket", or "auto".
+	// "auto" picks per call from the workload geometry (array size, B, M)
+	// and the backend kind — round-trip cost over network stores, block
+	// volume otherwise; the pick is a public function of the geometry, so
+	// traces stay data-independent. The deterministic engines never fail;
+	// "bucket" retries declared overflows on fresh randomness and falls
+	// back to zigzag. See docs/ARCHITECTURE.md, "Sorter engines".
+	Sorter string
 	// Path, when non-empty, backs the store with a real file at that path
 	// instead of memory.
 	Path string
@@ -155,6 +166,8 @@ type Client struct {
 	sharded    *shard.ShardedStore // non-nil when NumShards > 1
 	netClients []*netstore.Client  // remote backends in shard order; nil without URL/ShardURLs
 	crypt      *extmem.CryptStore  // non-nil when EncryptionKey is set
+	sorter     string              // validated Config.Sorter ("" = randomized)
+	netBacked  bool                // true when any backend is an HTTP store ("net" cost model for auto)
 }
 
 // New creates a client.
@@ -170,6 +183,10 @@ func New(cfg Config) (*Client, error) {
 	}
 	if cfg.CacheWords < 4*cfg.BlockSize {
 		return nil, fmt.Errorf("oblivext: CacheWords must be at least 4·BlockSize")
+	}
+	if cfg.Sorter != "" && !obsort.ValidEngine(cfg.Sorter) {
+		return nil, fmt.Errorf("oblivext: unknown Sorter %q (valid: %s, or empty for randomized)",
+			cfg.Sorter, strings.Join(obsort.EngineNames(), ", "))
 	}
 	if cfg.StartBlocks == 0 {
 		cfg.StartBlocks = 1024
@@ -265,7 +282,7 @@ func New(cfg Config) (*Client, error) {
 		netOpts.Transport = tr
 	}
 
-	c := &Client{}
+	c := &Client{sorter: cfg.Sorter, netBacked: hasNet}
 	var store extmem.BlockStore
 	// ShardPaths/ShardURLs with NumShards == 1 still go through the sharded
 	// constructor so the named backend serves the store (a silent
@@ -651,12 +668,40 @@ func (a *Array) Records() ([]Record, error) {
 }
 
 // Sort sorts the array by key (ties broken by insertion order) with the
-// paper's randomized oblivious sort: O((N/B)·log_{M/B}(N/B)) I/Os and a
-// data-independent trace, succeeding with high probability (a rare
-// internal failure returns an error with the array unchanged in
-// distribution-visible ways but possibly permuted).
+// engine named by Config.Sorter — by default the paper's randomized
+// oblivious sort: O((N/B)·log_{M/B}(N/B)) I/Os and a data-independent
+// trace, succeeding with high probability (a rare internal failure returns
+// an error with the array unchanged in distribution-visible ways but
+// possibly permuted). The deterministic engines (bitonic, zigzag) never
+// return an error; bucket declares and retries internal overflows on fresh
+// randomness, falling back to zigzag, so it never returns an error either.
 func (a *Array) Sort() error {
-	return core.Sort(a.c.env, a.arr, core.SortParams{})
+	engine := a.c.sortEngine(a.arr.Len())
+	if engine == obsort.EngineRandomized {
+		return core.Sort(a.c.env, a.arr, core.SortParams{})
+	}
+	obsort.PickSorter(engine)(a.c.env, a.arr, obsort.ByKey)
+	return nil
+}
+
+// sortEngine resolves the configured Sorter name to a concrete engine for
+// an array of nBlocks blocks. "auto" runs the public selection policy with
+// the round-trip cost model when the store is network-backed and the block-
+// volume model otherwise; the inputs are all public (geometry and backend
+// kind), so the resolved engine — and with it the trace — is independent of
+// the data.
+func (c *Client) sortEngine(nBlocks int) string {
+	switch c.sorter {
+	case "", obsort.EngineRandomized:
+		return obsort.EngineRandomized
+	case obsort.EngineAuto:
+		backend := "mem"
+		if c.netBacked {
+			backend = "net"
+		}
+		return obsort.Pick(nBlocks, c.env.B(), c.env.M, backend)
+	}
+	return c.sorter
 }
 
 // SortDeterministic sorts with the deterministic oblivious sort (Lemma 2's
@@ -749,9 +794,21 @@ type ORAM struct {
 }
 
 // NewORAM creates an oblivious RAM of n logical blocks of BlockSize words
-// each, zero-initialized.
+// each, zero-initialized. Level rebuilds sort with the engine named by
+// Config.Sorter; with "" or "auto" each rebuild auto-selects from its own
+// geometry (a public function of n, B, and M, so the trace stays
+// deterministic in (n, B, t, seed)).
 func (c *Client) NewORAM(n int) (*ORAM, error) {
-	o, err := oram.New(c.env, n, oram.Options{})
+	opts := oram.Options{}
+	switch c.sorter {
+	case "", obsort.EngineAuto:
+		// nil Sorter: the oram package's per-rebuild auto-selection.
+	case obsort.EngineRandomized:
+		opts.Sorter = core.RandomizedSorter
+	default:
+		opts.Sorter = obsort.PickSorter(c.sorter)
+	}
+	o, err := oram.New(c.env, n, opts)
 	if err != nil {
 		return nil, err
 	}
