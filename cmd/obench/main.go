@@ -30,6 +30,7 @@ func main() {
 	exp := flag.String("exp", "", "run a single experiment by ID (e.g. E9)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonPath := flag.String("json", "", "write the executed tables as a JSON array to this path")
+	traceOut := flag.String("trace-out", "", "collect phase spans in every measurement environment and write them as one Chrome trace-event JSON file (one track per environment)")
 	flag.Parse()
 
 	if *list {
@@ -37,6 +38,9 @@ func main() {
 			fmt.Printf("%-5s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+	if *traceOut != "" {
+		bench.EnableSpanCapture()
 	}
 	run := bench.All()
 	if *exp != "" {
@@ -67,5 +71,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "obench: wrote %d table(s) to %s\n", len(tables), *jsonPath)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obench: %v\n", err)
+			os.Exit(1)
+		}
+		n, err := bench.WriteCapturedTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obench: write trace %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obench: wrote %d span forest(s) to %s\n", n, *traceOut)
 	}
 }

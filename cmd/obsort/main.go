@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"oblivext"
+	"oblivext/internal/obs"
 	"oblivext/internal/obsort"
 )
 
@@ -50,6 +51,10 @@ func main() {
 	authToken := flag.String("auth-token", "", "bearer token presented to network backends (must match obstore -auth-token)")
 	tlsCA := flag.String("tls-ca", "", "PEM file of root certificates to trust for https:// backends (e.g. obstore's self-signed cert)")
 	tlsSkipVerify := flag.Bool("tls-skip-verify", false, "disable TLS certificate verification (smoke tests only)")
+	traceOut := flag.String("trace-out", "", "write the phase-span tree as Chrome trace-event JSON to this file (view at ui.perfetto.dev)")
+	spanTree := flag.Bool("span-tree", false, "print the phase-span tree with per-span wall time and I/O deltas")
+	audit := flag.Bool("audit", false, "run the live obliviousness auditor over the phase spans (violations go to stderr and fail the run)")
+	auditGolden := flag.String("audit-golden", "", "golden trace-fingerprint file for -audit: loaded and enforced when it exists, recorded from this run otherwise")
 	flag.Parse()
 
 	if *det {
@@ -96,6 +101,32 @@ func main() {
 	defer client.Close()
 	client.EnableTrace(0)
 
+	spansOn := *traceOut != "" || *spanTree || *audit
+	if spansOn {
+		// Spans go on before the upload so every block the store sees is
+		// attributed to some phase — the root spans then sum to the lifetime
+		// I/O counters exactly.
+		client.EnableSpans()
+	}
+	var auditor *obs.Auditor
+	auditLearn := true
+	if *audit {
+		if *auditGolden != "" {
+			if _, err := os.Stat(*auditGolden); err == nil {
+				auditLearn = false
+			}
+		}
+		auditor = client.EnableAudit(auditLearn)
+		if !auditLearn {
+			if err := auditor.LoadFile(*auditGolden); err != nil {
+				fatal(err)
+			}
+		}
+		auditor.OnViolation = func(v obs.Violation) {
+			fmt.Fprintln(os.Stderr, "obsort: OBLIVIOUSNESS VIOLATION:", v.String())
+		}
+	}
+
 	r := rand.New(rand.NewPCG(*seed, 99))
 	recs := make([]oblivext.Record, *n)
 	for i := range recs {
@@ -106,7 +137,11 @@ func main() {
 		fatal(err)
 	}
 
-	client.ResetStats()
+	// Snapshot instead of reset: the lifetime counters keep running (so the
+	// span tree and the server's /metrics stay comparable end to end) while
+	// the sort-phase figures below are deltas from here.
+	base := client.Stats()
+	netBase := client.MeasuredNetworkStats()
 	start := time.Now()
 	if err := arr.Sort(); err != nil {
 		fatal(err)
@@ -122,7 +157,8 @@ func main() {
 			fatal(fmt.Errorf("verification failed at position %d", i))
 		}
 	}
-	st := client.Stats()
+	lifetime := client.Stats()
+	st := lifetime.Sub(base)
 	ts := client.TraceSummary()
 	engine := *sorter
 	if engine == obsort.EngineAuto {
@@ -161,20 +197,70 @@ func main() {
 		}
 	}
 	if ns := client.MeasuredNetworkStats(); ns != nil {
-		var reqs, retries int64
+		var reqs, retries, replays, upload int64
 		for _, s := range ns {
 			reqs += s.Requests
 			retries += s.Retries
+			replays += s.ReplayHits
 		}
-		fmt.Printf("network (measured): %d requests (+%d retries), %v total wait\n",
-			reqs, retries, client.MeasuredNetworkTime().Round(time.Millisecond))
+		for _, s := range netBase {
+			upload += s.Requests
+		}
+		fmt.Printf("network (measured): %d requests total including upload (%d during sort+verify, +%d retries, %d replay hits), %v total wait\n",
+			reqs, reqs-upload, retries, replays, client.MeasuredNetworkTime().Round(time.Millisecond))
 		for i, s := range ns {
-			fmt.Printf("  server[%d]: %d requests, %d blocks, rtt min/max %v/%v\n",
-				i, s.Requests, s.BlocksMoved, s.MinRTT.Round(time.Microsecond), s.MaxRTT.Round(time.Microsecond))
+			fmt.Printf("  server[%d]: %d requests, %d blocks, rtt min/max %v/%v, p50/p95/p99 %v/%v/%v\n",
+				i, s.Requests, s.BlocksMoved, s.MinRTT.Round(time.Microsecond), s.MaxRTT.Round(time.Microsecond),
+				s.P50, s.P95, s.P99)
 		}
 	}
 	fmt.Printf("adversary's view: %d accesses, trace hash %016x\n", ts.Len, ts.Hash)
 	fmt.Printf("peak private memory: %d records (budget %d)\n", client.CacheHighWater(), *m)
+
+	if spansOn {
+		spanIO := obs.SumIO(client.Spans())
+		agree := "agrees with"
+		if spanIO.RoundTrips != lifetime.RoundTrips {
+			agree = "DISAGREES with"
+		}
+		fmt.Printf("spans: %d round trips across %d root phases %s the lifetime counter (%d)\n",
+			spanIO.RoundTrips, len(client.Spans()), agree, lifetime.RoundTrips)
+	}
+	if *spanTree {
+		fmt.Print(client.SpanTree())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := client.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("phase spans written to %s (open at ui.perfetto.dev)\n", *traceOut)
+	}
+	if auditor != nil {
+		observed, matched, violated := auditor.Stats()
+		mode := "enforce"
+		if auditLearn {
+			mode = "learn"
+		}
+		fmt.Printf("obliviousness audit (%s): %d spans observed, %d matched, %d violated\n",
+			mode, observed, matched, violated)
+		if auditLearn && *auditGolden != "" {
+			if err := auditor.SaveFile(*auditGolden); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("golden fingerprints recorded to %s\n", *auditGolden)
+		}
+		if violated > 0 {
+			fatal(fmt.Errorf("%d audit key(s) diverged from their golden trace fingerprints", violated))
+		}
+	}
 }
 
 func fatal(err error) {

@@ -24,17 +24,26 @@
 //
 // Endpoints: POST /v1/io (batched binary data plane), GET /v1/info
 // (geometry), POST /v1/grow, GET /v1/trace (journal fingerprint:
-// length + FNV-1a hash + request/replay counts), POST /v1/trace/reset.
+// length + FNV-1a hash + request/replay counts), POST /v1/trace/reset,
+// GET /metrics (Prometheus text: request/block/byte counters, latency
+// histogram, replay and auth-failure counts, journal length), and
+// GET /healthz (liveness, unauthenticated). With -pprof ADDR a second
+// listener serves net/http/pprof under the same TLS certificate and bearer
+// token as the data endpoints.
 package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +61,7 @@ func main() {
 	tlsCert := flag.String("tls-cert", "", "serve HTTPS with this PEM certificate (requires -tls-key)")
 	tlsKey := flag.String("tls-key", "", "PEM private key for -tls-cert")
 	authToken := flag.String("auth-token", "", "require this bearer token on every request (Authorization: Bearer <token>)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra listener, behind the same TLS and bearer auth as the data endpoints (default: off)")
 	flag.Parse()
 
 	if (*tlsCert == "") != (*tlsKey == "") {
@@ -91,6 +101,36 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	var ps *http.Server
+	if *pprofAddr != "" {
+		// Profiling data reveals the server's workload shape, so the pprof
+		// listener sits behind exactly the credentials the data plane uses —
+		// never an open side door next to an authenticated front one.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		var ph http.Handler = pm
+		if *authToken != "" {
+			ph = bearerAuth(*authToken, pm)
+		}
+		ps = &http.Server{Addr: *pprofAddr, Handler: ph, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			var err error
+			if *tlsCert != "" {
+				err = ps.ListenAndServeTLS(*tlsCert, *tlsKey)
+			} else {
+				err = ps.ListenAndServe()
+			}
+			if err != nil && err != http.ErrServerClosed {
+				log.Printf("obstore: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("obstore: pprof on %s", *pprofAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	shutdownDone := make(chan struct{})
@@ -105,6 +145,9 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			log.Printf("obstore: shutdown did not drain cleanly: %v", err)
+		}
+		if ps != nil {
+			ps.Close()
 		}
 	}()
 
@@ -152,6 +195,21 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// bearerAuth guards h with the same constant-time bearer-token check the
+// netstore server applies to the data endpoints.
+func bearerAuth(token string, h http.Handler) http.Handler {
+	digest := sha256.Sum256([]byte(token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		d := sha256.Sum256([]byte(got))
+		if !ok || subtle.ConstantTimeCompare(d[:], digest[:]) != 1 {
+			http.Error(w, "obstore: missing or invalid bearer token", http.StatusUnauthorized)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 func fatal(err error) {

@@ -69,6 +69,7 @@ func All() []Experiment {
 		{"E17", "Batched ORAM accesses: measured round trips over a real server", E17},
 		{"E18", "Client-side encryption overhead: sealed vs plaintext backends", E18},
 		{"E19", "Sorter engines head-to-head: randomized vs bitonic vs zigzag vs bucket", E19},
+		{"E20", "Observability overhead: phase spans off vs on", E20},
 	}
 }
 
@@ -82,9 +83,10 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// newEnv builds a measurement environment.
+// newEnv builds a measurement environment (span-collected when obench
+// -trace-out enabled capture).
 func newEnv(blocks, b, m int, seed uint64) *extmem.Env {
-	return extmem.NewEnv(blocks, b, m, seed)
+	return captureEnv(extmem.NewEnv(blocks, b, m, seed))
 }
 
 // fillUniform loads nKeys uniform keys into a fresh array.

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/obs"
+	"oblivext/internal/obsort"
+)
+
+// Span capture: with EnableSpanCapture on, every measurement environment the
+// experiments build through newEnv gets a span collector, and the forests
+// they grow can be merged into one Chrome trace (obench -trace-out). Off by
+// default — most runs want the experiments unobserved.
+var (
+	spanMu         sync.Mutex
+	spanCapture    bool
+	spanCollectors []*obs.Collector
+)
+
+// EnableSpanCapture turns on span collection for every environment built
+// after the call.
+func EnableSpanCapture() {
+	spanMu.Lock()
+	spanCapture = true
+	spanMu.Unlock()
+}
+
+// WriteCapturedTrace merges every captured environment's span forest into
+// one Chrome trace (one track per environment) and reports how many forests
+// it wrote.
+func WriteCapturedTrace(w io.Writer) (int, error) {
+	spanMu.Lock()
+	var forests [][]*obs.Span
+	for _, col := range spanCollectors {
+		if roots := col.Roots(); len(roots) > 0 {
+			forests = append(forests, roots)
+		}
+	}
+	spanMu.Unlock()
+	if len(forests) == 0 {
+		return 0, nil
+	}
+	return len(forests), obs.WriteChromeTrace(w, forests...)
+}
+
+// captureEnv attaches a collector to env when capture is on.
+func captureEnv(env *extmem.Env) *extmem.Env {
+	spanMu.Lock()
+	on := spanCapture
+	spanMu.Unlock()
+	if on {
+		col := env.EnableObs()
+		spanMu.Lock()
+		spanCollectors = append(spanCollectors, col)
+		spanMu.Unlock()
+	}
+	return env
+}
+
+// E20 measures the cost of the observability layer itself: the same zigzag
+// sort, spans off versus spans on (collector attached, every phase span
+// opened and snapshotted). The claim under test is that instrumentation
+// stays under a few percent — counters are already maintained by the Disk;
+// spans only add two snapshots and a tree node per phase.
+func E20() *Table {
+	t := &Table{
+		ID:      "E20",
+		Title:   "Observability overhead: phase spans off vs on",
+		Headers: []string{"n blocks", "spans off", "spans on", "overhead"},
+		Metrics: map[string]float64{},
+	}
+	const b, m = 16, 1 << 12
+	for _, blocks := range []int{1 << 10, 1 << 12} {
+		timeSort := func(withSpans bool) float64 {
+			var samples []float64
+			for rep := 0; rep < 5; rep++ {
+				env := extmem.NewEnv(blocks, b, m, uint64(rep+1))
+				if withSpans {
+					env.EnableObs()
+				}
+				a := fillUniform(env, blocks, blocks*b, uint64(rep+1))
+				start := time.Now()
+				obsort.Zigzag(env, a, obsort.ByKey)
+				samples = append(samples, time.Since(start).Seconds())
+			}
+			return median(samples)
+		}
+		off := timeSort(false)
+		on := timeSort(true)
+		overhead := 0.0
+		if off > 0 {
+			overhead = (on - off) / off * 100
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", blocks),
+			f("%.2fms", off*1000),
+			f("%.2fms", on*1000),
+			f("%+.1f%%", overhead),
+		})
+		t.Metrics[f("overhead_pct_n%d", blocks)] = overhead
+	}
+	t.Notes = append(t.Notes,
+		"Median of 5 reps per cell. Spans piggyback on counters the Disk maintains regardless; each phase adds two counter snapshots and one tree node.")
+	return t
+}

@@ -81,6 +81,8 @@ func Sort(env *extmem.Env, a extmem.Array, p SortParams) error {
 	}
 
 	// Tight order-preserving compaction (Theorem 6) back into a.
+	sp := env.Obs.Start("final-compact")
+	defer env.Obs.End(sp)
 	b := a.B()
 	k := env.ScanBatchN(1, res.Len())
 	buf := env.Cache.Buf(k * b)
@@ -143,7 +145,13 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 	b := a.B()
 	m := env.MBlocks()
 
+	lvl := env.Obs.Start("randomized-level")
+	lvl.SetAttrInt("depth", int64(depth))
+	lvl.SetAttrInt("blocks", int64(n))
+	defer env.Obs.End(lvl)
+
 	// Count occupied elements (public: part of the problem size).
+	count := env.Obs.Start("count-occupied")
 	k := env.ScanBatchN(1, n)
 	buf := env.Cache.Buf(k * b)
 	var nOcc int64
@@ -157,6 +165,7 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 		}
 	}
 	env.Cache.Free(buf)
+	env.Obs.End(count)
 
 	q := int(math.Floor(math.Pow(float64(m), 0.25)))
 	if int(nOcc) <= env.M/2 {
@@ -174,7 +183,9 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 	ok := true
 
 	// Step 1: quantile splitters.
+	spq := env.Obs.Start("quantile-splitters")
 	splitters, err := Quantiles(env, a, q)
+	env.Obs.End(spq)
 	if err != nil {
 		ok = false
 		splitters = make([]extmem.Element, q) // zero splitters; trace goes on
@@ -185,6 +196,7 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 	}
 
 	// Step 2: color by bucket = 1 + #splitters strictly below the element.
+	spc := env.Obs.Start("colorize")
 	work := env.D.Alloc(n)
 	k = env.ScanBatchN(1, n)
 	buf = env.Cache.Buf(k * b)
@@ -207,12 +219,17 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 		work.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	env.Cache.Free(buf)
+	env.Obs.End(spc)
 
 	// Step 3: multi-way consolidation into monochromatic blocks.
+	spm := env.Obs.Start("consolidate-colors")
 	ap := consolidateColors(env, work, q+1)
+	env.Obs.End(spm)
 
 	// Step 4: shuffle (block-level Fisher–Yates from the tape).
+	sps := env.Obs.Start("shuffle")
 	shuffleBlocks(env, ap)
+	env.Obs.End(sps)
 
 	// Step 5: deal into per-color arrays with fixed per-batch quotas.
 	bucketCap := extmem.CeilDiv(int(extmem.CeilDiv64(nOcc, int64(q+1))), b) + q + 2
@@ -228,7 +245,9 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 	if batches*quota < 4*bucketCap {
 		quota = extmem.CeilDiv(4*bucketCap, batches)
 	}
+	spd := env.Obs.Start("deal")
 	colorArrs, dealOK := deal(env, ap, q+1, batch, quota)
+	env.Obs.End(spd)
 	if !dealOK {
 		ok = false
 	}
@@ -244,12 +263,15 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 	subOK := make([]bool, q+1)
 	outLen := 0
 	for i := 0; i <= q; i++ {
+		spb := env.Obs.Start("bucket")
+		spb.SetAttrInt("color", int64(i))
 		lc, _, err := CompactBlocksLoose(env, colorArrs[i], bucketCap, p.Loose)
 		if err != nil {
 			ok = false
 		}
 		tight := tightenPadded(env, lc, bucketCap+2)
 		sorted, sok := sortPadded(env, tight, p, depth+1)
+		env.Obs.End(spb)
 		sub[i], subOK[i] = sorted, sok
 		outLen += sorted.Len()
 	}
@@ -276,11 +298,14 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 	env.Cache.Free(buf)
 
 	// Step 7: data-oblivious failure sweeping — runs unconditionally.
+	spw := env.Obs.Start("sweep-failures")
 	capD := 2*5*bucketCap + 8
 	if capD > res.Len() {
 		capD = res.Len()
 	}
-	if !sweepFailures(env, res, capD) {
+	swept := sweepFailures(env, res, capD)
+	env.Obs.End(spw)
+	if !swept {
 		ok = false
 	}
 	return res, ok

@@ -30,8 +30,14 @@ func MergeSort(env *extmem.Env, a extmem.Array, less obsort.Less) {
 	mark := env.D.Mark()
 	defer env.D.Release(mark)
 
+	sp := env.Obs.Start("emsort")
+	sp.SetAttrInt("blocks", int64(n))
+	defer env.Obs.End(sp)
+
 	// Run formation: each cache-sized run is one vectored read, an in-cache
 	// sort, and one vectored write.
+	spr := env.Obs.Start("run-formation")
+	spr.SetPredicted(2*int64(n), -1)
 	chunk := env.Cache.Buf(runBlocks * b)
 	for start := 0; start < n; start += runBlocks {
 		cnt := runBlocks
@@ -43,17 +49,25 @@ func MergeSort(env *extmem.Env, a extmem.Array, less obsort.Less) {
 		a.WriteRange(start, start+cnt, chunk[:cnt*b])
 	}
 	env.Cache.Free(chunk)
+	env.Obs.End(spr)
 
 	fan := m - 1
 	src, dst := a, env.D.Alloc(n)
 	runLen := runBlocks
+	pass := 0
 	for runLen < n {
+		spm := env.Obs.Start("merge-pass")
+		spm.SetAttrInt("pass", int64(pass))
+		spm.SetAttrInt("run-blocks", int64(runLen))
 		mergePass(env, src, dst, runLen, fan, less)
+		env.Obs.End(spm)
 		src, dst = dst, src
 		runLen *= fan
+		pass++
 	}
 	if src.Base() != a.Base() {
 		// Copy-back: a streaming vectored scan instead of block-at-a-time.
+		spc := env.Obs.Start("copy-back")
 		k := env.ScanBatchN(1, n)
 		buf := env.Cache.Buf(k * b)
 		for lo := 0; lo < n; lo += k {
@@ -62,6 +76,7 @@ func MergeSort(env *extmem.Env, a extmem.Array, less obsort.Less) {
 			a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 		}
 		env.Cache.Free(buf)
+		env.Obs.End(spc)
 	}
 }
 
@@ -205,6 +220,10 @@ func QuickSelect(env *extmem.Env, a extmem.Array, k int64) (extmem.Element, erro
 	b := a.B()
 	mark := env.D.Mark()
 	defer env.D.Release(mark)
+
+	sp := env.Obs.Start("quickselect")
+	sp.SetAttrInt("blocks", int64(n))
+	defer env.Obs.End(sp)
 
 	// Compact occupied elements into a dense scratch array (non-oblivious:
 	// writes only as many blocks as there are items), reading and writing

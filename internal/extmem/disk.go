@@ -3,17 +3,25 @@ package extmem
 import (
 	"fmt"
 
+	"oblivext/internal/obs"
 	"oblivext/internal/trace"
 )
 
 // Stats counts the block I/Os an algorithm performed — the quantity every
 // theorem in the paper bounds — and the store interactions (round trips)
 // those I/Os were batched into, the quantity that dominates wall-clock time
-// when Bob is remote.
+// when Bob is remote. When the store seals blocks client-side, BytesSealed
+// and BytesOpened carry the crypto byte counters, folded in by Stats().
+//
+// The field set and order deliberately mirror obs.Counters and
+// oblivext.IOStats, which convert from Stats as whole structs — adding a
+// counter here without updating them is a compile error, not a silent drop.
 type Stats struct {
-	Reads      int64
-	Writes     int64
-	RoundTrips int64
+	Reads       int64
+	Writes      int64
+	RoundTrips  int64
+	BytesSealed int64
+	BytesOpened int64
 }
 
 // Total returns reads plus writes.
@@ -21,7 +29,22 @@ func (s Stats) Total() int64 { return s.Reads + s.Writes }
 
 // Sub returns the difference s - o, for measuring a phase.
 func (s Stats) Sub(o Stats) Stats {
-	return Stats{s.Reads - o.Reads, s.Writes - o.Writes, s.RoundTrips - o.RoundTrips}
+	return Stats{
+		Reads:       s.Reads - o.Reads,
+		Writes:      s.Writes - o.Writes,
+		RoundTrips:  s.RoundTrips - o.RoundTrips,
+		BytesSealed: s.BytesSealed - o.BytesSealed,
+		BytesOpened: s.BytesOpened - o.BytesOpened,
+	}
+}
+
+// CryptCounters is implemented by stores that seal blocks client-side (the
+// CryptStore); a Disk over such a store folds the byte counters into its
+// Stats so one snapshot carries the whole client-side picture.
+type CryptCounters interface {
+	BytesSealed() int64
+	BytesOpened() int64
+	ResetCryptStats()
 }
 
 // Disk is Bob's storage as the algorithms see it: a block store instrumented
@@ -34,6 +57,7 @@ type Disk struct {
 	b        int
 	stats    Stats
 	rec      *trace.Recorder
+	obs      *obs.Collector
 	top      int
 	maxBatch int   // blocks per vectored store call; 0 = unlimited, 1 = scalar
 	addrs    []int // scratch for building vectored address lists
@@ -71,17 +95,38 @@ func (d *Disk) chunk(remaining int) int {
 	return remaining
 }
 
-// Stats returns the cumulative I/O counters.
-func (d *Disk) Stats() Stats { return d.stats }
+// Stats returns the cumulative I/O counters, with the crypto byte counters
+// folded in when the store seals blocks client-side.
+func (d *Disk) Stats() Stats {
+	st := d.stats
+	if cc, ok := d.store.(CryptCounters); ok {
+		st.BytesSealed = cc.BytesSealed()
+		st.BytesOpened = cc.BytesOpened()
+	}
+	return st
+}
 
-// ResetStats zeroes the I/O counters.
-func (d *Disk) ResetStats() { d.stats = Stats{} }
+// ResetStats zeroes the I/O counters, including a sealing store's byte
+// counters so a Stats snapshot stays internally consistent.
+func (d *Disk) ResetStats() {
+	d.stats = Stats{}
+	if cc, ok := d.store.(CryptCounters); ok {
+		cc.ResetCryptStats()
+	}
+}
 
 // SetRecorder attaches (or with nil detaches) a trace recorder.
 func (d *Disk) SetRecorder(r *trace.Recorder) { d.rec = r }
 
 // Recorder returns the attached trace recorder, if any.
 func (d *Disk) Recorder() *trace.Recorder { return d.rec }
+
+// SetObs attaches (or with nil detaches) a span collector; every block
+// access is folded into the open spans' audit fingerprints.
+func (d *Disk) SetObs(c *obs.Collector) { d.obs = c }
+
+// Obs returns the attached span collector, if any.
+func (d *Disk) Obs() *obs.Collector { return d.obs }
 
 // Read copies block addr into dst and logs the access (one round trip).
 func (d *Disk) Read(addr int, dst []Element) {
@@ -91,6 +136,7 @@ func (d *Disk) Read(addr int, dst []Element) {
 	d.stats.Reads++
 	d.stats.RoundTrips++
 	d.rec.Record(trace.Read, int64(addr))
+	d.obs.Access('R', int64(addr))
 }
 
 // Write copies src into block addr and logs the access (one round trip).
@@ -101,6 +147,7 @@ func (d *Disk) Write(addr int, src []Element) {
 	d.stats.Writes++
 	d.stats.RoundTrips++
 	d.rec.Record(trace.Write, int64(addr))
+	d.obs.Access('W', int64(addr))
 }
 
 // ReadMany copies blocks addrs[i] into dst[i*B:(i+1)*B], issuing vectored
@@ -122,6 +169,7 @@ func (d *Disk) ReadMany(addrs []int, dst []Element) {
 		d.stats.RoundTrips++
 		for _, a := range addrs[lo : lo+n] {
 			d.rec.Record(trace.Read, int64(a))
+			d.obs.Access('R', int64(a))
 		}
 		lo += n
 	}
@@ -142,6 +190,7 @@ func (d *Disk) WriteMany(addrs []int, src []Element) {
 		d.stats.RoundTrips++
 		for _, a := range addrs[lo : lo+n] {
 			d.rec.Record(trace.Write, int64(a))
+			d.obs.Access('W', int64(a))
 		}
 		lo += n
 	}

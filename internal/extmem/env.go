@@ -1,6 +1,7 @@
 package extmem
 
 import (
+	"oblivext/internal/obs"
 	"oblivext/internal/rng"
 )
 
@@ -24,6 +25,28 @@ type Env struct {
 	// differ, but the trace Bob sees block by block is identical in either
 	// mode).
 	Prefetch bool
+	// Obs, when non-nil, collects hierarchical phase spans: every
+	// instrumented pass opens a span around itself and the Disk folds each
+	// block access into the open spans' audit fingerprints. Nil (the
+	// default) disables observability at the cost of one pointer check per
+	// span site. Attach via EnableObs so the Disk hook stays in step.
+	Obs *obs.Collector
+}
+
+// EnableObs attaches a fresh span collector to the environment and its
+// disk, snapshotting the disk's counters (crypto bytes folded in) at every
+// span boundary, and returns it.
+func (e *Env) EnableObs() *obs.Collector {
+	col := obs.NewCollector(func() obs.Counters { return obs.Counters(e.D.Stats()) })
+	e.Obs = col
+	e.D.SetObs(col)
+	return col
+}
+
+// DisableObs detaches the span collector.
+func (e *Env) DisableObs() {
+	e.Obs = nil
+	e.D.SetObs(nil)
 }
 
 // NewEnv builds an environment over an in-memory store.

@@ -93,6 +93,12 @@ type Stats struct {
 	// Retries = Attempts - (first attempts); nonzero only when the transport
 	// misbehaved.
 	Retries int64
+	// ReplayHits counts responses the server answered from its replay-
+	// suppression window instead of executing (it stamps those with an
+	// X-Obstore-Replay header): a retransmission of ours whose first
+	// execution's response was lost. ReplayHits <= Retries on a correct
+	// server; the gap is retries whose first attempt never executed at all.
+	ReplayHits int64
 	// BlocksMoved counts blocks transferred in completed interactions.
 	BlocksMoved int64
 	// Total is the wall-clock time spent waiting on interactions, summed —
@@ -102,6 +108,9 @@ type Stats struct {
 	Total time.Duration
 	// Min and Max are the fastest and slowest completed interactions.
 	Min, Max time.Duration
+	// Hist buckets every completed interaction's wall-clock wait, for
+	// percentile summaries (Hist.P50/P95/P99).
+	Hist LatencyHistogram
 }
 
 // Client is an extmem.BlockStore served by a remote obstore server over
@@ -258,9 +267,14 @@ func (c *Client) doIO(op byte, addrs []int, payloadLen int, fill func(payload []
 			c.mu.Lock()
 			c.stats.Attempts++
 			c.mu.Unlock()
-			var retryable bool
+			var retryable, replayed bool
 			var err error
-			data, retryable, err = c.attempt(body, respLen)
+			data, replayed, retryable, err = c.attempt(body, respLen)
+			if err == nil && replayed {
+				c.mu.Lock()
+				c.stats.ReplayHits++
+				c.mu.Unlock()
+			}
 			return retryable, err
 		})
 	if err != nil {
@@ -301,39 +315,41 @@ func (c *Client) withRetry(onRetry func(), f func() (retryable bool, err error))
 	return fmt.Errorf("failed after %d attempts: %w", c.maxAttempts, lastErr)
 }
 
-// attempt performs one HTTP exchange. The second result reports whether the
-// failure is transient (worth replaying).
-func (c *Client) attempt(body []byte, respLen int) (data []byte, retryable bool, err error) {
+// attempt performs one HTTP exchange. replayed reports whether the server
+// answered from its replay-suppression window (the X-Obstore-Replay header);
+// retryable reports whether a failure is transient (worth replaying).
+func (c *Client) attempt(body []byte, respLen int) (data []byte, replayed, retryable bool, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+ioPath, bytes.NewReader(body))
 	if err != nil {
-		return nil, false, err
+		return nil, false, false, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, true, err // transport/deadline failure: replay
+		return nil, false, true, err // transport/deadline failure: replay
 	}
 	defer resp.Body.Close()
+	replayed = resp.Header.Get(replayHeader) == "1"
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		err := fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-		return nil, resp.StatusCode >= 500, err
+		return nil, replayed, resp.StatusCode >= 500, err
 	}
 	data, err = io.ReadAll(io.LimitReader(resp.Body, int64(respLen)+1))
 	if err != nil {
-		return nil, true, err // connection died mid-body: replay
+		return nil, replayed, true, err // connection died mid-body: replay
 	}
 	if len(data) != respLen {
 		// A cleanly-delivered body of the wrong length is not a transient
 		// fault — it means the server's geometry disagrees with ours (e.g.
 		// restarted with a different -b). Burning the budget on it only
 		// delays the diagnosis.
-		return nil, false, fmt.Errorf("response body %d bytes, want %d (server geometry changed?)", len(data), respLen)
+		return nil, replayed, false, fmt.Errorf("response body %d bytes, want %d (server geometry changed?)", len(data), respLen)
 	}
-	return data, false, nil
+	return data, replayed, false, nil
 }
 
 // authorize attaches the bearer token, when one is configured.
@@ -350,6 +366,7 @@ func (c *Client) account(blocks int, elapsed time.Duration) {
 	c.stats.Requests++
 	c.stats.BlocksMoved += int64(blocks)
 	c.stats.Total += elapsed
+	c.stats.Hist.Observe(elapsed)
 	if c.stats.Min == 0 || elapsed < c.stats.Min {
 		c.stats.Min = elapsed
 	}

@@ -32,7 +32,14 @@ const (
 	growPath       = "/v1/grow"
 	tracePath      = "/v1/trace"
 	traceResetPath = "/v1/trace/reset"
+	metricsPath    = "/metrics"
+	healthzPath    = "/healthz"
 )
+
+// replayHeader is set to "1" on a data-plane response the server answered
+// from its replay-suppression window instead of executing, so the client
+// can count observed replay hits (Stats.ReplayHits).
+const replayHeader = "X-Obstore-Replay"
 
 // Wire format of one ioPath request body (integers little-endian):
 //

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"oblivext/internal/extmem"
 	"oblivext/internal/trace"
@@ -60,13 +61,25 @@ type Server struct {
 	journal    io.Writer
 	requests   int64
 	replays    int64
-	seen       map[uint64]struct{}
-	ring       []uint64 // eviction order for seen
-	ringNext   int
-	elems      []extmem.Element
-	jbuf       []byte   // one batch's journal lines, written as a unit
-	authDigest [32]byte // sha256 of the bearer token; zero when auth is off
-	authOn     bool
+	// Lifetime telemetry for /metrics. Unlike requests/replays these are
+	// never reset by ResetTrace: Prometheus counters must be monotonic, and
+	// a client comparing its own measured totals against the server's needs
+	// figures that survive mid-run trace resets.
+	reqTotal    int64
+	replayTotal int64
+	readBlocks  int64
+	writeBlocks int64
+	bytesIn     int64
+	bytesOut    int64
+	authFails   int64
+	hist        LatencyHistogram
+	seen        map[uint64]struct{}
+	ring        []uint64 // eviction order for seen
+	ringNext    int
+	elems       []extmem.Element
+	jbuf        []byte   // one batch's journal lines, written as a unit
+	authDigest  [32]byte // sha256 of the bearer token; zero when auth is off
+	authOn      bool
 }
 
 // NewServer wraps a block store in a protocol server.
@@ -92,7 +105,10 @@ func NewServer(store extmem.BlockStore, opts ServerOptions) *Server {
 }
 
 // Handler returns the HTTP handler serving the protocol. With an AuthToken
-// configured every endpoint sits behind the bearer-token check.
+// configured every endpoint — /metrics included, since counters leak the
+// access volume — sits behind the bearer-token check. /healthz alone stays
+// open: it reveals only liveness, and load balancers probe it without
+// credentials.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+ioPath, s.handleIO)
@@ -100,17 +116,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST "+growPath, s.handleGrow)
 	mux.HandleFunc("GET "+tracePath, s.handleTrace)
 	mux.HandleFunc("POST "+traceResetPath, s.handleTraceReset)
-	if !s.authOn {
-		return mux
+	mux.HandleFunc("GET "+metricsPath, s.handleMetrics)
+	var h http.Handler = mux
+	if s.authOn {
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || !s.tokenOK(token) {
+				s.mu.Lock()
+				s.authFails++
+				s.mu.Unlock()
+				http.Error(w, "netstore: missing or invalid bearer token", http.StatusUnauthorized)
+				return
+			}
+			mux.ServeHTTP(w, r)
+		})
 	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-		if !ok || !s.tokenOK(token) {
-			http.Error(w, "netstore: missing or invalid bearer token", http.StatusUnauthorized)
-			return
-		}
-		mux.ServeHTTP(w, r)
-	})
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET "+healthzPath, s.handleHealthz)
+	outer.Handle("/", h)
+	return outer
 }
 
 // tokenOK compares the presented token against the configured one in
@@ -149,6 +173,7 @@ func (s *Server) ResetTrace() {
 func (s *Server) Close() error { return s.store.Close() }
 
 func (s *Server) handleIO(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchWire))
 	if err != nil {
 		http.Error(w, fmt.Sprintf("read request: %v", err), http.StatusBadRequest)
@@ -162,10 +187,13 @@ func (s *Server) handleIO(w http.ResponseWriter, r *http.Request) {
 	// All shared state is touched inside serveIO's lock; the socket writes
 	// below happen after it is released, so one stalled client connection
 	// cannot wedge the whole server behind the mutex.
-	wire, status, msg := s.serveIO(op, seq, addrs, payload)
+	wire, replay, status, msg := s.serveIO(op, seq, addrs, payload, int64(len(body)), started)
 	if status != http.StatusOK {
 		http.Error(w, msg, status)
 		return
+	}
+	if replay {
+		w.Header().Set(replayHeader, "1")
 	}
 	if op == opRead {
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -176,11 +204,13 @@ func (s *Server) handleIO(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveIO executes one decoded data-plane request under the server mutex and
-// returns the read payload (reads only) or an error status + message.
-func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte) (wire []byte, status int, msg string) {
+// returns the read payload (reads only), whether the request was answered
+// from the replay window, and an error status + message. bodyBytes and
+// started feed the telemetry counters.
+func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte, bodyBytes int64, started time.Time) (wire []byte, replay bool, status int, msg string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	replay := s.isReplay(seq)
+	replay = s.isReplay(seq)
 
 	// Address validation is the client's responsibility gone wrong (400,
 	// permanent); anything the store itself then fails on is the server's
@@ -189,7 +219,7 @@ func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte) (wire
 	numBlocks := s.store.NumBlocks()
 	for _, a := range addrs {
 		if a >= numBlocks {
-			return nil, http.StatusBadRequest,
+			return nil, replay, http.StatusBadRequest,
 				fmt.Sprintf("netstore: block address %d out of range [0,%d)", a, numBlocks)
 		}
 	}
@@ -202,12 +232,12 @@ func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte) (wire
 		// Replayed reads re-execute — the data is needed again and reads
 		// are pure.
 		if err := s.store.ReadBlocks(addrs, elems); err != nil {
-			return nil, http.StatusInternalServerError, err.Error()
+			return nil, replay, http.StatusInternalServerError, err.Error()
 		}
 	} else if !replay {
 		extmem.DecodeElements(elems, payload)
 		if err := s.store.WriteBlocks(addrs, elems); err != nil {
-			return nil, http.StatusInternalServerError, err.Error()
+			return nil, replay, http.StatusInternalServerError, err.Error()
 		}
 	}
 	// else: a replayed write is acknowledged without touching the store.
@@ -220,7 +250,7 @@ func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte) (wire
 			// request WITHOUT marking the id as seen, so the client's
 			// replay gets journaled rather than suppressed as a phantom
 			// "replay" of a request the audit log never recorded.
-			return nil, http.StatusInternalServerError, fmt.Sprintf("journal: %v", err)
+			return nil, replay, http.StatusInternalServerError, fmt.Sprintf("journal: %v", err)
 		}
 		s.remember(seq)
 	}
@@ -229,13 +259,25 @@ func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte) (wire
 	if replay {
 		s.replays++
 	}
+	s.reqTotal++
+	if replay {
+		s.replayTotal++
+	}
+	s.bytesIn += bodyBytes
+	if op == opRead {
+		s.readBlocks += int64(len(addrs))
+		s.bytesOut += int64(len(addrs)) * int64(s.blockBytes)
+	} else {
+		s.writeBlocks += int64(len(addrs))
+	}
+	s.hist.Observe(time.Since(started))
 	if op == opRead {
 		// A fresh buffer per request: the response outlives the lock (it is
 		// written to the socket after release), so it cannot share scratch.
 		wire = make([]byte, len(addrs)*s.blockBytes)
 		extmem.EncodeElements(wire, elems)
 	}
-	return wire, http.StatusOK, ""
+	return wire, replay, http.StatusOK, ""
 }
 
 // isReplay reports whether seq is in the replay-suppression window: a
@@ -327,6 +369,60 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTraceReset(w http.ResponseWriter, r *http.Request) {
 	s.ResetTrace()
 	w.WriteHeader(http.StatusOK)
+}
+
+// Metrics is a snapshot of the server's lifetime telemetry (the figures
+// /metrics exports), for in-process assertions.
+type Metrics struct {
+	Requests, Replays       int64
+	ReadBlocks, WriteBlocks int64
+	BytesIn, BytesOut       int64
+	AuthFailures            int64
+	JournalLen              int64
+	Latency                 LatencyHistogram
+}
+
+// MetricsSnapshot returns the current lifetime telemetry.
+func (s *Server) MetricsSnapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		Requests:     s.reqTotal,
+		Replays:      s.replayTotal,
+		ReadBlocks:   s.readBlocks,
+		WriteBlocks:  s.writeBlocks,
+		BytesIn:      s.bytesIn,
+		BytesOut:     s.bytesOut,
+		AuthFailures: s.authFails,
+		JournalLen:   s.rec.Summarize().Len,
+		Latency:      s.hist,
+	}
+}
+
+// handleMetrics serves the lifetime telemetry in Prometheus text exposition
+// format. All counters are monotonic over the server's lifetime — the
+// trace-reset endpoint does not touch them.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.MetricsSnapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("obstore_requests_total", "Data-plane requests served successfully (replays included).", m.Requests)
+	counter("obstore_replays_total", "Requests answered from the replay-suppression window.", m.Replays)
+	counter("obstore_read_blocks_total", "Blocks served by read batches.", m.ReadBlocks)
+	counter("obstore_write_blocks_total", "Blocks received by write batches.", m.WriteBlocks)
+	counter("obstore_bytes_in_total", "Data-plane request body bytes received.", m.BytesIn)
+	counter("obstore_bytes_out_total", "Data-plane response payload bytes sent.", m.BytesOut)
+	counter("obstore_auth_failures_total", "Requests rejected by the bearer-token check.", m.AuthFailures)
+	fmt.Fprintf(w, "# HELP obstore_journal_len Per-block accesses in the current journal window.\n# TYPE obstore_journal_len gauge\nobstore_journal_len %d\n", m.JournalLen)
+	m.Latency.WritePrometheus(w, "obstore_request_latency_seconds")
+}
+
+// handleHealthz reports liveness; it is served outside the auth wrapper.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, "ok\n")
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

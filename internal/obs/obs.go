@@ -1,0 +1,327 @@
+// Package obs is the observability layer: hierarchical phase spans with
+// per-span I/O deltas, Chrome trace-event export, and a live obliviousness
+// auditor that compares each span's access-trace fingerprint against a
+// recorded golden one.
+//
+// The package is deliberately leaf-level (standard library only): extmem
+// threads a Collector through the Disk and Env, and every stratum above —
+// core passes, sorter engine rounds, ORAM accesses and rebuilds, emsort
+// runs — opens spans around its phases. A nil *Collector is the disabled
+// state: every method is nil-receiver safe and free, so instrumented code
+// pays one pointer check when observability is off.
+//
+// Concurrency: a Collector is not internally synchronized. It relies on the
+// same discipline as the Disk's I/O counters — spans are started and ended
+// by the single goroutine driving the algorithms, and the prefetch/flush
+// goroutines (which do call Access via the Disk) never overlap any other
+// disk I/O or a span boundary; callers join them before a pass ends.
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Counters is a snapshot of the I/O counters a Collector diffs around each
+// span. Field-for-field it mirrors extmem.Stats (the Disk's counters with
+// the crypto byte counters folded in), so the two convert as whole structs
+// and a counter added to one cannot be silently dropped from the other.
+type Counters struct {
+	Reads       int64
+	Writes      int64
+	RoundTrips  int64
+	BytesSealed int64
+	BytesOpened int64
+}
+
+// Sub returns the component-wise difference c - o.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Reads:       c.Reads - o.Reads,
+		Writes:      c.Writes - o.Writes,
+		RoundTrips:  c.RoundTrips - o.RoundTrips,
+		BytesSealed: c.BytesSealed - o.BytesSealed,
+		BytesOpened: c.BytesOpened - o.BytesOpened,
+	}
+}
+
+// Add returns the component-wise sum c + o.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Reads:       c.Reads + o.Reads,
+		Writes:      c.Writes + o.Writes,
+		RoundTrips:  c.RoundTrips + o.RoundTrips,
+		BytesSealed: c.BytesSealed + o.BytesSealed,
+		BytesOpened: c.BytesOpened + o.BytesOpened,
+	}
+}
+
+// Total returns reads plus writes — the block-I/O quantity the paper's
+// bounds are stated in.
+func (c Counters) Total() int64 { return c.Reads + c.Writes }
+
+// Attr is one key=value annotation on a span (engine name, problem size,
+// pass index — public quantities only; attrs end up in exported traces).
+type Attr struct {
+	Key, Value string
+}
+
+// AuditMode selects how a span's access trace is folded into its audit
+// fingerprint.
+type AuditMode byte
+
+const (
+	// AuditOff leaves the span unaudited (the default).
+	AuditOff AuditMode = iota
+	// AuditExact fingerprints the full normalized trace — the (kind,
+	// address) sequence. Sound for spans whose trace is a deterministic
+	// function of public geometry and the seed (every sorter engine, the
+	// ORAM rebuilds under a deterministic rebuild sort): replaying the same
+	// operation must replay the same fingerprint.
+	AuditExact
+	// AuditShape fingerprints only the kind sequence (R/W, in order),
+	// discarding addresses. This is the normalization for spans that
+	// legitimately contain PRF-fresh addresses — the ORAM's probe phase,
+	// whose bucket indices differ per access while everything else about
+	// the trace (how many reads per level, the one grouped write-back) is
+	// fixed by the geometry.
+	AuditShape
+)
+
+// Span is one phase of an algorithm: a named node in the span tree carrying
+// wall time and the I/O counter deltas that occurred between its Start and
+// End, its own children, and optionally a predicted I/O cost and an audit
+// fingerprint.
+type Span struct {
+	Name  string
+	Attrs []Attr
+	// Start is the span's wall-clock start; Dur its wall duration.
+	Start time.Time
+	Dur   time.Duration
+	// IO is the total counter delta over the span — self plus children.
+	IO Counters
+	// PredictedIO and PredictedRT carry an engine predictor's expected
+	// block I/Os / round trips for the span; -1 means no prediction.
+	PredictedIO int64
+	PredictedRT int64
+	Children    []*Span
+
+	startIO   Counters
+	auditKey  string
+	auditMode AuditMode
+	fpLen     int64
+	fpHash    uint64
+}
+
+// SetAttr appends a key=value annotation.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{key, value})
+}
+
+// SetAttrInt appends an integer annotation.
+func (s *Span) SetAttrInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{key, fmt.Sprintf("%d", value)})
+}
+
+// SetPredicted attaches an engine predictor's expected block-I/O and
+// round-trip counts (pass a negative value to leave one unset).
+func (s *Span) SetPredicted(ios, roundTrips int64) {
+	if s == nil {
+		return
+	}
+	s.PredictedIO, s.PredictedRT = ios, roundTrips
+}
+
+// Audit marks the span for exact-trace auditing under the given key: at
+// End, the collector hands the span's (kind, address) fingerprint to the
+// attached Auditor. The key must name the operation and every public input
+// that determines the trace — op, engine, n, B, M, placement, seed class.
+func (s *Span) Audit(key string) {
+	if s == nil {
+		return
+	}
+	s.auditKey, s.auditMode = key, AuditExact
+}
+
+// AuditShape marks the span for shape-only auditing (kind sequence,
+// addresses discarded) — the normalization for spans containing PRF-fresh
+// addresses, like the ORAM probe phase.
+func (s *Span) AuditShape(key string) {
+	if s == nil {
+		return
+	}
+	s.auditKey, s.auditMode = key, AuditShape
+}
+
+// AuditKey returns the span's audit key ("" when unaudited).
+func (s *Span) AuditKey() string {
+	if s == nil {
+		return ""
+	}
+	return s.auditKey
+}
+
+// Fingerprint returns the span's accumulated trace fingerprint.
+func (s *Span) Fingerprint() Fingerprint {
+	if s == nil {
+		return Fingerprint{}
+	}
+	return Fingerprint{Len: s.fpLen, Hash: s.fpHash}
+}
+
+// Self returns the span's own counter delta: IO minus the children's
+// totals. By construction IO == Self() + sum of children's IO, which the
+// attribution tests pin.
+func (s *Span) Self() Counters {
+	out := s.IO
+	for _, ch := range s.Children {
+		out = out.Sub(ch.IO)
+	}
+	return out
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Collector accumulates a span tree. Zero overhead when nil; one counter
+// snapshot per span boundary and one hash fold per block access per open
+// span when enabled.
+type Collector struct {
+	snapshot func() Counters
+	roots    []*Span
+	stack    []*Span
+	auditor  *Auditor
+}
+
+// NewCollector returns a collector that reads counter snapshots from the
+// given function (typically the Disk's Stats, crypto counters folded in).
+func NewCollector(snapshot func() Counters) *Collector {
+	if snapshot == nil {
+		snapshot = func() Counters { return Counters{} }
+	}
+	return &Collector{snapshot: snapshot}
+}
+
+// Enabled reports whether the collector is live (non-nil).
+func (c *Collector) Enabled() bool { return c != nil }
+
+// SetAuditor attaches an auditor; every subsequently ended span with an
+// audit key reports its fingerprint to it.
+func (c *Collector) SetAuditor(a *Auditor) {
+	if c == nil {
+		return
+	}
+	c.auditor = a
+}
+
+// Auditor returns the attached auditor, if any.
+func (c *Collector) Auditor() *Auditor {
+	if c == nil {
+		return nil
+	}
+	return c.auditor
+}
+
+// Start opens a span as a child of the innermost open span (or as a new
+// root) and returns it. Nil-safe: a nil collector returns a nil span, which
+// every Span method accepts.
+func (c *Collector) Start(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	s := &Span{
+		Name:        name,
+		Start:       time.Now(),
+		PredictedIO: -1,
+		PredictedRT: -1,
+		startIO:     c.snapshot(),
+		fpHash:      fnvOffset,
+	}
+	if n := len(c.stack); n > 0 {
+		c.stack[n-1].Children = append(c.stack[n-1].Children, s)
+	} else {
+		c.roots = append(c.roots, s)
+	}
+	c.stack = append(c.stack, s)
+	return s
+}
+
+// End closes the span, computing its wall duration and counter delta, and
+// reports its fingerprint to the auditor when the span was marked for
+// auditing. Spans must end in LIFO order; End(nil) is a no-op.
+func (c *Collector) End(s *Span) {
+	if c == nil || s == nil {
+		return
+	}
+	n := len(c.stack)
+	if n == 0 || c.stack[n-1] != s {
+		panic(fmt.Sprintf("obs: End(%q) out of order", s.Name))
+	}
+	c.stack = c.stack[:n-1]
+	s.Dur = time.Since(s.Start)
+	s.IO = c.snapshot().Sub(s.startIO)
+	if s.auditKey != "" && c.auditor != nil {
+		c.auditor.Observe(s.auditKey, s.Fingerprint())
+	}
+}
+
+// Access folds one block access into the fingerprint of every open span.
+// The Disk calls this once per block moved; kind is 'R' or 'W'.
+func (c *Collector) Access(kind byte, addr int64) {
+	if c == nil {
+		return
+	}
+	for _, s := range c.stack {
+		h := s.fpHash
+		h ^= uint64(kind)
+		h *= fnvPrime
+		if s.auditMode != AuditShape {
+			x := uint64(addr)
+			for i := 0; i < 8; i++ {
+				h ^= x & 0xff
+				h *= fnvPrime
+				x >>= 8
+			}
+		}
+		s.fpHash = h
+		s.fpLen++
+	}
+}
+
+// Roots returns the finished top-level spans (open spans are included once
+// ended).
+func (c *Collector) Roots() []*Span {
+	if c == nil {
+		return nil
+	}
+	return c.roots
+}
+
+// Depth returns how many spans are currently open.
+func (c *Collector) Depth() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.stack)
+}
+
+// Reset drops all finished spans. It panics if a span is still open — a
+// reset mid-span would corrupt the tree's delta arithmetic, exactly like
+// resetting the I/O counters mid-span would.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	if len(c.stack) > 0 {
+		panic(fmt.Sprintf("obs: Reset with %d open span(s), innermost %q", len(c.stack), c.stack[len(c.stack)-1].Name))
+	}
+	c.roots = nil
+}

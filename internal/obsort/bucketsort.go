@@ -145,6 +145,10 @@ func BucketSort(env *extmem.Env, a extmem.Array, less Less) error {
 		Bitonic(env, a, less)
 		return nil
 	}
+	sp := env.Obs.Start("bucket")
+	sp.SetAttrInt("blocks", int64(n))
+	sp.SetPredicted(BucketIOCount(n, b, env.M), BucketRoundTrips(n, b, env.M))
+	defer env.Obs.End(sp)
 	mark := env.D.Mark()
 	defer env.D.Release(mark)
 
@@ -165,19 +169,30 @@ func BucketSort(env *extmem.Env, a extmem.Array, less Less) error {
 	}
 
 	w := env.D.Alloc(g.k1 * g.zb)
-	if err := bucketSeed(env, a, w, g); err != nil {
+	sps := env.Obs.Start("seed")
+	err := bucketSeed(env, a, w, g)
+	env.Obs.End(sps)
+	if err != nil {
 		return err
 	}
-	if err := bucketBinPhase(env, w, g); err != nil {
+	spb := env.Obs.Start("bin-phase")
+	err = bucketBinPhase(env, w, g)
+	env.Obs.End(spb)
+	if err != nil {
 		return err
 	}
-	if err := bucketSplitRegion(env, w, g, 0, g.k1, ltCargo); err != nil {
+	spr := env.Obs.Start("split-regions")
+	err = bucketSplitRegion(env, w, g, 0, g.k1, ltCargo)
+	env.Obs.End(spr)
+	if err != nil {
 		return err
 	}
 
 	// Finish exactly as the randomized sort does: gather occupied cells
 	// into full blocks, butterfly-compact them to a tight prefix, and copy
 	// back, clearing the scratch bits.
+	spf := env.Obs.Start("gather")
+	defer env.Obs.End(spf)
 	cons, _ := route.Consolidate(env, w, extmem.Element.Occupied)
 	route.CompactBlocksTight(env, cons, route.PredOccupied, 0)
 	k := env.ScanBatchN(1, n)

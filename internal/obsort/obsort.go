@@ -80,6 +80,10 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 	if env.M < 4*b {
 		panic("obsort: Bitonic requires M >= 4B")
 	}
+	sp := env.Obs.Start("bitonic")
+	sp.SetAttrInt("blocks", int64(n))
+	sp.SetAttrInt("passes", int64(BitonicPassCount(n, b, env.M)))
+	defer env.Obs.End(sp)
 	mark := env.D.Mark()
 	defer env.D.Release(mark)
 
@@ -124,6 +128,8 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 
 	// Stage A: all network stages with size <= c act within c-aligned
 	// windows; run them per window in one pass.
+	spa := env.Obs.Start("windowed-stages")
+	spa.SetPredicted(2*int64(np), -1)
 	for w := 0; w < ne/c; w++ {
 		loadWin(w)
 		base := w * c
@@ -134,6 +140,7 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 		}
 		storeWin(w)
 	}
+	env.Obs.End(spa)
 
 	// Stages with size > c: strides >= c stream block pairs — pk pairs per
 	// vectored round trip (the pairs of one level are disjoint, so a batch
@@ -143,6 +150,8 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 	pbuf := env.Cache.Buf(2 * pk * b)
 	pidx := make([]int, 2*pk)
 	for size := 2 * c; size <= ne; size <<= 1 {
+		sps := env.Obs.Start("merge-stage")
+		sps.SetAttrInt("size", int64(size))
 		for stride := size / 2; stride >= c; stride >>= 1 {
 			sb := stride / b
 			cnt := 0
@@ -186,6 +195,7 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 			}
 			storeWin(w)
 		}
+		env.Obs.End(sps)
 	}
 	env.Cache.Free(pbuf)
 	env.Cache.Free(win)

@@ -36,6 +36,10 @@ func Zigzag(env *extmem.Env, a extmem.Array, less Less) {
 	if env.M < 4*b {
 		panic("obsort: Zigzag requires M >= 4B")
 	}
+	sp := env.Obs.Start("zigzag")
+	sp.SetAttrInt("blocks", int64(n))
+	sp.SetPredicted(ZigzagIOCount(n, b, env.M), ZigzagRoundTrips(n, b, env.M))
+	defer env.Obs.End(sp)
 	cb := zigzagRunBlocks(b, env.M)
 	k := extmem.CeilDiv(n, cb)
 	runLen := func(r int) int {
@@ -50,18 +54,24 @@ func Zigzag(env *extmem.Env, a extmem.Array, less Less) {
 
 	// Round 0: sort each run privately — one vectored read and one vectored
 	// write per run.
+	sp0 := env.Obs.Start("run-formation")
+	sp0.SetAttrInt("runs", int64(k))
+	sp0.SetPredicted(2*int64(n), 2*int64(k))
 	for r := 0; r < k; r++ {
 		lo, l := r*cb, runLen(r)
 		a.ReadRange(lo, lo+l, buf[:l*b])
 		InCache(buf[:l*b], less)
 		a.WriteRange(lo, lo+l, buf[:l*b])
 	}
+	env.Obs.End(sp0)
 
 	// Merge rounds: each comparator (i, j) of the run-level network becomes
 	// a merge-split — read both runs in one vectored round trip, sort the
 	// concatenation privately (a stable sort of two sorted runs is their
 	// merge), and write the low part back to run i and the high part to
 	// run j.
+	spm := env.Obs.Start("merge-rounds")
+	spm.SetAttrInt("merge-splits", int64(ZigzagMergeSplits(n, b, env.M)))
 	ForEachComparator(k, func(i, j int) {
 		li, lj := runLen(i), runLen(j)
 		for t := 0; t < li; t++ {
@@ -74,6 +84,7 @@ func Zigzag(env *extmem.Env, a extmem.Array, less Less) {
 		InCache(buf[:(li+lj)*b], less)
 		a.WriteMany(idx[:li+lj], buf[:(li+lj)*b])
 	})
+	env.Obs.End(spm)
 
 	env.Cache.Free(buf)
 }

@@ -31,6 +31,13 @@ import (
 type Options struct {
 	// Sorter rebuilds levels; nil defaults to obsort.Bitonic.
 	Sorter obsort.Sorter
+	// SorterName names the configured Sorter for observability: it is
+	// attached to rebuild spans, and rebuild spans are exact-audited only
+	// when it is not "randomized" (the randomized pipeline consumes tape,
+	// so its trace differs per rebuild; the deterministic engines replay
+	// bit-identical rebuild traces for equal geometry). Empty means the
+	// auto-selecting default.
+	SorterName string
 	// BucketSize is the number of entry blocks per hash bucket; 0 chooses
 	// max(3, ceil(log2 n)).
 	BucketSize int
@@ -50,23 +57,24 @@ var ErrOverflow = errors.New("oram: bucket overflow during rebuild")
 
 // ORAM is a hierarchical oblivious RAM. Not safe for concurrent use.
 type ORAM struct {
-	env     *extmem.Env
-	n       int
-	b       int
-	sorter  obsort.Sorter
-	beta    int
-	l0      int
-	lmax    int
-	levels  []level
-	buf     []extmem.Element // private top buffer, bufCap entry blocks
-	bufLen  int
-	bufCap  int
-	t       int64 // accesses since creation
-	ts      uint64
-	seed    uint64
-	failed  bool
-	rebuild RebuildStats
-	addrs   []int // probe address scratch (addresses are public, not cache-accounted)
+	env        *extmem.Env
+	n          int
+	b          int
+	sorter     obsort.Sorter
+	sorterName string
+	beta       int
+	l0         int
+	lmax       int
+	levels     []level
+	buf        []extmem.Element // private top buffer, bufCap entry blocks
+	bufLen     int
+	bufCap     int
+	t          int64 // accesses since creation
+	ts         uint64
+	seed       uint64
+	failed     bool
+	rebuild    RebuildStats
+	addrs      []int // probe address scratch (addresses are public, not cache-accounted)
 }
 
 type level struct {
@@ -89,6 +97,10 @@ func New(env *extmem.Env, n int, opts Options) (*ORAM, error) {
 	}
 	o := &ORAM{env: env, n: n, b: env.B(), seed: env.Tape.Uint64()}
 	o.sorter = opts.Sorter
+	o.sorterName = opts.SorterName
+	if o.sorterName == "" {
+		o.sorterName = "auto"
+	}
 	if o.sorter == nil {
 		// Auto-select per rebuild geometry. The pick is a public function
 		// of (table size, B, M), so the rebuild trace stays deterministic
@@ -215,6 +227,8 @@ func (o *ORAM) access(i int, newData []uint64) ([]uint64, error) {
 		return nil, fmt.Errorf("oram: index %d out of range [0,%d)", i, o.n)
 	}
 	o.ts++
+	sp := o.env.Obs.Start("oram-access")
+	defer o.env.Obs.End(sp)
 	found := false
 	var payload []uint64
 
@@ -245,6 +259,18 @@ func (o *ORAM) access(i int, newData []uint64) ([]uint64, error) {
 	// deployment) whether or not it held the key, so the trace keeps its
 	// fixed, access-independent shape.
 	live := o.LiveLevels()
+	spp := o.env.Obs.Start("probe")
+	spp.SetAttrInt("live-levels", int64(live))
+	// The probed bucket indices are PRF-fresh per access, so an exact trace
+	// fingerprint would differ between accesses of identical geometry; the
+	// kind sequence (beta reads per live level, one grouped write-back) is
+	// the geometry-determined invariant, so probe spans audit in shape mode.
+	spp.AuditShape(fmt.Sprintf("oram/probe/live=%d/beta=%d", live, o.beta))
+	if live > 0 {
+		spp.SetPredicted(2*int64(o.beta)*int64(live), int64(live)+1)
+	} else {
+		spp.SetPredicted(0, 0)
+	}
 	wcap := (o.env.M-o.env.Cache.Used())/o.b - 1 // write-back buffer budget, in blocks
 	if wcap < 1 {
 		wcap = 1
@@ -313,6 +339,7 @@ func (o *ORAM) access(i int, newData []uint64) ([]uint64, error) {
 	}
 	flush() // the one grouped write-back of every probed bucket
 	o.env.Cache.Free(buf)
+	o.env.Obs.End(spp)
 
 	if i >= 0 {
 		if payload == nil {

@@ -1,6 +1,7 @@
 package oram
 
 import (
+	"fmt"
 	"math/bits"
 
 	"oblivext/internal/extmem"
@@ -117,6 +118,25 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 	defer o.env.D.Release(mark)
 	work := o.env.D.Alloc(total)
 
+	sp := o.env.Obs.Start("oram-rebuild")
+	sp.SetAttrInt("target-level", int64(target))
+	sp.SetAttrInt("blocks", int64(total))
+	sp.SetAttr("sorter", o.sorterName)
+	if o.sorterName != "randomized" {
+		// The rebuild trace is a deterministic function of the geometry and
+		// the array layout (every scan pass touches every block; the sorter's
+		// trace depends only on size) — except under the randomized sorter,
+		// which consumes tape. The key pins every address-determining input
+		// so equal keys really do promise equal traces.
+		srcSig := ""
+		for _, s := range sources {
+			srcSig += fmt.Sprintf("+%d:%d", s.Base(), s.Len())
+		}
+		sp.Audit(fmt.Sprintf("oram/rebuild/target=%d/total=%d/beta=%d/B=%d/M=%d/work=%d/table=%d/src=%s",
+			target, total, o.beta, b, o.env.M, work.Base(), tl.table.Base(), srcSig))
+	}
+	defer o.env.Obs.End(sp)
+
 	// Copy sources and the buffer, converting each live entry from table
 	// form (metadata in color/dest bits) to in-flight form (metadata in
 	// Key/Pos); then append the fillers. Sources are read a vectored chunk
@@ -134,6 +154,8 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 			blk[t].Flags = extmem.FlagOccupied
 		}
 	}
+	spf := o.env.Obs.Start("flight-copy")
+	spf.SetPredicted(int64(srcBlocks)+int64(total), -1)
 	kc := o.env.ScanBatchN(2, total)
 	rbuf := o.env.Cache.Buf(kc * b)
 	wbuf := o.env.Cache.Buf(kc * b)
@@ -170,6 +192,7 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 	wr.Flush()
 	o.env.Cache.Free(wbuf)
 	o.env.Cache.Free(rbuf)
+	o.env.Obs.End(spf)
 	o.sorter(o.env, work, obsort.ByKey)
 
 	// Pass 1: drop stale duplicates (the freshest copy of each key sorts
@@ -177,6 +200,8 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 	// deterministic buckets. Each chunk is read with one vectored call,
 	// rewritten in cache, and written back with one vectored call; every
 	// block is written whether kept or discarded, keeping the trace fixed.
+	sp1 := o.env.Obs.Start("assign-buckets")
+	sp1.SetPredicted(2*int64(total), -1)
 	kp := o.env.ScanBatchN(1, total)
 	pbuf := o.env.Cache.Buf(kp * b)
 	prevKey := int64(-1)
@@ -218,11 +243,14 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 		work.WriteRange(lo, hi, pbuf[:(hi-lo)*b])
 	}
 	o.env.Cache.Free(pbuf)
+	o.env.Obs.End(sp1)
 	o.sorter(o.env, work, obsort.ByKey)
 
 	// Pass 2: keep exactly beta entries per bucket (reals sort before
 	// fillers within a bucket, so only real overflow is a failure). Same
 	// vectored read-rewrite-write chunking as pass 1.
+	sp2 := o.env.Obs.Start("cap-buckets")
+	sp2.SetPredicted(2*int64(total), -1)
 	kp = o.env.ScanBatchN(1, total)
 	pbuf = o.env.Cache.Buf(kp * b)
 	curBucket := int64(-1)
@@ -253,12 +281,15 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 		work.WriteRange(lo, hi, pbuf[:(hi-lo)*b])
 	}
 	o.env.Cache.Free(pbuf)
+	o.env.Obs.End(sp2)
 	o.sorter(o.env, work, obsort.ByKey)
 
 	// Pass 3: the survivors are exactly buckets*beta blocks in bucket
 	// order; install them as the new table, converting back to table form
 	// and demoting fillers to empty slots — chunked run reads from the work
 	// prefix, chunked run writes into the table.
+	sp3 := o.env.Obs.Start("install")
+	sp3.SetPredicted(2*int64(fill), -1)
 	ki := o.env.ScanBatchN(1, fill)
 	ibuf := o.env.Cache.Buf(ki * b)
 	for lo := 0; lo < fill; lo += ki {
@@ -288,6 +319,7 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 		tl.table.WriteRange(lo, hi, ibuf[:(hi-lo)*b])
 	}
 	o.env.Cache.Free(ibuf)
+	o.env.Obs.End(sp3)
 
 	tl.live = true
 	o.rebuild.Count++

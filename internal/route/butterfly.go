@@ -65,6 +65,10 @@ func CompactBlocksTight(env *extmem.Env, a extmem.Array, pred BlockPred, levelsP
 	if n == 0 {
 		return 0
 	}
+	sp := env.Obs.Start("butterfly-compact")
+	sp.SetAttrInt("blocks", int64(n))
+	sp.SetPredicted(2*int64(n)*int64(ButterflyPassCount(n, levelsPerPass, env.MBlocks())), -1)
+	defer env.Obs.End(sp)
 	b := a.B()
 	k := env.ScanBatchN(1, n)
 	buf := env.Cache.Buf(k * b)
@@ -108,6 +112,10 @@ func ExpandBlocks(env *extmem.Env, a extmem.Array, pred BlockPred, levelsPerPass
 	if n == 0 {
 		return
 	}
+	sp := env.Obs.Start("butterfly-expand")
+	sp.SetAttrInt("blocks", int64(n))
+	sp.SetPredicted(2*int64(n)*int64(ButterflyPassCount(n, levelsPerPass, env.MBlocks())), -1)
+	defer env.Obs.End(sp)
 	b := a.B()
 	k := env.ScanBatchN(1, n)
 	buf := env.Cache.Buf(k * b)

@@ -26,6 +26,10 @@ func Consolidate(env *extmem.Env, a extmem.Array, keep func(extmem.Element) bool
 	if n == 0 {
 		return out, 0
 	}
+	sp := env.Obs.Start("consolidate")
+	sp.SetAttrInt("blocks", int64(n))
+	sp.SetPredicted(2*int64(n), -1) // Lemma 3: exactly n reads + n writes
+	defer env.Obs.End(sp)
 
 	hold := env.Cache.Buf(2 * b) // pending kept elements, always < B live + incoming B
 	k := env.ScanBatch(2)

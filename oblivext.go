@@ -26,6 +26,7 @@ import (
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"oblivext/internal/extmem"
 	"oblivext/internal/extmem/netstore"
 	"oblivext/internal/extmem/shard"
+	"oblivext/internal/obs"
 	"oblivext/internal/obsort"
 	"oblivext/internal/oram"
 	"oblivext/internal/trace"
@@ -441,25 +443,26 @@ type IOStats struct {
 // Total returns reads plus writes.
 func (s IOStats) Total() int64 { return s.Reads + s.Writes }
 
-// Stats returns cumulative I/O counters.
-func (c *Client) Stats() IOStats {
-	st := c.env.D.Stats()
-	out := IOStats{Reads: st.Reads, Writes: st.Writes, RoundTrips: st.RoundTrips}
-	if c.crypt != nil {
-		out.BytesSealed = c.crypt.BytesSealed()
-		out.BytesOpened = c.crypt.BytesOpened()
-	}
-	return out
+// Sub returns s - o, field by field: the delta between two snapshots, for
+// attributing I/O to a phase without resetting the lifetime counters.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats(extmem.Stats(s).Sub(extmem.Stats(o)))
 }
 
-// ResetStats zeroes the I/O counters, including the latency model's
-// round-trip and modeled-time counters, the per-shard counters, and the
-// measured network counters when configured.
+// Stats returns cumulative I/O counters. The Disk's Stats already folds in
+// the crypto byte counters, so this is a whole-struct conversion: the two
+// types are field-for-field identical by construction, and a counter added
+// to one without the other is a compile error — the snapshot can never
+// silently drop a field again (TestIOStatsFullCopy pins the mirror).
+func (c *Client) Stats() IOStats {
+	return IOStats(c.env.D.Stats())
+}
+
+// ResetStats zeroes the I/O counters, including the crypto byte counters,
+// the latency model's round-trip and modeled-time counters, the per-shard
+// counters, and the measured network counters when configured.
 func (c *Client) ResetStats() {
-	c.env.D.ResetStats()
-	if c.crypt != nil {
-		c.crypt.ResetCryptStats()
-	}
+	c.env.D.ResetStats() // resets the sealing store's byte counters too
 	if c.sharded != nil {
 		c.sharded.ResetNetStats() // resets the per-shard latency models too
 	} else if c.net != nil {
@@ -523,9 +526,16 @@ type NetIOStats struct {
 	// Requests counts completed store interactions (retries of one request
 	// do not add to it).
 	Requests int64
+	// Attempts counts HTTP requests actually put on the wire, retries
+	// included; Attempts - Requests is the wasted wire traffic.
+	Attempts int64
 	// Retries counts replays forced by transport failures, timeouts, or 5xx
 	// responses; zero on a healthy network.
 	Retries int64
+	// ReplayHits counts responses the server answered from its replay-
+	// suppression window instead of re-executing — retransmissions whose
+	// first execution's response was lost. Always <= Retries.
+	ReplayHits int64
 	// BlocksMoved counts blocks transferred in completed interactions.
 	BlocksMoved int64
 	// MeasuredTime is the wall-clock wait summed over interactions, first
@@ -533,6 +543,9 @@ type NetIOStats struct {
 	MeasuredTime time.Duration
 	// MinRTT and MaxRTT are the fastest and slowest completed interactions.
 	MinRTT, MaxRTT time.Duration
+	// P50, P95, and P99 are per-interaction latency percentile upper bounds
+	// from a fixed-bucket histogram (zero when no interactions completed).
+	P50, P95, P99 time.Duration
 }
 
 // MeasuredNetworkStats returns per-server measured network counters — one
@@ -547,8 +560,10 @@ func (c *Client) MeasuredNetworkStats() []NetIOStats {
 	out := make([]NetIOStats, len(c.netClients))
 	for i, nc := range c.netClients {
 		s := nc.NetStats()
-		out[i] = NetIOStats{Requests: s.Requests, Retries: s.Retries, BlocksMoved: s.BlocksMoved,
-			MeasuredTime: s.Total, MinRTT: s.Min, MaxRTT: s.Max}
+		out[i] = NetIOStats{Requests: s.Requests, Attempts: s.Attempts, Retries: s.Retries,
+			ReplayHits: s.ReplayHits, BlocksMoved: s.BlocksMoved,
+			MeasuredTime: s.Total, MinRTT: s.Min, MaxRTT: s.Max,
+			P50: s.Hist.P50(), P95: s.Hist.P95(), P99: s.Hist.P99()}
 	}
 	return out
 }
@@ -604,6 +619,56 @@ func (c *Client) TraceSummary() TraceSummary {
 // exceeds Config.CacheWords plus a small constant.
 func (c *Client) CacheHighWater() int { return c.env.Cache.HighWater() }
 
+// EnableSpans turns on phase spans: every subsequent operation opens a
+// hierarchical span tree (engine rounds, core passes, ORAM access/rebuild
+// phases) carrying per-span deltas of wall time, Reads/Writes/RoundTrips,
+// and the crypto byte counters. Off by default and free when off; the
+// per-block trace the server sees is bit-identical either way (spans are
+// client-side bookkeeping, no I/O).
+func (c *Client) EnableSpans() {
+	if c.env.Obs == nil {
+		c.env.EnableObs()
+	}
+}
+
+// DisableSpans turns phase spans off and drops the collected tree.
+func (c *Client) DisableSpans() { c.env.DisableObs() }
+
+// ResetSpans drops the collected span tree (counters untouched). Pair it
+// with ResetStats when measuring a window: spans collected across a stats
+// reset would carry deltas from two different epochs.
+func (c *Client) ResetSpans() { c.env.Obs.Reset() }
+
+// Spans returns the collected root spans (nil with spans disabled).
+func (c *Client) Spans() []*obs.Span { return c.env.Obs.Roots() }
+
+// SpanTree renders the collected spans as a human-readable tree, one line
+// per phase with wall time, I/O deltas, and measured-vs-predicted I/O
+// where an engine predictor applies.
+func (c *Client) SpanTree() string { return obs.RenderTree(c.env.Obs.Roots()) }
+
+// WriteChromeTrace writes the collected spans as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (c *Client) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, c.env.Obs.Roots())
+}
+
+// EnableAudit turns on the live obliviousness auditor (implies
+// EnableSpans): audited spans fold their normalized access trace into a
+// running fingerprint, compared at span end against the golden fingerprint
+// recorded for the same (op, engine, n, B, M, placement) key. With learn
+// true the first observation of each key becomes golden; with learn false
+// load goldens first (LoadFile) and every divergence — including an
+// unknown key — is recorded as a violation. Soundness presumes reproducible
+// runs: equal Config.Seed and operation sequence, the regime the e2e
+// adversary tests pin offline and this monitor enforces live.
+func (c *Client) EnableAudit(learn bool) *obs.Auditor {
+	c.EnableSpans()
+	a := obs.NewAuditor(learn)
+	c.env.Obs.SetAuditor(a)
+	return a
+}
+
 // Array is an outsourced array of records held on the server in blocks.
 type Array struct {
 	c   *Client
@@ -621,6 +686,10 @@ func (c *Client) Store(recs []Record) (*Array, error) {
 		nBlocks = 1
 	}
 	arr := c.env.D.Alloc(nBlocks)
+	sp := c.env.Obs.Start("store")
+	sp.SetAttrInt("blocks", int64(nBlocks))
+	sp.Audit(c.auditKey("store", nBlocks, arr.Base()))
+	defer c.env.Obs.End(sp)
 	k := c.env.ScanBatchN(1, nBlocks)
 	buf := c.env.Cache.Buf(k * b)
 	idx := 0
@@ -650,6 +719,10 @@ func (a *Array) Blocks() int { return a.arr.Len() }
 // Records downloads the occupied records in array order, reading up to
 // M/B−O(1) blocks per round trip.
 func (a *Array) Records() ([]Record, error) {
+	sp := a.c.env.Obs.Start("records")
+	sp.SetAttrInt("blocks", int64(a.arr.Len()))
+	sp.Audit(a.c.auditKey("records", a.arr.Len(), a.arr.Base()))
+	defer a.c.env.Obs.End(sp)
 	b := a.c.env.B()
 	k := a.c.env.ScanBatchN(1, a.arr.Len())
 	buf := a.c.env.Cache.Buf(k * b)
@@ -677,11 +750,23 @@ func (a *Array) Records() ([]Record, error) {
 // randomness, falling back to zigzag, so it never returns an error either.
 func (a *Array) Sort() error {
 	engine := a.c.sortEngine(a.arr.Len())
+	sp := a.c.env.Obs.Start("sort")
+	sp.SetAttr("engine", engine)
+	sp.SetAttrInt("blocks", int64(a.arr.Len()))
+	sp.Audit(a.c.auditKey("sort/"+engine, a.arr.Len(), a.arr.Base()))
+	defer a.c.env.Obs.End(sp)
 	if engine == obsort.EngineRandomized {
 		return core.Sort(a.c.env, a.arr, core.SortParams{})
 	}
 	obsort.PickSorter(engine)(a.c.env, a.arr, obsort.ByKey)
 	return nil
+}
+
+// auditKey names an operation together with every public input that
+// determines its trace — the (op, engine, n, B, M, placement) geometry the
+// auditor keys golden fingerprints by.
+func (c *Client) auditKey(op string, nBlocks, base int) string {
+	return fmt.Sprintf("%s/n=%d/B=%d/M=%d/base=%d", op, nBlocks, c.env.B(), c.env.M, base)
 }
 
 // sortEngine resolves the configured Sorter name to a concrete engine for
@@ -708,6 +793,11 @@ func (c *Client) sortEngine(nBlocks int) string {
 // role, realized as external bitonic): never fails, one log factor more
 // I/Os at scale.
 func (a *Array) SortDeterministic() {
+	sp := a.c.env.Obs.Start("sort")
+	sp.SetAttr("engine", obsort.EngineBitonic)
+	sp.SetAttrInt("blocks", int64(a.arr.Len()))
+	sp.Audit(a.c.auditKey("sort/"+obsort.EngineBitonic, a.arr.Len(), a.arr.Base()))
+	defer a.c.env.Obs.End(sp)
 	obsort.Bitonic(a.c.env, a.arr, obsort.ByKey)
 }
 
@@ -715,6 +805,10 @@ func (a *Array) SortDeterministic() {
 // order ties) in O(N/B) I/Os without modifying or revealing anything about
 // the data (Theorem 13).
 func (a *Array) Select(k int64) (Record, error) {
+	sp := a.c.env.Obs.Start("select")
+	sp.SetAttrInt("blocks", int64(a.arr.Len()))
+	sp.Audit(a.c.auditKey("select", a.arr.Len(), a.arr.Base()))
+	defer a.c.env.Obs.End(sp)
 	e, err := core.Select(a.c.env, a.arr, k)
 	if err != nil {
 		return Record{}, err
@@ -725,6 +819,11 @@ func (a *Array) Select(k int64) (Record, error) {
 // Quantiles returns the q quantile records (ranks round(i·N/(q+1))) in
 // O(N/B) I/Os (Theorem 17).
 func (a *Array) Quantiles(q int) ([]Record, error) {
+	sp := a.c.env.Obs.Start("quantiles")
+	sp.SetAttrInt("blocks", int64(a.arr.Len()))
+	sp.SetAttrInt("q", int64(q))
+	sp.Audit(a.c.auditKey(fmt.Sprintf("quantiles/q=%d", q), a.arr.Len(), a.arr.Base()))
+	defer a.c.env.Obs.End(sp)
 	es, err := core.Quantiles(a.c.env, a.arr, q)
 	if err != nil {
 		return nil, err
@@ -740,6 +839,10 @@ func (a *Array) Quantiles(q int) ([]Record, error) {
 // scan: the server cannot tell which records matched) and returns the
 // number marked.
 func (a *Array) Mark(pred func(Record) bool) (int64, error) {
+	sp := a.c.env.Obs.Start("mark")
+	sp.SetAttrInt("blocks", int64(a.arr.Len()))
+	sp.Audit(a.c.auditKey("mark", a.arr.Len(), a.arr.Base()))
+	defer a.c.env.Obs.End(sp)
 	b := a.c.env.B()
 	k := a.c.env.ScanBatchN(1, a.arr.Len())
 	buf := a.c.env.Cache.Buf(k * b)
@@ -766,6 +869,10 @@ func (a *Array) Mark(pred func(Record) bool) (int64, error) {
 // is public (the server sees the output size), so choose it from workload
 // knowledge, not the data.
 func (a *Array) CompactTight(capacity int64) (*Array, error) {
+	sp := a.c.env.Obs.Start("compact-tight")
+	sp.SetAttrInt("blocks", int64(a.arr.Len()))
+	sp.Audit(a.c.auditKey(fmt.Sprintf("compact-tight/cap=%d", capacity), a.arr.Len(), a.arr.Base()))
+	defer a.c.env.Obs.End(sp)
 	rCap := extmem.CeilDiv(int(capacity), a.c.env.B()) + 1
 	out, marked, err := core.CompactMarkedTight(a.c.env, a.arr, rCap)
 	if err != nil {
@@ -778,6 +885,10 @@ func (a *Array) CompactTight(capacity int64) (*Array, error) {
 // records scattered among empties, in O(N/B) I/Os (Theorem 8). Order is
 // not preserved.
 func (a *Array) CompactLoose(capacity int64) (*Array, error) {
+	sp := a.c.env.Obs.Start("compact-loose")
+	sp.SetAttrInt("blocks", int64(a.arr.Len()))
+	sp.Audit(a.c.auditKey(fmt.Sprintf("compact-loose/cap=%d", capacity), a.arr.Len(), a.arr.Base()))
+	defer a.c.env.Obs.End(sp)
 	cons, marked := core.Consolidate(a.c.env, a.arr)
 	rCap := extmem.CeilDiv(int(capacity), a.c.env.B()) + 1
 	out, _, err := core.CompactBlocksLoose(a.c.env, cons, rCap, core.LooseParams{})
@@ -803,10 +914,13 @@ func (c *Client) NewORAM(n int) (*ORAM, error) {
 	switch c.sorter {
 	case "", obsort.EngineAuto:
 		// nil Sorter: the oram package's per-rebuild auto-selection.
+		opts.SorterName = obsort.EngineAuto
 	case obsort.EngineRandomized:
 		opts.Sorter = core.RandomizedSorter
+		opts.SorterName = obsort.EngineRandomized
 	default:
 		opts.Sorter = obsort.PickSorter(c.sorter)
+		opts.SorterName = c.sorter
 	}
 	o, err := oram.New(c.env, n, opts)
 	if err != nil {
@@ -820,7 +934,7 @@ func (c *Client) NewORAM(n int) (*ORAM, error) {
 // configuration whose amortized overhead improvement is the paper's
 // headline ORAM claim.
 func (c *Client) NewORAMWithRandomizedSort(n int) (*ORAM, error) {
-	o, err := oram.New(c.env, n, oram.Options{Sorter: core.RandomizedSorter})
+	o, err := oram.New(c.env, n, oram.Options{Sorter: core.RandomizedSorter, SorterName: obsort.EngineRandomized})
 	if err != nil {
 		return nil, err
 	}
