@@ -1,4 +1,4 @@
-// Command obench runs the reproduction experiments (E1–E18 and the
+// Command obench runs the reproduction experiments (E1–E21 and the
 // Figure 1 rendering from DESIGN.md's index) and prints their tables as
 // markdown — the data recorded in EXPERIMENTS.md.
 //
@@ -31,6 +31,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonPath := flag.String("json", "", "write the executed tables as a JSON array to this path")
 	traceOut := flag.String("trace-out", "", "collect phase spans in every measurement environment and write them as one Chrome trace-event JSON file (one track per environment)")
+	workers := flag.Int("workers", 1, "goroutines for Alice-side in-cache compute in every experiment environment (0 or 1 = serial); E21 sweeps its own counts regardless")
 	flag.Parse()
 
 	if *list {
@@ -42,6 +43,7 @@ func main() {
 	if *traceOut != "" {
 		bench.EnableSpanCapture()
 	}
+	bench.SetWorkers(*workers)
 	run := bench.All()
 	if *exp != "" {
 		e, ok := bench.ByID(*exp)

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one generator per experiment in
-// DESIGN.md's index (E1–E18 plus the Figure 1 rendering), each producing
+// DESIGN.md's index (E1–E21 plus the Figure 1 rendering), each producing
 // the markdown table recorded in EXPERIMENTS.md. cmd/obench runs them.
 package bench
 
@@ -70,6 +70,7 @@ func All() []Experiment {
 		{"E18", "Client-side encryption overhead: sealed vs plaintext backends", E18},
 		{"E19", "Sorter engines head-to-head: randomized vs bitonic vs zigzag vs bucket", E19},
 		{"E20", "Observability overhead: phase spans off vs on", E20},
+		{"E21", "Parallel compute scaling: Config.Workers speedup, trace-invariant", E21},
 	}
 }
 
@@ -83,10 +84,21 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// defaultWorkers is the Env.Workers / Config.Workers value every
+// measurement environment uses (obench -workers). E21 ignores it — that
+// experiment IS the worker sweep and sets the count per row.
+var defaultWorkers = 1
+
+// SetWorkers sets the worker count applied to every experiment
+// environment; 0 or 1 means serial.
+func SetWorkers(w int) { defaultWorkers = w }
+
 // newEnv builds a measurement environment (span-collected when obench
 // -trace-out enabled capture).
 func newEnv(blocks, b, m int, seed uint64) *extmem.Env {
-	return captureEnv(extmem.NewEnv(blocks, b, m, seed))
+	env := captureEnv(extmem.NewEnv(blocks, b, m, seed))
+	env.Workers = defaultWorkers
+	return env
 }
 
 // fillUniform loads nKeys uniform keys into a fresh array.

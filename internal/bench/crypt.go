@@ -46,6 +46,7 @@ func E18() *Table {
 		sum   oblivext.TraceSummary
 	}
 	run := func(cfg oblivext.Config) result {
+		cfg.Workers = defaultWorkers
 		c, err := oblivext.New(cfg)
 		if err != nil {
 			panic(err)

@@ -57,6 +57,7 @@ func E16() *Table {
 	run := func(cfg oblivext.Config, servers []*netstore.Server) (st oblivext.IOStats,
 		ts oblivext.TraceSummary, wall time.Duration, netWait time.Duration, retries int64,
 		serverLen int64, serverHash uint64) {
+		cfg.Workers = defaultWorkers
 		c, err := oblivext.New(cfg)
 		if err != nil {
 			panic(err)

@@ -78,6 +78,7 @@ func E20() *Table {
 			var samples []float64
 			for rep := 0; rep < 5; rep++ {
 				env := extmem.NewEnv(blocks, b, m, uint64(rep+1))
+				env.Workers = defaultWorkers
 				if withSpans {
 					env.EnableObs()
 				}

@@ -89,6 +89,7 @@ func E17() *Table {
 		}
 		defer c.Close()
 		env := extmem.NewEnvOn(c, cache, seed)
+		env.Workers = defaultWorkers
 		rec := trace.NewRecorder(0)
 		env.D.SetRecorder(rec)
 		o, err := oram.New(env, n, oram.Options{Sorter: obsort.BitonicSorter})
@@ -147,6 +148,7 @@ func E17() *Table {
 			defer cleanup()
 		}
 		env := extmem.NewEnvOn(store, cache, seed)
+		env.Workers = defaultWorkers
 		rec := trace.NewRecorder(0)
 		env.D.SetRecorder(rec)
 		o, err := oram.New(env, n, oram.Options{Sorter: obsort.BitonicSorter})

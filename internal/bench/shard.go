@@ -54,6 +54,7 @@ func E15() *Table {
 			c, err := oblivext.New(oblivext.Config{
 				BlockSize: b, CacheWords: cache, Seed: seed, NumShards: k,
 				StartBlocks: 4 * nBlocks, SimulatedRTT: rtt, SimulatedPerBlock: perBlock,
+				Workers: defaultWorkers,
 			})
 			if err != nil {
 				panic(err)

@@ -78,6 +78,7 @@ func E19() *Table {
 		}
 		defer cleanup()
 		env := extmem.NewEnvOn(store, cache, seed)
+		env.Workers = defaultWorkers
 		a := env.D.Alloc(nBlocks)
 		keys, err := workload.Keys(workload.Uniform, nBlocks*b, uint64(nBlocks))
 		if err != nil {

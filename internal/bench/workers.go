@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"oblivext"
+	"oblivext/internal/extmem"
+	"oblivext/internal/extmem/netstore"
+)
+
+// E21 measures the compute-scaling win of Config.Workers: the same
+// encrypted Sort (sealing/opening plus the in-cache sort phases are the
+// compute; the store round trips are untouched) run at Workers 1, 2, 4, and
+// 8 over three backends — in-memory, a 4-way sharded memory store, and a
+// real HTTP obstore. The trace column re-checks the parallelism contract:
+// the per-block trace must be bit-identical at every worker count, because
+// the partitioning is a function of public geometry only.
+func E21() *Table {
+	const (
+		n     = 1 << 14 // records
+		b     = 8
+		cache = 4096
+		seed  = 99
+	)
+	workerCounts := []int{1, 2, 4, 8}
+	t := &Table{
+		ID: "E21",
+		Title: f("Parallel compute scaling: encrypted Sort (N=2^14, B=8) at Workers 1/2/4/8 (GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		Headers: []string{"backend", "workers", "wall time", "speedup vs w=1",
+			"bytes sealed", "trace == w=1?"},
+		Metrics: map[string]float64{},
+	}
+
+	recs := make([]oblivext.Record, n)
+	for i := range recs {
+		recs[i] = oblivext.Record{Key: uint64(i*2654435761) % (1 << 30), Val: uint64(i)}
+	}
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i*3 + 1)
+	}
+
+	type result struct {
+		wall  time.Duration
+		stats oblivext.IOStats
+		sum   oblivext.TraceSummary
+	}
+	run := func(cfg oblivext.Config) result {
+		c, err := oblivext.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		defer c.Close()
+		arr, err := c.Store(recs)
+		if err != nil {
+			panic(err)
+		}
+		c.EnableTrace(0)
+		c.ResetStats()
+		start := time.Now()
+		if err := arr.Sort(); err != nil {
+			panic(err)
+		}
+		wall := time.Since(start)
+		got, err := arr.Records()
+		if err != nil {
+			panic(err)
+		}
+		if len(got) != n {
+			panic("lost records")
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Key > got[i].Key {
+				panic("not sorted")
+			}
+		}
+		return result{wall: wall, stats: c.Stats(), sum: c.TraceSummary()}
+	}
+	spinSealed := func() (string, func()) {
+		srv := netstore.NewServer(
+			extmem.NewMemStore(16384, extmem.CryptChildBlockSize(b)), netstore.ServerOptions{})
+		ts := httptest.NewServer(srv.Handler())
+		return ts.URL, ts.Close
+	}
+
+	base := oblivext.Config{BlockSize: b, CacheWords: cache, Seed: seed,
+		StartBlocks: 16384, EncryptionKey: key}
+	backends := []struct {
+		name string
+		cfg  func() (oblivext.Config, func())
+	}{
+		{"mem", func() (oblivext.Config, func()) { return base, func() {} }},
+		{"sharded-4", func() (oblivext.Config, func()) {
+			cfg := base
+			cfg.NumShards = 4
+			return cfg, func() {}
+		}},
+		{"http (obstore -b 10)", func() (oblivext.Config, func()) {
+			url, stop := spinSealed()
+			cfg := base
+			cfg.URL = url
+			return cfg, stop
+		}},
+	}
+
+	allInvariant := true
+	for _, be := range backends {
+		var base1 result
+		for wi, w := range workerCounts {
+			cfg, stop := be.cfg()
+			cfg.Workers = w
+			r := run(cfg)
+			stop()
+			if wi == 0 {
+				base1 = r
+			}
+			tracesOK := "yes"
+			if r.sum != base1.sum {
+				tracesOK = "NO"
+				allInvariant = false
+			}
+			t.Rows = append(t.Rows, []string{be.name, f("%d", w),
+				f("%v", r.wall.Round(time.Millisecond)),
+				ratio(float64(base1.wall), float64(r.wall)),
+				f("%d", r.stats.BytesSealed), tracesOK})
+			metric := map[string]string{"mem": "mem", "sharded-4": "sharded4", "http (obstore -b 10)": "http"}[be.name]
+			t.Metrics[f("%s_w%d_wall_ms", metric, w)] = float64(r.wall.Milliseconds())
+			if w == 4 {
+				t.Metrics[f("speedup_%s_w4", metric)] = float64(base1.wall) / float64(r.wall)
+				if be.name == "mem" {
+					t.Metrics["speedup_w4"] = float64(base1.wall) / float64(r.wall)
+				}
+			}
+		}
+	}
+	t.Metrics["traces_invariant"] = boolMetric(allInvariant)
+	// Speedup is bounded by the cores the runner grants; record it so the
+	// archived JSON is interpretable across machines.
+	t.Metrics["gomaxprocs"] = float64(runtime.GOMAXPROCS(0))
+
+	t.Notes = append(t.Notes,
+		"Workers parallelizes only Alice's private compute — block sealing/opening, in-cache sort phases, routing and stamp passes — between unchanged store round trips; the partition is a pure function of public geometry, which the trace column re-verifies (equal fingerprints at every worker count).",
+		"Encrypted runs are crypto-dominated, so the scaling mostly reflects the per-worker AES-CTR + HMAC sealing; over HTTP the wire time bounds the win (Amdahl).",
+		"speedup_w4 (mem backend) is the tracked perf metric: wall(w=1)/wall(w=4) on the same machine and geometry.")
+	return t
+}

@@ -223,7 +223,8 @@ func Quantiles(env *extmem.Env, a extmem.Array, q int) ([]extmem.Element, error)
 	}
 	// Color pass: re-derive each element's interval from the private
 	// bounds (tight compaction may clobber color bits, so assign after).
-	scanRMW(env, d, func(_ int, blk []extmem.Element) {
+	// Pure per-block compute against read-only bounds, so it fans out.
+	scanRMWPar(env, d, func(_ int, blk []extmem.Element) {
 		for t := range blk {
 			if !blk[t].Occupied() {
 				continue

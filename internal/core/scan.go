@@ -1,6 +1,9 @@
 package core
 
-import "oblivext/internal/extmem"
+import (
+	"oblivext/internal/extmem"
+	"oblivext/internal/par"
+)
 
 // This file provides the batched scan skeletons the pass-structured
 // algorithms share. Each streams blocks in order through a callback while
@@ -25,7 +28,14 @@ func scanRead(env *extmem.Env, a extmem.Array, fn func(i int, blk []extmem.Eleme
 		// than the cache window splits into two chunks and gets overlap.
 		k := env.ScanBatchN(2, extmem.CeilDiv(n, 2))
 		buf := env.Cache.Buf(2 * k * b)
+		// Both teardown steps are deferred so that a panic in fn (or a
+		// future early return) still joins the in-flight prefetch before the
+		// buffer is released — Close must run first (LIFO), otherwise the
+		// prefetch goroutine keeps writing into a buffer the accountant has
+		// already reclaimed.
+		defer env.Cache.Free(buf)
 		r := extmem.NewSeqReader(a, 0, n, buf, true)
+		defer r.Close()
 		for {
 			i, blk, ok := r.Next()
 			if !ok {
@@ -33,8 +43,6 @@ func scanRead(env *extmem.Env, a extmem.Array, fn func(i int, blk []extmem.Eleme
 			}
 			fn(i, blk)
 		}
-		r.Close()
-		env.Cache.Free(buf)
 		return
 	}
 	scanReadSync(env, a, fn)
@@ -78,6 +86,48 @@ func scanRMW(env *extmem.Env, a extmem.Array, fn func(i int, blk []extmem.Elemen
 		for i := lo; i < hi; i++ {
 			fn(i, buf[(i-lo)*b:(i-lo+1)*b])
 		}
+		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
+	}
+	env.Cache.Free(buf)
+}
+
+// parMinCells is the per-chunk element count below which the parallel
+// helpers stay serial; it compares public lengths only.
+const parMinCells = 2048
+
+// parCells fans fn out over [0, n) across the environment's worker pool
+// when n is large enough to amortize the spawns. fn must be pure in-cache
+// compute over disjoint index ranges — no I/O, no tape, no shared state.
+func parCells(env *extmem.Env, n int, fn func(lo, hi int)) {
+	w := env.WorkerCount()
+	if n < parMinCells {
+		w = 1
+	}
+	par.For(w, n, fn)
+}
+
+// scanRMWPar is scanRMW with the per-block callback fanned out across
+// env.Workers goroutines within each in-cache chunk (I/O and chunk order
+// are untouched, so the trace is identical to scanRMW's). fn must be pure
+// per-block compute — no shared mutable state, no tape draws, no I/O —
+// which holds for the stamp/colorize passes that use this variant.
+func scanRMWPar(env *extmem.Env, a extmem.Array, fn func(i int, blk []extmem.Element)) {
+	n := a.Len()
+	if n == 0 {
+		return
+	}
+	b := a.B()
+	k := env.ScanBatchN(1, n)
+	buf := env.Cache.Buf(k * b)
+	w := env.WorkerCount()
+	for lo := 0; lo < n; lo += k {
+		hi := min(lo+k, n)
+		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
+		par.For(w, hi-lo, func(plo, phi int) {
+			for i := lo + plo; i < lo+phi; i++ {
+				fn(i, buf[(i-lo)*b:(i-lo+1)*b])
+			}
+		})
 		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	env.Cache.Free(buf)

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"oblivext/internal/extmem"
+)
+
+// S2 regression: a panic in the callback of a prefetching read scan must
+// still join the in-flight prefetch goroutine and return the scan buffer
+// before the stack unwinds. Before the defer fix, the prefetch goroutine
+// kept writing into a buffer the accountant had already reclaimed — a leak
+// the race detector flags when the next pass reuses that memory.
+func TestScanReadPrefetchPanicCleansUp(t *testing.T) {
+	const blocks, b, m = 64, 4, 64
+	env := newTestEnv(blocks, b, m, 21)
+	env.Prefetch = true
+	a := env.D.Alloc(blocks)
+	elems := make([]extmem.Element, blocks*b)
+	for i := range elems {
+		elems[i] = extmem.Element{Key: uint64(i), Pos: uint64(i), Flags: extmem.FlagOccupied}
+	}
+	writeElems(a, elems)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("callback panic did not propagate")
+			}
+		}()
+		scanRead(env, a, func(i int, blk []extmem.Element) {
+			if i == blocks/2 {
+				panic("mid-scan failure")
+			}
+		})
+	}()
+
+	if used := env.Cache.Used(); used != 0 {
+		t.Fatalf("scan buffer leaked after panic: %d elements still checked out", used)
+	}
+
+	// The environment is still fully usable: a fresh scan sees every block.
+	seen := 0
+	scanRead(env, a, func(i int, blk []extmem.Element) { seen++ })
+	if seen != blocks {
+		t.Fatalf("follow-up scan saw %d of %d blocks", seen, blocks)
+	}
+	if used := env.Cache.Used(); used != 0 {
+		t.Fatalf("follow-up scan leaked: %d elements checked out", used)
+	}
+}

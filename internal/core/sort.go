@@ -7,6 +7,7 @@ import (
 
 	"oblivext/internal/extmem"
 	"oblivext/internal/obsort"
+	"oblivext/internal/par"
 )
 
 // This file implements §5 / Theorem 21: randomized data-oblivious sorting
@@ -89,13 +90,15 @@ func Sort(env *extmem.Env, a extmem.Array, p SortParams) error {
 	for lo := 0; lo < res.Len(); lo += k {
 		hi := min(lo+k, res.Len())
 		res.ReadRange(lo, hi, buf[:(hi-lo)*b])
-		for t := range buf[:(hi-lo)*b] {
-			if buf[t].Occupied() {
-				buf[t].Flags |= extmem.FlagMarked
-			} else {
-				buf[t].Flags &^= extmem.FlagMarked
+		parCells(env, (hi-lo)*b, func(plo, phi int) {
+			for t := plo; t < phi; t++ {
+				if buf[t].Occupied() {
+					buf[t].Flags |= extmem.FlagMarked
+				} else {
+					buf[t].Flags &^= extmem.FlagMarked
+				}
 			}
-		}
+		})
 		res.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	env.Cache.Free(buf)
@@ -112,11 +115,13 @@ func Sort(env *extmem.Env, a extmem.Array, p SortParams) error {
 		for t := (cl - lo) * b; t < (hi-lo)*b; t++ {
 			buf[t] = extmem.Element{}
 		}
-		for t := range buf[:(hi-lo)*b] {
-			buf[t].Flags &^= extmem.FlagMarked
-			buf[t].SetCellDest(0)
-			buf[t].SetColor(0)
-		}
+		parCells(env, (hi-lo)*b, func(plo, phi int) {
+			for t := plo; t < phi; t++ {
+				buf[t].Flags &^= extmem.FlagMarked
+				buf[t].SetCellDest(0)
+				buf[t].SetColor(0)
+			}
+		})
 		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	env.Cache.Free(buf)
@@ -150,19 +155,34 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 	lvl.SetAttrInt("blocks", int64(n))
 	defer env.Obs.End(lvl)
 
-	// Count occupied elements (public: part of the problem size).
+	// Count occupied elements (public: part of the problem size). Each
+	// worker counts a disjoint range into its own slot; the serial sum is
+	// order-independent, so the total matches the scalar loop exactly.
 	count := env.Obs.Start("count-occupied")
 	k := env.ScanBatchN(1, n)
 	buf := env.Cache.Buf(k * b)
 	var nOcc int64
+	partial := make([]int64, env.WorkerCount())
 	for lo := 0; lo < n; lo += k {
 		hi := min(lo+k, n)
 		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
-		for _, e := range buf[:(hi-lo)*b] {
-			if e.Occupied() {
-				nOcc++
-			}
+		ne := (hi - lo) * b
+		pw := env.WorkerCount()
+		if ne < parMinCells {
+			pw = 1
 		}
+		par.ForWorker(pw, ne, func(wk, plo, phi int) {
+			var c int64
+			for _, e := range buf[plo:phi] {
+				if e.Occupied() {
+					c++
+				}
+			}
+			partial[wk] += c
+		})
+	}
+	for _, c := range partial {
+		nOcc += c
 	}
 	env.Cache.Free(buf)
 	env.Obs.End(count)
@@ -203,19 +223,23 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 	for lo := 0; lo < n; lo += k {
 		hi := min(lo+k, n)
 		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
-		for t := range buf[:(hi-lo)*b] {
-			buf[t].SetColor(0)
-			if !buf[t].Occupied() {
-				continue
-			}
-			c := 1
-			for j := 0; j < q; j++ {
-				if bounds[j].lessElem(buf[t]) {
-					c = j + 2
+		// Each element's color is a pure function of the element and the
+		// private splitter bounds, so the coloring pass fans out freely.
+		parCells(env, (hi-lo)*b, func(plo, phi int) {
+			for t := plo; t < phi; t++ {
+				buf[t].SetColor(0)
+				if !buf[t].Occupied() {
+					continue
 				}
+				c := 1
+				for j := 0; j < q; j++ {
+					if bounds[j].lessElem(buf[t]) {
+						c = j + 2
+					}
+				}
+				buf[t].SetColor(c)
 			}
-			buf[t].SetColor(c)
-		}
+		})
 		work.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	env.Cache.Free(buf)
@@ -284,13 +308,15 @@ func sortPadded(env *extmem.Env, a extmem.Array, p SortParams, depth int) (extme
 		for lo := 0; lo < sub[i].Len(); lo += k {
 			hi := min(lo+k, sub[i].Len())
 			sub[i].ReadRange(lo, hi, buf[:(hi-lo)*b])
-			for t := range buf[:(hi-lo)*b] {
-				if failed && buf[t].Occupied() {
-					buf[t].Flags |= extmem.FlagFailed
-				} else {
-					buf[t].Flags &^= extmem.FlagFailed
+			parCells(env, (hi-lo)*b, func(plo, phi int) {
+				for t := plo; t < phi; t++ {
+					if failed && buf[t].Occupied() {
+						buf[t].Flags |= extmem.FlagFailed
+					} else {
+						buf[t].Flags &^= extmem.FlagFailed
+					}
 				}
-			}
+			})
 			res.WriteRange(w, w+hi-lo, buf[:(hi-lo)*b])
 			w += hi - lo
 		}
@@ -330,7 +356,7 @@ func sortPrivate(env *extmem.Env, a extmem.Array) extmem.Array {
 			}
 		}
 	}
-	obsort.InCache(all, obsort.ByKey)
+	obsort.InCachePar(env, all, obsort.ByKey)
 	idx := 0
 	for lo := 0; lo < n; lo += k {
 		hi := min(lo+k, n)
@@ -360,13 +386,15 @@ func tightenPadded(env *extmem.Env, a extmem.Array, capBlocks int) extmem.Array 
 	for lo := 0; lo < a.Len(); lo += k {
 		hi := min(lo+k, a.Len())
 		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
-		for t := range buf[:(hi-lo)*b] {
-			if buf[t].Occupied() {
-				buf[t].Flags |= extmem.FlagMarked
-			} else {
-				buf[t].Flags &^= extmem.FlagMarked
+		parCells(env, (hi-lo)*b, func(plo, phi int) {
+			for t := plo; t < phi; t++ {
+				if buf[t].Occupied() {
+					buf[t].Flags |= extmem.FlagMarked
+				} else {
+					buf[t].Flags &^= extmem.FlagMarked
+				}
 			}
-		}
+		})
 		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
 	}
 	env.Cache.Free(buf)

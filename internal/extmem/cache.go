@@ -30,6 +30,9 @@ func NewCache(m int, strict bool) *Cache {
 // Capacity returns M in elements.
 func (c *Cache) Capacity() int { return c.capacity }
 
+// Strict reports whether exceeding the capacity panics immediately.
+func (c *Cache) Strict() bool { return c.strict }
+
 // Used returns the elements currently checked out.
 func (c *Cache) Used() int { return c.used }
 

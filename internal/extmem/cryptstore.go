@@ -1,6 +1,11 @@
 package extmem
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"oblivext/internal/par"
+)
 
 // CryptOverheadElements is the per-block footprint of the encryption
 // envelope (IV + MAC tag), rounded up to whole elements: a sealed block of B
@@ -46,20 +51,31 @@ func CryptChildBlockSize(b int) int { return b + CryptOverheadElements }
 //
 // Like every BlockStore, a CryptStore is driven by one caller at a time
 // (the Disk, including its prefetch goroutines, which synchronize before
-// handing the buffer over); the scratch buffers and counters rely on that.
+// handing the buffer over); the staging buffer relies on that. Within one
+// vectored call the store may fan the per-block seal/open work out across
+// SetWorkers goroutines — each worker owns its own scratch pair and the
+// byte counters are atomic, so the fan-out is invisible to the caller and
+// the child sees exactly one call over the same address list either way.
 type CryptStore struct {
-	child BlockStore
-	enc   *Encryptor
-	b     int // plaintext block size exposed upward
-	cb    int // child (sealed) block size in elements
-	wire  int // sealed image length in bytes, <= cb*ElementBytes
+	child   BlockStore
+	enc     *Encryptor
+	b       int // plaintext block size exposed upward
+	cb      int // child (sealed) block size in elements
+	wire    int // sealed image length in bytes, <= cb*ElementBytes
+	workers int // fan-out for per-block seal/open inside one batch
 
-	bytesSealed int64
-	bytesOpened int64
+	bytesSealed atomic.Int64
+	bytesOpened atomic.Int64
 
-	plain []byte    // one plaintext block, encoded
-	sbuf  []byte    // one sealed block, padded to cb elements
-	celem []Element // child-geometry staging for vectored calls
+	scratch []cryptScratch // one entry per worker; entry 0 serves the scalar paths
+	celem   []Element      // child-geometry staging for vectored calls
+}
+
+// cryptScratch is one worker's private staging: an encoded plaintext block
+// and a sealed block padded to child geometry.
+type cryptScratch struct {
+	plain []byte
+	sbuf  []byte
 }
 
 // NewCryptStore wraps child with the encryption decorator, presenting
@@ -77,16 +93,37 @@ func NewCryptStore(child BlockStore, enc *Encryptor, b int) (*CryptStore, error)
 		return nil, fmt.Errorf("extmem: child block size %d != sealed block size %d (B=%d + %d overhead elements)",
 			child.BlockSize(), want, b, CryptOverheadElements)
 	}
-	plain := b * ElementBytes
-	return &CryptStore{
-		child: child,
-		enc:   enc,
-		b:     b,
-		cb:    CryptChildBlockSize(b),
-		wire:  enc.WireSize(plain),
-		plain: make([]byte, plain),
-		sbuf:  make([]byte, CryptChildBlockSize(b)*ElementBytes),
-	}, nil
+	s := &CryptStore{
+		child:   child,
+		enc:     enc,
+		b:       b,
+		cb:      CryptChildBlockSize(b),
+		wire:    enc.WireSize(b * ElementBytes),
+		workers: 1,
+	}
+	s.scratch = []cryptScratch{s.newScratch()}
+	return s, nil
+}
+
+func (s *CryptStore) newScratch() cryptScratch {
+	return cryptScratch{
+		plain: make([]byte, s.b*ElementBytes),
+		sbuf:  make([]byte, s.cb*ElementBytes),
+	}
+}
+
+// SetWorkers sets the fan-out for per-block sealing/opening within one
+// vectored call (0 and 1 both mean serial) and provisions one scratch pair
+// per worker. Call it during setup, before the store is driven; it is not
+// safe concurrently with I/O.
+func (s *CryptStore) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+	for len(s.scratch) < n {
+		s.scratch = append(s.scratch, s.newScratch())
+	}
 }
 
 // Child returns the wrapped store (Bob's side of the boundary).
@@ -94,37 +131,42 @@ func (s *CryptStore) Child() BlockStore { return s.child }
 
 // BytesSealed returns the cumulative ciphertext bytes produced by writes —
 // the wire footprint Bob stores, envelope included.
-func (s *CryptStore) BytesSealed() int64 { return s.bytesSealed }
+func (s *CryptStore) BytesSealed() int64 { return s.bytesSealed.Load() }
 
 // BytesOpened returns the cumulative ciphertext bytes verified and
 // decrypted by reads (all-zero never-written blocks are not counted: no
 // crypto ran).
-func (s *CryptStore) BytesOpened() int64 { return s.bytesOpened }
+func (s *CryptStore) BytesOpened() int64 { return s.bytesOpened.Load() }
 
 // ResetCryptStats zeroes the sealed/opened byte counters.
-func (s *CryptStore) ResetCryptStats() { s.bytesSealed, s.bytesOpened = 0, 0 }
+func (s *CryptStore) ResetCryptStats() {
+	s.bytesSealed.Store(0)
+	s.bytesOpened.Store(0)
+}
 
-// seal encodes and seals one plaintext block (bound to its address) into
-// the staging buffer, decoding it as child-geometry elements into dst.
-func (s *CryptStore) seal(addr int, dst []Element, src []Element) error {
-	EncodeElements(s.plain, src)
-	out, err := s.enc.Seal(s.sbuf[:0], s.plain, uint64(addr))
+// seal encodes and seals one plaintext block (bound to its address) via
+// the given worker scratch, decoding it as child-geometry elements into
+// dst. The Encryptor itself is safe for concurrent Seal calls (fresh IV,
+// fresh HMAC state per call); only the scratch is per-worker.
+func (s *CryptStore) seal(sc *cryptScratch, addr int, dst []Element, src []Element) error {
+	EncodeElements(sc.plain, src)
+	out, err := s.enc.Seal(sc.sbuf[:0], sc.plain, uint64(addr))
 	if err != nil {
 		return err
 	}
 	// Zero the padding up to a whole child block; the pad is public
 	// structure, not data.
-	for i := len(out); i < len(s.sbuf); i++ {
-		s.sbuf[i] = 0
+	for i := len(out); i < len(sc.sbuf); i++ {
+		sc.sbuf[i] = 0
 	}
-	DecodeElements(dst, s.sbuf)
-	s.bytesSealed += int64(s.wire)
+	DecodeElements(dst, sc.sbuf)
+	s.bytesSealed.Add(int64(s.wire))
 	return nil
 }
 
 // open verifies and decodes one sealed child block into dst. An all-zero
 // wire image is a never-written block and decodes to zeroed elements.
-func (s *CryptStore) open(addr int, src []Element, dst []Element) error {
+func (s *CryptStore) open(sc *cryptScratch, addr int, src []Element, dst []Element) error {
 	allZero := true
 	for _, e := range src {
 		if e != (Element{}) {
@@ -136,13 +178,13 @@ func (s *CryptStore) open(addr int, src []Element, dst []Element) error {
 		clear(dst)
 		return nil
 	}
-	EncodeElements(s.sbuf, src)
-	buf, err := s.enc.Open(s.plain[:0], s.sbuf[:s.wire], uint64(addr))
+	EncodeElements(sc.sbuf, src)
+	buf, err := s.enc.Open(sc.plain[:0], sc.sbuf[:s.wire], uint64(addr))
 	if err != nil {
 		return fmt.Errorf("extmem: block %d: %w", addr, err)
 	}
 	DecodeElements(dst, buf)
-	s.bytesOpened += int64(s.wire)
+	s.bytesOpened.Add(int64(s.wire))
 	return nil
 }
 
@@ -163,7 +205,7 @@ func (s *CryptStore) ReadBlock(addr int, dst []Element) error {
 	if err := s.child.ReadBlock(addr, buf); err != nil {
 		return err
 	}
-	return s.open(addr, buf, dst)
+	return s.open(&s.scratch[0], addr, buf, dst)
 }
 
 // WriteBlock implements BlockStore: seal under a fresh IV, one child write.
@@ -172,15 +214,58 @@ func (s *CryptStore) WriteBlock(addr int, src []Element) error {
 		return fmt.Errorf("extmem: buffer length %d != block size %d", len(src), s.b)
 	}
 	buf := s.childElems(1)
-	if err := s.seal(addr, buf, src); err != nil {
+	if err := s.seal(&s.scratch[0], addr, buf, src); err != nil {
 		return err
 	}
 	return s.child.WriteBlock(addr, buf)
 }
 
+// cryptParMin is the batch size below which per-block crypto stays on the
+// calling goroutine: spawning workers costs more than sealing a handful of
+// blocks. The threshold compares against a public batch length only.
+const cryptParMin = 8
+
+// forBlocks runs fn over every (block index, worker scratch) pair — fanned
+// out across s.workers goroutines for large batches, inline otherwise —
+// and returns the first error by block order. Block i's staging slices are
+// disjoint for distinct i, so workers never share bytes; the choice to fan
+// out depends only on the public batch length, never on block contents.
+func (s *CryptStore) forBlocks(n int, fn func(sc *cryptScratch, i int) error) error {
+	w := s.workers
+	if w > len(s.scratch) {
+		w = len(s.scratch)
+	}
+	if w <= 1 || n < cryptParMin {
+		sc := &s.scratch[0]
+		for i := 0; i < n; i++ {
+			if err := fn(sc, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errAt := make([]error, n)
+	par.ForWorker(w, n, func(worker, lo, hi int) {
+		sc := &s.scratch[worker]
+		for i := lo; i < hi; i++ {
+			if err := fn(sc, i); err != nil {
+				errAt[i] = err
+				return
+			}
+		}
+	})
+	for _, err := range errAt {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadBlocks implements BlockStore: the whole batch is fetched with a
 // single child call over the same address list (one interaction, identical
-// trace), then each block is opened individually.
+// trace), then each block is opened individually — across the worker pool
+// for large batches.
 func (s *CryptStore) ReadBlocks(addrs []int, dst []Element) error {
 	if len(dst) != len(addrs)*s.b {
 		return fmt.Errorf("extmem: buffer length %d != %d blocks of %d elements", len(dst), len(addrs), s.b)
@@ -189,26 +274,24 @@ func (s *CryptStore) ReadBlocks(addrs []int, dst []Element) error {
 	if err := s.child.ReadBlocks(addrs, buf); err != nil {
 		return err
 	}
-	for i, addr := range addrs {
-		if err := s.open(addr, buf[i*s.cb:(i+1)*s.cb], dst[i*s.b:(i+1)*s.b]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.forBlocks(len(addrs), func(sc *cryptScratch, i int) error {
+		return s.open(sc, addrs[i], buf[i*s.cb:(i+1)*s.cb], dst[i*s.b:(i+1)*s.b])
+	})
 }
 
 // WriteBlocks implements BlockStore: every block is sealed under its own
-// fresh IV — vectoring batches the transfer, never the envelope — then the
-// batch travels as a single child call over the same address list.
+// fresh IV — vectoring batches the transfer, never the envelope; sealing
+// fans out across the worker pool for large batches — then the batch
+// travels as a single child call over the same address list.
 func (s *CryptStore) WriteBlocks(addrs []int, src []Element) error {
 	if len(src) != len(addrs)*s.b {
 		return fmt.Errorf("extmem: buffer length %d != %d blocks of %d elements", len(src), len(addrs), s.b)
 	}
 	buf := s.childElems(len(addrs))
-	for i, addr := range addrs {
-		if err := s.seal(addr, buf[i*s.cb:(i+1)*s.cb], src[i*s.b:(i+1)*s.b]); err != nil {
-			return err
-		}
+	if err := s.forBlocks(len(addrs), func(sc *cryptScratch, i int) error {
+		return s.seal(sc, addrs[i], buf[i*s.cb:(i+1)*s.cb], src[i*s.b:(i+1)*s.b])
+	}); err != nil {
+		return err
 	}
 	return s.child.WriteBlocks(addrs, buf)
 }

@@ -1,6 +1,8 @@
 package extmem
 
 import (
+	"fmt"
+
 	"oblivext/internal/obs"
 	"oblivext/internal/rng"
 )
@@ -31,6 +33,21 @@ type Env struct {
 	// default) disables observability at the cost of one pointer check per
 	// span site. Attach via EnableObs so the Disk hook stays in step.
 	Obs *obs.Collector
+	// Workers is the fan-out for parallel in-cache compute (internal/par).
+	// 0 and 1 both mean the serial path. Worker count is public — the
+	// partition of every parallel region is a function of geometry only —
+	// so the per-block trace Bob observes is identical for every value.
+	// All Disk I/O and Cache accounting stay on the coordinating
+	// goroutine; workers only touch private buffers already checked out.
+	Workers int
+}
+
+// WorkerCount returns the effective fan-out: Workers clamped to at least 1.
+func (e *Env) WorkerCount() int {
+	if e.Workers < 1 {
+		return 1
+	}
+	return e.Workers
 }
 
 // EnableObs attaches a fresh span collector to the environment and its
@@ -86,6 +103,15 @@ func (e *Env) B() int { return e.D.B() }
 // one-block buffer is exactly the scalar scan every algorithm already
 // afforded). Callers check the result's worth of cache out per buffer, so
 // HighWater never exceeds M beyond what the scalar path used.
+//
+// The k=1 floor is a documented one-block-per-buffer grace: when the free
+// cache cannot even hold one block per buffer (a caller has overdrawn the
+// accountant), the scan still proceeds at scalar granularity and the
+// overdraft is recorded in HighWater for tests to catch. In strict mode
+// there is no grace — handing out memory the accountant doesn't have is
+// exactly what strict mode exists to forbid — so ScanBatch panics up
+// front with the overdraft spelled out, rather than letting the caller's
+// subsequent Buf trip the opaque Acquire overflow panic.
 func (e *Env) ScanBatch(buffers int) int {
 	if buffers < 1 {
 		panic("extmem: ScanBatch needs at least one buffer")
@@ -93,6 +119,10 @@ func (e *Env) ScanBatch(buffers int) int {
 	free := e.M - e.Cache.Used()
 	k := free/(buffers*e.B()) - 1
 	if k < 1 {
+		if e.Cache.Strict() && free < buffers*e.B() {
+			panic(fmt.Sprintf("extmem: ScanBatch overdrawn in strict mode: %d elements free < %d buffers x %d block (M=%d, used=%d)",
+				free, buffers, e.B(), e.M, e.Cache.Used()))
+		}
 		k = 1
 	}
 	return k

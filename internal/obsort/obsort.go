@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"oblivext/internal/extmem"
+	"oblivext/internal/par"
 )
 
 // Less orders elements. Implementations must be strict weak orderings and
@@ -119,6 +120,7 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 
 	win := env.Cache.Buf(c)
 	wblocks := c / b
+	nw := env.WorkerCount()
 	loadWin := func(w int) {
 		work.ReadRange(w*wblocks, (w+1)*wblocks, win)
 	}
@@ -135,7 +137,7 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 		base := w * c
 		for size := 2; size <= c; size <<= 1 {
 			for stride := size / 2; stride >= 1; stride >>= 1 {
-				levelInCache(win, base, size, stride, less)
+				levelInCachePar(win, base, size, stride, less, nw)
 			}
 		}
 		storeWin(w)
@@ -160,17 +162,26 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 					return
 				}
 				work.ReadMany(pidx[:2*cnt], pbuf[:2*cnt*b])
-				for p := 0; p < cnt; p++ {
-					bufA := pbuf[2*p*b : (2*p+1)*b]
-					bufB := pbuf[(2*p+1)*b : (2*p+2)*b]
-					for t := 0; t < b; t++ {
-						i := pidx[2*p]*b + t
-						asc := i&size == 0
-						if asc == less(bufB[t], bufA[t]) {
-							bufA[t], bufB[t] = bufB[t], bufA[t]
+				// The pairs of one level are disjoint, so the in-cache
+				// compare-exchanges fan out across the worker pool; the
+				// vectored reads/writes around them are unchanged.
+				pw := nw
+				if cnt < 4 {
+					pw = 1
+				}
+				par.For(pw, cnt, func(plo, phi int) {
+					for p := plo; p < phi; p++ {
+						bufA := pbuf[2*p*b : (2*p+1)*b]
+						bufB := pbuf[(2*p+1)*b : (2*p+2)*b]
+						for t := 0; t < b; t++ {
+							i := pidx[2*p]*b + t
+							asc := i&size == 0
+							if asc == less(bufB[t], bufA[t]) {
+								bufA[t], bufB[t] = bufB[t], bufA[t]
+							}
 						}
 					}
-				}
+				})
 				work.WriteMany(pidx[:2*cnt], pbuf[:2*cnt*b])
 				cnt = 0
 			}
@@ -191,7 +202,7 @@ func Bitonic(env *extmem.Env, a extmem.Array, less Less) {
 			loadWin(w)
 			base := w * c
 			for stride := c / 2; stride >= 1; stride >>= 1 {
-				levelInCache(win, base, size, stride, less)
+				levelInCachePar(win, base, size, stride, less, nw)
 			}
 			storeWin(w)
 		}
@@ -225,6 +236,43 @@ func levelInCache(win []extmem.Element, base, size, stride int, less Less) {
 			win[li], win[li+stride] = win[li+stride], win[li]
 		}
 	}
+}
+
+// parMinElems is the private-buffer length below which element-wise
+// parallel helpers stay serial — the fan-out must earn its spawns. The
+// threshold compares public lengths only.
+const parMinElems = 2048
+
+// levelInCachePar is levelInCache fanned out across nw workers. A level's
+// compare-exchange pairs (li, li+stride) with li&stride == 0 live entirely
+// inside 2·stride-aligned groups, and the window base is always a multiple
+// of 2·stride (windows are c-aligned, stride < c), so splitting the window
+// at group boundaries gives workers disjoint element ranges. The network —
+// and therefore the result and the trace — is identical to the serial
+// level; only which goroutine executes each exchange changes.
+func levelInCachePar(win []extmem.Element, base, size, stride int, less Less, nw int) {
+	group := 2 * stride
+	ngroups := (len(win) + group - 1) / group
+	if nw <= 1 || len(win) < parMinElems || ngroups < 2 {
+		levelInCache(win, base, size, stride, less)
+		return
+	}
+	par.For(nw, ngroups, func(glo, ghi int) {
+		for g := glo; g < ghi; g++ {
+			lo := g * group
+			hi := min(lo+group, len(win))
+			for li := lo; li < hi; li++ {
+				i := base + li
+				if i&stride != 0 || li+stride >= len(win) {
+					continue
+				}
+				asc := i&size == 0
+				if asc == less(win[li+stride], win[li]) {
+					win[li], win[li+stride] = win[li+stride], win[li]
+				}
+			}
+		}
+	})
 }
 
 // BitonicPassCount predicts the number of full-array passes Bitonic makes

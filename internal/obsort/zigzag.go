@@ -60,7 +60,7 @@ func Zigzag(env *extmem.Env, a extmem.Array, less Less) {
 	for r := 0; r < k; r++ {
 		lo, l := r*cb, runLen(r)
 		a.ReadRange(lo, lo+l, buf[:l*b])
-		InCache(buf[:l*b], less)
+		InCachePar(env, buf[:l*b], less)
 		a.WriteRange(lo, lo+l, buf[:l*b])
 	}
 	env.Obs.End(sp0)
@@ -81,7 +81,7 @@ func Zigzag(env *extmem.Env, a extmem.Array, less Less) {
 			idx[li+t] = j*cb + t
 		}
 		a.ReadMany(idx[:li+lj], buf[:(li+lj)*b])
-		InCache(buf[:(li+lj)*b], less)
+		InCachePar(env, buf[:(li+lj)*b], less)
 		a.WriteMany(idx[:li+lj], buf[:(li+lj)*b])
 	})
 	env.Obs.End(spm)

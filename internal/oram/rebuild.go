@@ -6,6 +6,7 @@ import (
 
 	"oblivext/internal/extmem"
 	"oblivext/internal/obsort"
+	"oblivext/internal/par"
 )
 
 // rebuildOnSchedule flushes the full top buffer down the hierarchy using
@@ -160,15 +161,27 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 	rbuf := o.env.Cache.Buf(kc * b)
 	wbuf := o.env.Cache.Buf(kc * b)
 	wr := extmem.NewSeqWriterPipelined(work, 0, wbuf, o.env.Prefetch)
+	nw := o.env.WorkerCount()
 	for _, s := range sources {
 		for lo := 0; lo < s.Len(); lo += kc {
 			hi := min(lo+kc, s.Len())
 			wr.Join()
 			s.ReadRange(lo, hi, rbuf[:(hi-lo)*b])
+			// Convert the chunk's blocks to in-flight form in parallel
+			// (toFlight is pure per-block compute), then hand them to the
+			// pipelined writer serially so its flush order is unchanged.
+			pw := nw
+			if (hi-lo)*b < 2048 {
+				pw = 1
+			}
+			par.For(pw, hi-lo, func(plo, phi int) {
+				for i := plo; i < phi; i++ {
+					toFlight(rbuf[i*b : (i+1)*b])
+				}
+			})
 			for i := lo; i < hi; i++ {
 				blk := wr.Next()
 				copy(blk, rbuf[(i-lo)*b:(i-lo+1)*b])
-				toFlight(blk)
 			}
 		}
 	}
@@ -295,27 +308,38 @@ func (o *ORAM) rebuildInto(target int, sources []extmem.Array, withBuf bool) err
 	for lo := 0; lo < fill; lo += ki {
 		hi := min(lo+ki, fill)
 		work.ReadRange(lo, hi, ibuf[:(hi-lo)*b])
-		for i := lo; i < hi; i++ {
-			blk := ibuf[(i-lo)*b : (i-lo+1)*b]
-			if !blk[0].Occupied() {
+		// Serial invariant check first (deterministic panic point), then the
+		// per-block table-form conversion fans out — each block is rewritten
+		// independently from its own header.
+		for i := 0; i < hi-lo; i++ {
+			if !ibuf[i*b].Occupied() {
 				panic("oram: rebuild prefix not fully occupied")
 			}
-			if blk[0].Key&fillerBit != 0 {
-				for t := range blk {
-					blk[t] = extmem.Element{}
-				}
-			} else {
-				key := int(blk[0].Key & keyLowMask)
-				ts := int(blk[0].Pos >> 8)
-				for t := range blk {
-					blk[t].Key = 0
-					blk[t].Pos = 0
-					blk[t].Flags = extmem.FlagOccupied
-					blk[t].SetColor(key)
-					blk[t].SetCellDest(ts & 0x7fffffff)
+		}
+		pw := nw
+		if (hi-lo)*b < 2048 {
+			pw = 1
+		}
+		par.For(pw, hi-lo, func(plo, phi int) {
+			for i := plo; i < phi; i++ {
+				blk := ibuf[i*b : (i+1)*b]
+				if blk[0].Key&fillerBit != 0 {
+					for t := range blk {
+						blk[t] = extmem.Element{}
+					}
+				} else {
+					key := int(blk[0].Key & keyLowMask)
+					ts := int(blk[0].Pos >> 8)
+					for t := range blk {
+						blk[t].Key = 0
+						blk[t].Pos = 0
+						blk[t].Flags = extmem.FlagOccupied
+						blk[t].SetColor(key)
+						blk[t].SetCellDest(ts & 0x7fffffff)
+					}
 				}
 			}
-		}
+		})
 		tl.table.WriteRange(lo, hi, ibuf[:(hi-lo)*b])
 	}
 	o.env.Cache.Free(ibuf)

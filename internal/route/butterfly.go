@@ -9,7 +9,24 @@ import (
 	"fmt"
 
 	"oblivext/internal/extmem"
+	"oblivext/internal/par"
 )
+
+// parMinCells is the chunk length below which per-cell compute stays on
+// the calling goroutine — spawning workers costs more than processing a
+// handful of cells. It compares public chunk lengths only, so the fan-out
+// decision never depends on data.
+const parMinCells = 32
+
+// parFor fans fn out over [0, n) across w workers when the range is large
+// enough to amortize the spawns, inline otherwise. All I/O and all cache
+// accounting stay with the caller.
+func parFor(w, n int, fn func(lo, hi int)) {
+	if n < parMinCells {
+		w = 1
+	}
+	par.For(w, n, fn)
+}
 
 // This file implements Theorem 6: deterministic tight order-preserving
 // compaction through the butterfly-like routing network of Figure 1, and
@@ -72,29 +89,46 @@ func CompactBlocksTight(env *extmem.Env, a extmem.Array, pred BlockPred, levelsP
 	b := a.B()
 	k := env.ScanBatchN(1, n)
 	buf := env.Cache.Buf(k * b)
+	nw := env.WorkerCount()
 
-	// Labelling scan: occupied cell j gets dest = rank(j), origin = j.
+	// Labelling scan: occupied cell j gets dest = rank(j), origin = j. The
+	// pass splits into a parallel predicate pass, a serial rank prefix over
+	// the chunk (O(k), pure arithmetic), and a parallel stamping pass — the
+	// in-cache work fans out, the chunk I/O order is exactly the serial
+	// scan's.
 	rank := 0
+	occ := make([]bool, k)
+	rk := make([]int, k)
 	for lo := 0; lo < n; lo += k {
 		hi := min(lo+k, n)
-		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
-		for j := lo; j < hi; j++ {
-			blk := buf[(j-lo)*b : (j-lo+1)*b]
-			occ := pred(blk)
-			for t := range blk {
-				if occ {
-					blk[t].SetCellDest(rank)
-					blk[t].SetAux(j)
-				} else {
-					blk[t].SetCellDest(0)
-					blk[t].SetAux(0)
-				}
+		cnt := hi - lo
+		a.ReadRange(lo, hi, buf[:cnt*b])
+		parFor(nw, cnt, func(plo, phi int) {
+			for x := plo; x < phi; x++ {
+				occ[x] = pred(buf[x*b : (x+1)*b])
 			}
-			if occ {
+		})
+		for x := 0; x < cnt; x++ {
+			rk[x] = rank
+			if occ[x] {
 				rank++
 			}
 		}
-		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
+		parFor(nw, cnt, func(plo, phi int) {
+			for x := plo; x < phi; x++ {
+				blk := buf[x*b : (x+1)*b]
+				for t := range blk {
+					if occ[x] {
+						blk[t].SetCellDest(rk[x])
+						blk[t].SetAux(lo + x)
+					} else {
+						blk[t].SetCellDest(0)
+						blk[t].SetAux(0)
+					}
+				}
+			}
+		})
+		a.WriteRange(lo, hi, buf[:cnt*b])
 	}
 	env.Cache.Free(buf)
 
@@ -119,30 +153,46 @@ func ExpandBlocks(env *extmem.Env, a extmem.Array, pred BlockPred, levelsPerPass
 	b := a.B()
 	k := env.ScanBatchN(1, n)
 	buf := env.Cache.Buf(k * b)
+	nw := env.WorkerCount()
 	// Copy each occupied cell's Aux (target) into CellDest, validating
-	// monotonicity as we go.
+	// monotonicity as we go: a parallel predicate/target pass, the serial
+	// O(k) monotonicity check, then a parallel stamping pass.
 	prev := -1
+	occ := make([]bool, k)
+	dest := make([]int, k)
 	for lo := 0; lo < n; lo += k {
 		hi := min(lo+k, n)
-		a.ReadRange(lo, hi, buf[:(hi-lo)*b])
-		for j := lo; j < hi; j++ {
-			blk := buf[(j-lo)*b : (j-lo+1)*b]
-			if pred(blk) {
-				dest := blk[0].Aux()
-				if dest < j || dest <= prev {
-					panic(fmt.Sprintf("route: expansion targets not strictly increasing at cell %d (dest %d, prev %d)", j, dest, prev))
+		cnt := hi - lo
+		a.ReadRange(lo, hi, buf[:cnt*b])
+		parFor(nw, cnt, func(plo, phi int) {
+			for x := plo; x < phi; x++ {
+				blk := buf[x*b : (x+1)*b]
+				occ[x] = pred(blk)
+				dest[x] = blk[0].Aux()
+			}
+		})
+		for x := 0; x < cnt; x++ {
+			if !occ[x] {
+				continue
+			}
+			if dest[x] < lo+x || dest[x] <= prev {
+				panic(fmt.Sprintf("route: expansion targets not strictly increasing at cell %d (dest %d, prev %d)", lo+x, dest[x], prev))
+			}
+			prev = dest[x]
+		}
+		parFor(nw, cnt, func(plo, phi int) {
+			for x := plo; x < phi; x++ {
+				blk := buf[x*b : (x+1)*b]
+				d := 0
+				if occ[x] {
+					d = dest[x]
 				}
-				prev = dest
 				for t := range blk {
-					blk[t].SetCellDest(dest)
-				}
-			} else {
-				for t := range blk {
-					blk[t].SetCellDest(0)
+					blk[t].SetCellDest(d)
 				}
 			}
-		}
-		a.WriteRange(lo, hi, buf[:(hi-lo)*b])
+		})
+		a.WriteRange(lo, hi, buf[:cnt*b])
 	}
 	env.Cache.Free(buf)
 
@@ -212,6 +262,11 @@ func routeGroupLeft(env *extmem.Env, a extmem.Array, pred BlockPred, i0, gg int)
 	cb := min(w, env.ScanBatch(1))
 	io := env.Cache.Buf(cb * b)
 	idx := make([]int, cb)
+	nw := env.WorkerCount()
+	// Per-cell stash slots are computed in parallel, the Lemma 5 collision
+	// check runs serially over the O(cb) slot list (deterministic panic),
+	// and the block copies into distinct slots fan back out.
+	slotOf := make([]int, cb)
 
 	for c := 0; c < s && c < n; c++ {
 		lv := (n - c + s - 1) / s // virtual length of this residue class
@@ -223,25 +278,39 @@ func routeGroupLeft(env *extmem.Env, a extmem.Array, pred BlockPred, i0, gg int)
 					idx[t] = c + (loaded+t)*s
 				}
 				a.ReadMany(idx[:cnt], io[:cnt*b])
+				parFor(nw, cnt, func(plo, phi int) {
+					for t := plo; t < phi; t++ {
+						blk := io[t*b : (t+1)*b]
+						slotOf[t] = -1
+						if !pred(blk) {
+							continue
+						}
+						j := idx[t]
+						dist := j - blk[0].CellDest()
+						if dist < 0 || dist%s != 0 {
+							panic("route: butterfly invariant violated (distance not multiple of stride)")
+						}
+						move := dist % modulus / s
+						fin := loaded + t - move
+						slotOf[t] = ((fin % (2 * w)) + 2*w) % (2 * w)
+					}
+				})
 				for t := 0; t < cnt; t++ {
-					blk := io[t*b : (t+1)*b]
-					if !pred(blk) {
+					if slotOf[t] < 0 {
 						continue
 					}
-					j := idx[t]
-					dist := j - blk[0].CellDest()
-					if dist < 0 || dist%s != 0 {
-						panic("route: butterfly invariant violated (distance not multiple of stride)")
-					}
-					move := dist % modulus / s
-					fin := loaded + t - move
-					slot := ((fin % (2 * w)) + 2*w) % (2 * w)
-					if live[slot] {
+					if live[slotOf[t]] {
 						panic("route: butterfly collision (Lemma 5 violated)")
 					}
-					live[slot] = true
-					copy(stash[slot*b:(slot+1)*b], blk)
+					live[slotOf[t]] = true
 				}
+				parFor(nw, cnt, func(plo, phi int) {
+					for t := plo; t < phi; t++ {
+						if slotOf[t] >= 0 {
+							copy(stash[slotOf[t]*b:(slotOf[t]+1)*b], io[t*b:(t+1)*b])
+						}
+					}
+				})
 				loaded += cnt
 			}
 		}
@@ -257,19 +326,24 @@ func routeGroupLeft(env *extmem.Env, a extmem.Array, pred BlockPred, i0, gg int)
 			}
 			for lo := t * w; lo < outHi; lo += cb {
 				chi := min(lo+cb, outHi)
-				for out := lo; out < chi; out++ {
-					slot := out % (2 * w)
-					dst := io[(out-lo)*b : (out-lo+1)*b]
-					if live[slot] {
-						copy(dst, stash[slot*b:(slot+1)*b])
-						live[slot] = false
-					} else {
-						for i := range dst {
-							dst[i] = extmem.Element{}
+				// Output cells in [lo, chi) span less than 2w virtual
+				// positions, so their slots are pairwise distinct — each
+				// worker touches its own stash slots and live entries.
+				parFor(nw, chi-lo, func(plo, phi int) {
+					for out := lo + plo; out < lo+phi; out++ {
+						slot := out % (2 * w)
+						dst := io[(out-lo)*b : (out-lo+1)*b]
+						if live[slot] {
+							copy(dst, stash[slot*b:(slot+1)*b])
+							live[slot] = false
+						} else {
+							for i := range dst {
+								dst[i] = extmem.Element{}
+							}
 						}
+						idx[out-lo] = c + out*s
 					}
-					idx[out-lo] = c + out*s
-				}
+				})
 				a.WriteMany(idx[:chi-lo], io[:(chi-lo)*b])
 			}
 		}
@@ -318,6 +392,8 @@ func routeGroupRight(env *extmem.Env, a extmem.Array, pred BlockPred, i0, gg int
 	cb := min(w, env.ScanBatch(1))
 	io := env.Cache.Buf(cb * b)
 	idx := make([]int, cb)
+	nw := env.WorkerCount()
+	slotOf := make([]int, cb)
 
 	for c := 0; c < s && c < n; c++ {
 		lv := (n - c + s - 1) / s
@@ -330,33 +406,47 @@ func routeGroupRight(env *extmem.Env, a extmem.Array, pred BlockPred, i0, gg int
 					idx[t] = c + (loaded-1-t)*s // descending virtual order
 				}
 				a.ReadMany(idx[:cnt], io[:cnt*b])
+				parFor(nw, cnt, func(plo, phi int) {
+					for t := plo; t < phi; t++ {
+						blk := io[t*b : (t+1)*b]
+						slotOf[t] = -1
+						if !pred(blk) {
+							continue
+						}
+						v := loaded - 1 - t
+						j := idx[t]
+						// Groups run in descending stride order, so the bits below
+						// this group's stride are consumed later: the invariant is
+						// that all bits at or above the group have been handled,
+						// i.e. the remaining distance fits inside the modulus.
+						dist := blk[0].CellDest() - j
+						if dist < 0 || dist >= modulus {
+							panic("route: expansion invariant violated")
+						}
+						move := dist / s
+						fin := v + move
+						if fin >= lv {
+							panic("route: expansion routed past array end")
+						}
+						slotOf[t] = fin % (2 * w)
+					}
+				})
 				for t := 0; t < cnt; t++ {
-					blk := io[t*b : (t+1)*b]
-					if !pred(blk) {
+					if slotOf[t] < 0 {
 						continue
 					}
-					v := loaded - 1 - t
-					j := idx[t]
-					// Groups run in descending stride order, so the bits below
-					// this group's stride are consumed later: the invariant is
-					// that all bits at or above the group have been handled,
-					// i.e. the remaining distance fits inside the modulus.
-					dist := blk[0].CellDest() - j
-					if dist < 0 || dist >= modulus {
-						panic("route: expansion invariant violated")
-					}
-					move := dist / s
-					fin := v + move
-					if fin >= lv {
-						panic("route: expansion routed past array end")
-					}
-					slot := fin % (2 * w)
-					if live[slot] {
+					if live[slotOf[t]] {
 						panic("route: expansion collision")
 					}
-					live[slot] = true
-					copy(stash[slot*b:(slot+1)*b], blk)
+					live[slotOf[t]] = true
 				}
+				parFor(nw, cnt, func(plo, phi int) {
+					for t := plo; t < phi; t++ {
+						if slotOf[t] >= 0 {
+							copy(stash[slotOf[t]*b:(slotOf[t]+1)*b], io[t*b:(t+1)*b])
+						}
+					}
+				})
 				loaded -= cnt
 			}
 		}
@@ -375,20 +465,24 @@ func routeGroupRight(env *extmem.Env, a extmem.Array, pred BlockPred, i0, gg int
 				if clo < t*w {
 					clo = t * w
 				}
-				for out := chi - 1; out >= clo; out-- {
-					p := chi - 1 - out // descending virtual order
-					slot := out % (2 * w)
-					dst := io[p*b : (p+1)*b]
-					if live[slot] {
-						copy(dst, stash[slot*b:(slot+1)*b])
-						live[slot] = false
-					} else {
-						for i := range dst {
-							dst[i] = extmem.Element{}
+				// The out positions in [clo, chi) span less than 2w virtual
+				// cells, so their slots are pairwise distinct across workers.
+				parFor(nw, chi-clo, func(plo, phi int) {
+					for p := plo; p < phi; p++ {
+						out := chi - 1 - p // descending virtual order
+						slot := out % (2 * w)
+						dst := io[p*b : (p+1)*b]
+						if live[slot] {
+							copy(dst, stash[slot*b:(slot+1)*b])
+							live[slot] = false
+						} else {
+							for i := range dst {
+								dst[i] = extmem.Element{}
+							}
 						}
+						idx[p] = c + out*s
 					}
-					idx[p] = c + out*s
-				}
+				})
 				a.WriteMany(idx[:chi-clo], io[:(chi-clo)*b])
 			}
 		}

@@ -41,22 +41,37 @@ func Consolidate(env *extmem.Env, a extmem.Array, keep func(extmem.Element) bool
 	wr := extmem.NewSeqWriter(out, 0, wbuf)
 	pending := 0
 	var kept int64
+	nw := env.WorkerCount()
+	kcnt := make([]int, k)
 
 	// The scan keeps the scalar lag structure — output block i-1 is decided
 	// only after input block i has been absorbed — but moves up to k blocks
 	// per round trip in each direction. The still-exact total is n reads
-	// and n writes (Lemma 3).
+	// and n writes (Lemma 3). Per chunk, the keep predicate and the
+	// intra-block gather run in parallel (each block's kept elements are
+	// compacted, stably, to its front in the private buffer); the serial
+	// lag loop then absorbs the pre-gathered runs.
 	for lo := 0; lo < n; lo += k {
 		hi := min(lo+k, n)
 		a.ReadRange(lo, hi, in[:(hi-lo)*b])
-		for i := lo; i < hi; i++ {
-			for _, e := range in[(i-lo)*b : (i-lo+1)*b] {
-				if keep(e) {
-					hold[pending] = e
-					pending++
-					kept++
+		parFor(nw, hi-lo, func(plo, phi int) {
+			for x := plo; x < phi; x++ {
+				blk := in[x*b : (x+1)*b]
+				w := 0
+				for t := range blk {
+					if keep(blk[t]) {
+						blk[w] = blk[t]
+						w++
+					}
 				}
+				kcnt[x] = w
 			}
+		})
+		for i := lo; i < hi; i++ {
+			x := i - lo
+			copy(hold[pending:pending+kcnt[x]], in[x*b:x*b+kcnt[x]])
+			pending += kcnt[x]
+			kept += int64(kcnt[x])
 			if i == 0 {
 				continue
 			}

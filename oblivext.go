@@ -109,6 +109,17 @@ type Config struct {
 	// in-memory. With EncryptionKey set the shard files hold ciphertext
 	// only (blocks are sealed above the fan-out).
 	ShardPaths []string
+	// Workers sizes the pool of goroutines used for Alice-side in-cache
+	// compute: the private phases between store round trips (bitonic
+	// compare-exchange levels, butterfly routing, colorize/stamp passes,
+	// bucket binning, in-cache sorts) and the sealing/opening of blocks when
+	// EncryptionKey is set. 0 or 1 runs everything serially; N > 1 fans the
+	// compute out over N goroutines. The partitioning is a pure function of
+	// public geometry (lengths, B, M, N) — never of element values — and all
+	// store I/O stays on the calling goroutine in unchanged order, so the
+	// per-block trace Bob observes is bit-identical for every Workers
+	// setting; see docs/ARCHITECTURE.md, "Parallel compute".
+	Workers int
 	// Prefetch double-buffers the pass-structured I/O: read scans fetch
 	// the next half-window while the client computes over the current one,
 	// and write-heavy passes (the sort pipeline's deal step, the ORAM
@@ -201,6 +212,9 @@ func New(cfg Config) (*Client, error) {
 	}
 	if cfg.NumShards < 0 {
 		return nil, fmt.Errorf("oblivext: NumShards must be >= 0, got %d", cfg.NumShards)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("oblivext: Workers must be >= 0, got %d", cfg.Workers)
 	}
 	if len(cfg.ShardPaths) > 0 && len(cfg.ShardPaths) != cfg.NumShards {
 		return nil, fmt.Errorf("oblivext: got %d ShardPaths for %d shards", len(cfg.ShardPaths), cfg.NumShards)
@@ -368,10 +382,12 @@ func New(cfg Config) (*Client, error) {
 			store.Close()
 			return nil, err
 		}
+		cs.SetWorkers(cfg.Workers)
 		c.crypt = cs
 		store = cs
 	}
 	env := extmem.NewEnvOn(store, cfg.CacheWords, cfg.Seed)
+	env.Workers = cfg.Workers
 	env.D.SetMaxBatch(cfg.MaxBatchBlocks)
 	// A network backend bounds how many blocks one request may carry; cap
 	// the Disk's vectored batches to the tightest wire limit so a batch can
