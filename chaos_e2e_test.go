@@ -1,0 +1,276 @@
+package oblivext
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"oblivext/internal/chaos"
+	"oblivext/internal/extmem/netstore"
+	"oblivext/internal/obs"
+	"oblivext/internal/trace"
+)
+
+// replicaFleet spins up shards x replicas real obstore servers and returns
+// them with their URLs and hosts, flat in shard-major order (entry
+// i*replicas+j is replica j of shard i).
+func replicaFleet(t *testing.T, shards, replicas, blocks, b int) (servers []*netstore.Server, urls, hosts []string) {
+	t.Helper()
+	for i := 0; i < shards*replicas; i++ {
+		srv, ts := obstore(t, blocks, b)
+		servers = append(servers, srv)
+		urls = append(urls, ts.URL)
+		hosts = append(hosts, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	return servers, urls, hosts
+}
+
+// chaosRun is everything one fleet run produces for the replay assertions.
+type chaosRun struct {
+	client    TraceSummary    // Alice's logical (Disk-layer) trace of the probes
+	journals  []trace.Summary // every surviving server's own journal of the probes
+	events    []string        // the replica layer's failover/breaker decision log
+	decisions []string        // the chaos injector's fault log
+}
+
+// chaosSortRun drives the acceptance workload over a 2-shard x 2-replica
+// fleet of real obstore servers: upload recs, then — when kill is true — arm
+// a permanent Kill on replica 0 of shard 0 that strikes a few interactions
+// into the Sort, mid-flight. The sort must complete and verify; the run's
+// traces, journals, and decision logs come back for comparison. When the
+// auditor hooks are non-nil they are invoked around the workload.
+func chaosSortRun(t *testing.T, recs []Record, kill bool, audit func(c *Client), done func(c *Client)) chaosRun {
+	t.Helper()
+	const shards, replicas = 2, 2
+	servers, urls, hosts := replicaFleet(t, shards, replicas, 4096, 8)
+	tr := chaos.NewTransport(nil, nil)
+	c, err := New(Config{
+		BlockSize: 8, CacheWords: 512, Seed: 77,
+		NumShards: shards, Replicas: replicas, ReplicaURLs: urls,
+		HTTPTransport: tr,
+		NetRetries:    -1, // failures fail over, they don't retry: keeps replays fast and exact
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if audit != nil {
+		audit(c)
+	}
+	arr, err := c.Store(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fingerprint the probes alone, as the network suite does.
+	c.EnableTrace(0)
+	for _, srv := range servers {
+		srv.ResetTrace()
+	}
+	if kill {
+		// The victim's upload traffic fixes the arming point; +8 lands the
+		// crash a few batches into the sort, mid-flight. Interaction counts
+		// are input-independent, so the same schedule arms at the same point
+		// in every run — that is what makes the replays comparable.
+		tr.AddEvent(chaos.Event{Target: hosts[0], At: tr.Interactions(hosts[0]) + 8, Kind: chaos.Kill})
+	}
+	if err := arr.Sort(); err != nil {
+		t.Fatalf("sort through the kill: %v", err)
+	}
+	got, err := arr.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d records back, want %d", len(got), len(recs))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key > got[i].Key {
+			t.Fatalf("not sorted at %d after replica kill", i)
+		}
+	}
+	if done != nil {
+		done(c)
+	}
+
+	// The injector logs ephemeral host:port targets; rewrite them to stable
+	// shard/replica labels so logs from distinct fleets compare.
+	decisions := tr.Decisions()
+	for i, d := range decisions {
+		for idx, h := range hosts {
+			d = strings.ReplaceAll(d, h, fmt.Sprintf("s%dr%d", idx/replicas, idx%replicas))
+		}
+		decisions[i] = d
+	}
+	run := chaosRun{client: c.TraceSummary(), events: c.ReplicaEvents(), decisions: decisions}
+	survivors := servers
+	if kill {
+		survivors = servers[1:]
+		// Sanity: the kill actually bit, and the client survived it by
+		// failing over, not by retrying into the void.
+		if len(run.decisions) == 0 {
+			t.Fatal("kill armed but the injector never fired")
+		}
+		st := c.ReplicaStats()
+		if st[0][0].Failures == 0 || st[0][0].Failovers == 0 {
+			t.Fatalf("dead replica shows no failures/failovers: %+v", st[0][0])
+		}
+		if st[0][0].Dirty == 0 {
+			t.Fatalf("dead replica missed writes but nothing is marked dirty: %+v", st[0][0])
+		}
+	}
+	for _, srv := range survivors {
+		run.journals = append(run.journals, srv.TraceSummary())
+	}
+	return run
+}
+
+// TestChaosKillMidSortObliviousness is the headline robustness acceptance
+// test: one replica of one shard crashes permanently mid-Sort (N = 2^12)
+// over a fleet of real obstore servers, and
+//
+//   - the sort still completes and verifies;
+//   - every surviving Bob's journal is bit-identical across distinct
+//     same-size inputs — the crash did not widen the channel;
+//   - Alice's logical trace is unchanged by the fault (equal to the
+//     fault-free run's), so the live auditor enforces the fault-free golden
+//     fingerprints over the chaos run with zero violations;
+//   - the same schedule replayed drives byte-identical traces, journals,
+//     failover decisions, and injector logs — the whole response to failure
+//     is a deterministic function of the fault events and public geometry.
+func TestChaosKillMidSortObliviousness(t *testing.T) {
+	const n = 1 << 12
+	varied := mkRecords(n, 1)
+	constant := make([]Record, n)
+	for i := range constant {
+		constant[i] = Record{Key: 5, Val: uint64(i)}
+	}
+
+	// Fault-free run: learn the golden audit fingerprints.
+	var golden bytes.Buffer
+	var learner *obs.Auditor
+	clean := chaosSortRun(t, varied, false,
+		func(c *Client) { learner = c.EnableAudit(true) },
+		func(c *Client) {
+			if _, _, violated := learner.Stats(); violated != 0 {
+				t.Fatalf("fault-free learn run recorded %d violations", violated)
+			}
+			if err := learner.SaveJSON(&golden); err != nil {
+				t.Fatal(err)
+			}
+		})
+
+	// Chaos run over the varied input, enforcing the fault-free golden.
+	var enforcer *obs.Auditor
+	chaosA := chaosSortRun(t, varied, true,
+		func(c *Client) {
+			enforcer = c.EnableAudit(false)
+			if err := enforcer.LoadJSON(bytes.NewReader(golden.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+		},
+		func(c *Client) {
+			observed, matched, violated := enforcer.Stats()
+			if violated != 0 {
+				t.Fatalf("auditor flagged %d violations during chaos: %v", violated, enforcer.Violations())
+			}
+			if observed == 0 || matched != observed {
+				t.Fatalf("chaos run: %d spans observed, %d matched golden", observed, matched)
+			}
+		})
+
+	// The fault changed nothing Alice's trace shows: failover lives strictly
+	// below the Disk layer.
+	if chaosA.client != clean.client {
+		t.Fatalf("client trace depends on faults: %+v vs fault-free %+v", chaosA.client, clean.client)
+	}
+
+	// Chaos run over the constant input: every surviving Bob's journal must
+	// be bit-identical to the varied run's.
+	chaosB := chaosSortRun(t, constant, true, nil, nil)
+	if chaosB.client != chaosA.client {
+		t.Fatalf("client trace depends on data under chaos: %+v vs %+v", chaosB.client, chaosA.client)
+	}
+	if len(chaosA.journals) != len(chaosB.journals) {
+		t.Fatalf("survivor counts differ: %d vs %d", len(chaosA.journals), len(chaosB.journals))
+	}
+	for i := range chaosA.journals {
+		if !chaosA.journals[i].Equal(chaosB.journals[i]) {
+			t.Fatalf("survivor %d journal depends on data under chaos: %+v vs %+v",
+				i, chaosA.journals[i], chaosB.journals[i])
+		}
+		if chaosA.journals[i].Len == 0 {
+			t.Fatalf("survivor %d journal is empty — the workload never reached it", i)
+		}
+	}
+	// Failover decisions are a function of fault events + geometry, not data.
+	if !reflect.DeepEqual(chaosA.events, chaosB.events) {
+		t.Fatalf("failover decisions depend on data:\nvaried:   %v\nconstant: %v", chaosA.events, chaosB.events)
+	}
+	if !reflect.DeepEqual(chaosA.decisions, chaosB.decisions) {
+		t.Fatalf("injected faults depend on data:\nvaried:   %v\nconstant: %v", chaosA.decisions, chaosB.decisions)
+	}
+	if len(chaosA.events) == 0 {
+		t.Fatal("kill produced no failover decisions — the determinism claims are vacuous")
+	}
+
+	// Replay: the same schedule over the same input reproduces everything.
+	replay := chaosSortRun(t, varied, true, nil, nil)
+	if replay.client != chaosA.client {
+		t.Fatalf("replay client trace diverged: %+v vs %+v", replay.client, chaosA.client)
+	}
+	for i := range chaosA.journals {
+		if !replay.journals[i].Equal(chaosA.journals[i]) {
+			t.Fatalf("replay survivor %d journal diverged", i)
+		}
+	}
+	if !reflect.DeepEqual(replay.events, chaosA.events) {
+		t.Fatalf("replay failover decisions diverged:\nrun:    %v\nreplay: %v", chaosA.events, replay.events)
+	}
+	if !reflect.DeepEqual(replay.decisions, chaosA.decisions) {
+		t.Fatalf("replay injector log diverged:\nrun:    %v\nreplay: %v", chaosA.decisions, replay.decisions)
+	}
+}
+
+// TestChaosTransientFaultsRetryNotFailover pins the other absorption path:
+// a brief window of 503s on one replica is soaked up by the netstore
+// client's retry loop (the server said "come back", so the client does),
+// with no breaker trip and no failover — the replica layer never even sees
+// a failure.
+func TestChaosTransientFaultsRetryNotFailover(t *testing.T) {
+	const shards, replicas = 1, 2
+	_, urls, hosts := replicaFleet(t, shards, replicas, 1024, 8)
+	tr := chaos.NewTransport(nil, nil)
+	c, err := New(Config{
+		BlockSize: 8, CacheWords: 256, Seed: 5,
+		Replicas: replicas, ReplicaURLs: urls,
+		HTTPTransport: tr,
+		NetRetries:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	arr, err := c.Store(mkRecords(600, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AddEvent(chaos.Event{Target: hosts[0], At: tr.Interactions(hosts[0]) + 4, For: 2, Kind: chaos.Err503})
+	if err := arr.Sort(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Decisions()) == 0 {
+		t.Fatal("the 503 window never fired")
+	}
+	st := c.ReplicaStats()
+	if st[0][0].Failures != 0 || st[0][0].Failovers != 0 {
+		t.Fatalf("transient 503s escalated to the replica layer: %+v", st[0][0])
+	}
+	if ns := c.MeasuredNetworkStats(); len(ns) == 0 || ns[0].Retries == 0 {
+		t.Fatalf("the retry loop never engaged: %+v", ns)
+	}
+	if ev := c.ReplicaEvents(); len(ev) != 0 {
+		t.Fatalf("replica decision log should be empty, got %v", ev)
+	}
+}

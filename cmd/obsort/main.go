@@ -47,6 +47,9 @@ func main() {
 	workers := flag.Int("workers", 1, "goroutines for Alice-side in-cache compute and sealing (0 or 1 = serial); the access trace is identical for every setting")
 	url := flag.String("url", "", "back the store with a remote obstore server at this base URL")
 	urls := flag.String("urls", "", "comma-separated obstore base URLs, one per shard (implies -shards)")
+	replicas := flag.Int("replicas", 1, "replicate every shard across this many backends: writes fan out to all live replicas, reads fail over on error")
+	replicaURLs := flag.String("replica-urls", "", "comma-separated obstore base URLs in shard-major order (shards x replicas entries; an empty entry is an in-memory replica); requires -replicas > 1")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge slow reads: launch a second replica's read after this delay (P95-adaptive once warmed up) and take the first response; requires -replicas > 1")
 	netTimeout := flag.Duration("net-timeout", 0, "per-request timeout against a network backend (0 = default 10s)")
 	netRetries := flag.Int("net-retries", 0, "replays of a failed network request before giving up (0 = default 3, -1 = fail fast)")
 	authToken := flag.String("auth-token", "", "bearer token presented to network backends (must match obstore -auth-token)")
@@ -64,6 +67,7 @@ func main() {
 	cfg := oblivext.Config{BlockSize: *b, CacheWords: *m, Seed: *seed, Path: *file, Sorter: *sorter,
 		NumShards: *shards, SimulatedRTT: *rtt, SimulatedPerBlock: *perblock, Prefetch: *prefetch, Workers: *workers,
 		URL: *url, NetTimeout: *netTimeout, NetRetries: *netRetries,
+		Replicas: *replicas, HedgeAfter: *hedgeAfter,
 		AuthToken: *authToken, TLSRootCA: *tlsCA, TLSInsecureSkipVerify: *tlsSkipVerify}
 	if *urls != "" && *file != "" {
 		fatal(fmt.Errorf("-urls and -file are mutually exclusive: shards are either remote servers or local files"))
@@ -86,6 +90,13 @@ func main() {
 		cfg.Path = ""
 		for i := 0; i < *shards; i++ {
 			cfg.ShardPaths = append(cfg.ShardPaths, fmt.Sprintf("%s.%d", *file, i))
+		}
+	}
+	if *replicaURLs != "" {
+		// Shard-major, empty entries allowed: "" means an in-memory replica,
+		// which is how a mixed durable/fast fleet is spelled.
+		for _, u := range strings.Split(*replicaURLs, ",") {
+			cfg.ReplicaURLs = append(cfg.ReplicaURLs, strings.TrimSpace(u))
 		}
 	}
 	if *encrypt {
@@ -187,6 +198,18 @@ func main() {
 			fmt.Printf(" [%d] %d blocks", i, s.BlocksMoved)
 		}
 		fmt.Println()
+	}
+	if client.NumReplicas() > 1 {
+		fmt.Printf("replicas: %d per shard —\n", client.NumReplicas())
+		for sh, group := range client.ReplicaStats() {
+			for r, s := range group {
+				fmt.Printf("  shard[%d] replica[%d] (%s): %d blocks, %d failures, %d failovers, %d hedges (%d won), %d repairs, %d dirty\n",
+					sh, r, s.State, s.BlocksMoved, s.Failures, s.Failovers, s.Hedges, s.HedgeWins, s.Repairs, s.Dirty)
+			}
+		}
+		if ev := client.ReplicaEvents(); len(ev) > 0 {
+			fmt.Printf("  %d failover/breaker decisions (first: %s)\n", len(ev), ev[0])
+		}
 	}
 	if *rtt > 0 || *perblock > 0 {
 		if client.NumShards() > 1 {

@@ -26,10 +26,18 @@
 // (geometry), POST /v1/grow, GET /v1/trace (journal fingerprint:
 // length + FNV-1a hash + request/replay counts), POST /v1/trace/reset,
 // GET /metrics (Prometheus text: request/block/byte counters, latency
-// histogram, replay and auth-failure counts, journal length), and
-// GET /healthz (liveness, unauthenticated). With -pprof ADDR a second
-// listener serves net/http/pprof under the same TLS certificate and bearer
-// token as the data endpoints.
+// histogram, replay and auth-failure counts, journal length),
+// GET /healthz (liveness, unauthenticated), and GET /readyz (readiness,
+// unauthenticated: 503 while draining or after a journal write failure).
+// With -pprof ADDR a second listener serves net/http/pprof under the same
+// TLS certificate and bearer token as the data endpoints.
+//
+// With -drain D, SIGTERM starts a graceful drain: for D the server keeps
+// running but answers data-plane requests with 503 plus a Retry-After hint
+// of D, and /readyz reports not-ready. A well-behaved client waits the hint
+// and replays — the restart is absorbed by the retry path, with no failover
+// and no error surfacing — while an orchestrator watching /readyz routes
+// new work elsewhere. Only after D does the listener close.
 package main
 
 import (
@@ -62,6 +70,7 @@ func main() {
 	tlsKey := flag.String("tls-key", "", "PEM private key for -tls-cert")
 	authToken := flag.String("auth-token", "", "require this bearer token on every request (Authorization: Bearer <token>)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra listener, behind the same TLS and bearer auth as the data endpoints (default: off)")
+	drain := flag.Duration("drain", 0, "on SIGTERM, refuse data-plane requests with 503 + Retry-After for this long before closing the listener, so clients absorb the restart by retrying (default: shut down immediately)")
 	flag.Parse()
 
 	if (*tlsCert == "") != (*tlsKey == "") {
@@ -137,6 +146,15 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
+		if *drain > 0 {
+			// Graceful phase: stay up, bounce new data-plane work with 503 +
+			// Retry-After so in-flight clients replay after the restart
+			// instead of failing over, and flip /readyz so orchestrators
+			// stop routing here. The listener closes only after the window.
+			srv.BeginDrain(*drain)
+			log.Printf("obstore: draining for %v (data plane 503s with Retry-After, /readyz not ready)", *drain)
+			time.Sleep(*drain)
+		}
 		// Drain generously: request bodies are unbounded by design (large
 		// batches over slow links), and closing the journal/store under a
 		// still-running handler would corrupt the very audit record the

@@ -1,6 +1,7 @@
 package extmem
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -128,6 +129,20 @@ func (s *LatencyStore) ReadBlocks(addrs []int, dst []Element) error {
 func (s *LatencyStore) WriteBlocks(addrs []int, src []Element) error {
 	s.charge(len(addrs))
 	return s.inner.WriteBlocks(addrs, src)
+}
+
+// ReadBlocksCtx implements CtxStore: the charge is taken up front (the
+// interaction was issued), then the read is forwarded with ctx when the
+// inner store supports cancellation.
+func (s *LatencyStore) ReadBlocksCtx(ctx context.Context, addrs []int, dst []Element) error {
+	s.charge(len(addrs))
+	return ReadBlocksCtx(ctx, s.inner, addrs, dst)
+}
+
+// WriteBlocksCtx implements CtxStore, the write dual of ReadBlocksCtx.
+func (s *LatencyStore) WriteBlocksCtx(ctx context.Context, addrs []int, src []Element) error {
+	s.charge(len(addrs))
+	return WriteBlocksCtx(ctx, s.inner, addrs, src)
 }
 
 // NumBlocks implements BlockStore.

@@ -9,7 +9,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -26,8 +28,13 @@ type Options struct {
 	// (default 4: the first attempt plus three retries). Must be >= 1 when
 	// set; 0 selects the default.
 	MaxAttempts int
-	// Backoff is the delay before the first retry, doubling per further
-	// retry and capped at one second (default 10ms).
+	// Backoff caps the delay before the first retry (default 10ms). The cap
+	// doubles per further retry up to one second, and every actual delay is
+	// drawn uniformly from (0, cap] — full jitter. Without the jitter, the
+	// clients of a K-shard fan-out that all hit the same transient fault
+	// back off in lockstep and re-arrive as a synchronized retry storm; the
+	// spread de-correlates them. A server-supplied Retry-After (e.g. a 503
+	// during graceful drain) overrides the jittered delay for that retry.
 	Backoff time.Duration
 	// MaxIdleConnsPerHost sizes the keep-alive pool of the client's default
 	// transport (0 selects 4). A batched ORAM access is a drumbeat of
@@ -60,6 +67,7 @@ const (
 	defaultMaxAttempts    = 4
 	defaultBackoff        = 10 * time.Millisecond
 	maxBackoff            = time.Second
+	maxRetryAfter         = 10 * time.Second // cap on a server-supplied Retry-After
 	defaultMaxIdlePerHost = 4
 )
 
@@ -127,6 +135,12 @@ type Client struct {
 	backoff     time.Duration
 	authToken   string
 
+	// sleep and jitter are injectable for the fake-clock backoff tests:
+	// sleep waits for d or until ctx is canceled, jitter draws uniformly
+	// from [0, 1) to spread the backoff delay (full jitter).
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func() float64
+
 	mu    sync.Mutex
 	n     int // capacity in blocks; grows via GrowTo
 	seq   uint64
@@ -163,6 +177,8 @@ func Dial(baseURL string, opts Options) (*Client, error) {
 		maxAttempts: opts.MaxAttempts,
 		backoff:     opts.Backoff,
 		authToken:   opts.AuthToken,
+		sleep:       sleepCtx,
+		jitter:      rand.Float64,
 	}
 	// Request ids start at a random point so that successive client
 	// processes against one long-lived server cannot collide inside its
@@ -200,10 +216,18 @@ func (c *Client) WriteBlock(addr int, src []extmem.Element) error {
 // so the Disk's one-RoundTrip-per-vectored-call accounting matches what the
 // wire actually carries.
 func (c *Client) ReadBlocks(addrs []int, dst []extmem.Element) error {
+	return c.ReadBlocksCtx(context.Background(), addrs, dst)
+}
+
+// ReadBlocksCtx implements extmem.CtxStore: ReadBlocks bound to ctx. A
+// canceled context abandons the in-flight attempt and stops retrying — the
+// sharded fan-out cancels doomed siblings through this, and the replica
+// layer reaps the losing leg of a hedged read.
+func (c *Client) ReadBlocksCtx(ctx context.Context, addrs []int, dst []extmem.Element) error {
 	if len(dst) != len(addrs)*c.b {
 		return fmt.Errorf("netstore: buffer length %d != %d blocks of %d elements", len(dst), len(addrs), c.b)
 	}
-	resp, err := c.doIO(opRead, addrs, 0, nil, len(addrs)*c.blockBytes)
+	resp, err := c.doIO(ctx, opRead, addrs, 0, nil, len(addrs)*c.blockBytes)
 	if err != nil {
 		return err
 	}
@@ -214,10 +238,15 @@ func (c *Client) ReadBlocks(addrs []int, dst []extmem.Element) error {
 // WriteBlocks implements BlockStore: one request per batch, like ReadBlocks.
 // The elements are encoded straight into the request body.
 func (c *Client) WriteBlocks(addrs []int, src []extmem.Element) error {
+	return c.WriteBlocksCtx(context.Background(), addrs, src)
+}
+
+// WriteBlocksCtx implements extmem.CtxStore: WriteBlocks bound to ctx.
+func (c *Client) WriteBlocksCtx(ctx context.Context, addrs []int, src []extmem.Element) error {
 	if len(src) != len(addrs)*c.b {
 		return fmt.Errorf("netstore: buffer length %d != %d blocks of %d elements", len(src), len(addrs), c.b)
 	}
-	_, err := c.doIO(opWrite, addrs, len(addrs)*c.blockBytes,
+	_, err := c.doIO(ctx, opWrite, addrs, len(addrs)*c.blockBytes,
 		func(payload []byte) { extmem.EncodeElements(payload, src) }, 0)
 	return err
 }
@@ -236,7 +265,7 @@ func (c *Client) MaxBatchBlocks() int {
 // Every attempt carries the same request id, so the server can recognize a
 // replay of a request whose response was lost and keep its journal free of
 // duplicates.
-func (c *Client) doIO(op byte, addrs []int, payloadLen int, fill func(payload []byte), respLen int) ([]byte, error) {
+func (c *Client) doIO(ctx context.Context, op byte, addrs []int, payloadLen int, fill func(payload []byte), respLen int) ([]byte, error) {
 	opName := "read"
 	if op == opWrite {
 		opName = "write"
@@ -257,25 +286,26 @@ func (c *Client) doIO(op byte, addrs []int, payloadLen int, fill func(payload []
 	}
 	start := time.Now()
 	var data []byte
-	err := c.withRetry(
+	err := c.withRetry(ctx,
 		func() { // per-retry accounting, data plane only
 			c.mu.Lock()
 			c.stats.Retries++
 			c.mu.Unlock()
 		},
-		func() (bool, error) {
+		func() (bool, time.Duration, error) {
 			c.mu.Lock()
 			c.stats.Attempts++
 			c.mu.Unlock()
 			var retryable, replayed bool
+			var retryAfter time.Duration
 			var err error
-			data, replayed, retryable, err = c.attempt(body, respLen)
+			data, replayed, retryable, retryAfter, err = c.attempt(ctx, body, respLen)
 			if err == nil && replayed {
 				c.mu.Lock()
 				c.stats.ReplayHits++
 				c.mu.Unlock()
 			}
-			return retryable, err
+			return retryable, retryAfter, err
 		})
 	if err != nil {
 		return nil, fmt.Errorf("netstore: %s of %d blocks: %w", opName, len(addrs), err)
@@ -284,72 +314,120 @@ func (c *Client) doIO(op byte, addrs []int, payloadLen int, fill func(payload []
 	return data, nil
 }
 
-// withRetry runs f until it succeeds, fails permanently, or exhausts the
-// attempt budget, backing off (doubling, capped) between attempts. onRetry,
-// when non-nil, runs before each replay. Both the data and control planes
-// share this one policy.
-func (c *Client) withRetry(onRetry func(), f func() (retryable bool, err error)) error {
+// withRetry runs f until it succeeds, fails permanently, exhausts the
+// attempt budget, or ctx is canceled. The delay before retry r is drawn
+// uniformly from (0, min(Backoff·2^(r-1), 1s)] — full jitter, so K clients
+// tripped by the same fault don't re-arrive in lockstep — unless the server
+// supplied a Retry-After (f's duration result), which overrides the jittered
+// delay for that one retry: the server knows how long its drain lasts, and
+// honoring it keeps restarts inside the retry path instead of tripping
+// failover. onRetry, when non-nil, runs before each replay. Both the data
+// and control planes share this one policy.
+func (c *Client) withRetry(ctx context.Context, onRetry func(), f func() (retryable bool, retryAfter time.Duration, err error)) error {
 	var lastErr error
+	var hint time.Duration // server-supplied Retry-After from the last failure
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 {
 			if onRetry != nil {
 				onRetry()
 			}
-			d := maxBackoff // large attempt counts saturate (the shift would overflow)
-			if attempt <= 16 {
-				if shifted := c.backoff << (attempt - 1); shifted > 0 && shifted < maxBackoff {
-					d = shifted
-				}
+			if err := c.sleep(ctx, c.retryDelay(attempt, hint)); err != nil {
+				return fmt.Errorf("canceled while backing off: %w", err)
 			}
-			time.Sleep(d)
 		}
-		retryable, err := f()
+		retryable, retryAfter, err := f()
 		if err == nil {
 			return nil
 		}
-		lastErr = err
+		lastErr, hint = err, retryAfter
 		if !retryable {
 			return err
+		}
+		if ctx.Err() != nil {
+			// The caller canceled (fan-out sibling failed, hedge lost):
+			// don't burn the remaining budget on a request nobody wants.
+			return fmt.Errorf("canceled after %d attempts: %w", attempt+1, lastErr)
 		}
 	}
 	return fmt.Errorf("failed after %d attempts: %w", c.maxAttempts, lastErr)
 }
 
-// attempt performs one HTTP exchange. replayed reports whether the server
-// answered from its replay-suppression window (the X-Obstore-Replay header);
-// retryable reports whether a failure is transient (worth replaying).
-func (c *Client) attempt(body []byte, respLen int) (data []byte, replayed, retryable bool, err error) {
-	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+// retryDelay computes the wait before the attempt-th attempt (1-based
+// retries): full jitter over an exponentially-doubling cap, or the server's
+// Retry-After hint verbatim (capped) when one was supplied.
+func (c *Client) retryDelay(attempt int, hint time.Duration) time.Duration {
+	if hint > 0 {
+		return min(hint, maxRetryAfter)
+	}
+	d := maxBackoff // large attempt counts saturate (the shift would overflow)
+	if attempt <= 16 {
+		if shifted := c.backoff << (attempt - 1); shifted > 0 && shifted < maxBackoff {
+			d = shifted
+		}
+	}
+	// Full jitter: uniform in (0, d]. The +1 keeps the delay strictly
+	// positive so a retry can never busy-spin.
+	return time.Duration(c.jitter()*float64(d)) + 1
+}
+
+// sleepCtx is the default Client.sleep: wait d or until ctx is canceled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// attempt performs one HTTP exchange under ctx. replayed reports whether the
+// server answered from its replay-suppression window (the X-Obstore-Replay
+// header); retryable reports whether a failure is transient (worth
+// replaying); retryAfter carries the server's Retry-After hint on a 503
+// (e.g. a graceful drain), zero otherwise.
+func (c *Client) attempt(ctx context.Context, body []byte, respLen int) (data []byte, replayed, retryable bool, retryAfter time.Duration, err error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+ioPath, bytes.NewReader(body))
 	if err != nil {
-		return nil, false, false, err
+		return nil, false, false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, false, true, err // transport/deadline failure: replay
+		return nil, false, true, 0, err // transport/deadline failure: replay
 	}
 	defer resp.Body.Close()
 	replayed = resp.Header.Get(replayHeader) == "1"
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		err := fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-		return nil, replayed, resp.StatusCode >= 500, err
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Prefer the millisecond-precision variant; the standard header
+			// only resolves whole seconds.
+			if v, perr := strconv.Atoi(strings.TrimSpace(resp.Header.Get(retryAfterMSHeader))); perr == nil && v >= 0 {
+				retryAfter = time.Duration(v) * time.Millisecond
+			} else if secs, perr := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); perr == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, replayed, resp.StatusCode >= 500, retryAfter, err
 	}
 	data, err = io.ReadAll(io.LimitReader(resp.Body, int64(respLen)+1))
 	if err != nil {
-		return nil, replayed, true, err // connection died mid-body: replay
+		return nil, replayed, true, 0, err // connection died mid-body: replay
 	}
 	if len(data) != respLen {
 		// A cleanly-delivered body of the wrong length is not a transient
 		// fault — it means the server's geometry disagrees with ours (e.g.
 		// restarted with a different -b). Burning the budget on it only
 		// delays the diagnosis.
-		return nil, replayed, false, fmt.Errorf("response body %d bytes, want %d (server geometry changed?)", len(data), respLen)
+		return nil, replayed, false, 0, fmt.Errorf("response body %d bytes, want %d (server geometry changed?)", len(data), respLen)
 	}
-	return data, replayed, false, nil
+	return data, replayed, false, 0, nil
 }
 
 // authorize attaches the bearer token, when one is configured.
@@ -385,12 +463,12 @@ func (c *Client) getJSON(path string, out any) error {
 // the shared retry policy; control requests are idempotent like the data
 // plane.
 func (c *Client) controlJSON(method, path string, body []byte, out any) error {
-	return c.withRetry(nil, func() (bool, error) {
+	return c.withRetry(context.Background(), nil, func() (bool, time.Duration, error) {
 		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
 		defer cancel()
 		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 		if err != nil {
-			return false, err
+			return false, 0, err
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
@@ -398,21 +476,21 @@ func (c *Client) controlJSON(method, path string, body []byte, out any) error {
 		c.authorize(req)
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			return true, err
+			return true, 0, err
 		}
 		defer resp.Body.Close()
 		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		if err != nil {
-			return true, err
+			return true, 0, err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return resp.StatusCode >= 500,
+			return resp.StatusCode >= 500, 0,
 				fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
 		}
 		if out == nil {
-			return false, nil
+			return false, 0, nil
 		}
-		return false, json.Unmarshal(raw, out)
+		return false, 0, json.Unmarshal(raw, out)
 	})
 }
 

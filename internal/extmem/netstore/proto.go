@@ -34,12 +34,19 @@ const (
 	traceResetPath = "/v1/trace/reset"
 	metricsPath    = "/metrics"
 	healthzPath    = "/healthz"
+	readyzPath     = "/readyz"
 )
 
 // replayHeader is set to "1" on a data-plane response the server answered
 // from its replay-suppression window instead of executing, so the client
 // can count observed replay hits (Stats.ReplayHits).
 const replayHeader = "X-Obstore-Replay"
+
+// retryAfterMSHeader accompanies the standard Retry-After header on a 503
+// (graceful drain) with millisecond precision: Retry-After is integer
+// seconds, far coarser than a drain that lasts a few hundred milliseconds.
+// Clients prefer this header when present and fall back to Retry-After.
+const retryAfterMSHeader = "X-Obstore-Retry-After-Ms"
 
 // Wire format of one ioPath request body (integers little-endian):
 //

@@ -73,13 +73,20 @@ type Server struct {
 	bytesOut    int64
 	authFails   int64
 	hist        LatencyHistogram
-	seen        map[uint64]struct{}
-	ring        []uint64 // eviction order for seen
-	ringNext    int
-	elems       []extmem.Element
-	jbuf        []byte   // one batch's journal lines, written as a unit
-	authDigest  [32]byte // sha256 of the bearer token; zero when auth is off
-	authOn      bool
+	// Readiness state: draining refuses new data-plane work with 503 +
+	// Retry-After so clients absorb a graceful restart through their retry
+	// path; journalErr latches a journal write failure (the server can no
+	// longer produce an auditable record, so it must stop reporting ready).
+	draining   bool
+	drainRetry time.Duration
+	journalErr error
+	seen       map[uint64]struct{}
+	ring       []uint64 // eviction order for seen
+	ringNext   int
+	elems      []extmem.Element
+	jbuf       []byte   // one batch's journal lines, written as a unit
+	authDigest [32]byte // sha256 of the bearer token; zero when auth is off
+	authOn     bool
 }
 
 // NewServer wraps a block store in a protocol server.
@@ -104,11 +111,41 @@ func NewServer(store extmem.BlockStore, opts ServerOptions) *Server {
 	return s
 }
 
+// BeginDrain puts the server into graceful drain: every subsequent
+// data-plane and grow request is refused with 503 and a Retry-After of
+// retryAfter (both the standard seconds header and the millisecond-precision
+// variant), and /readyz flips to 503 so load balancers stop routing here.
+// In-flight requests finish normally. The point of the 503 contract is that
+// a restarting server is a *transient* fault: the client's retry path —
+// which honors Retry-After — absorbs it, rather than the replica layer's
+// failover marking the server unhealthy and dirtying its blocks. Trace and
+// metrics endpoints stay live so a drained server can still be audited.
+func (s *Server) BeginDrain(retryAfter time.Duration) {
+	s.mu.Lock()
+	s.draining, s.drainRetry = true, retryAfter
+	s.mu.Unlock()
+}
+
+// EndDrain cancels a drain (a rollback of the restart, or a test bringing
+// the server back): the server resumes accepting data-plane work.
+func (s *Server) EndDrain() {
+	s.mu.Lock()
+	s.draining = false
+	s.mu.Unlock()
+}
+
+// Draining reports whether the server is refusing new data-plane work.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 // Handler returns the HTTP handler serving the protocol. With an AuthToken
 // configured every endpoint — /metrics included, since counters leak the
-// access volume — sits behind the bearer-token check. /healthz alone stays
-// open: it reveals only liveness, and load balancers probe it without
-// credentials.
+// access volume — sits behind the bearer-token check. /healthz and /readyz
+// alone stay open: they reveal only liveness/readiness, and load balancers
+// probe them without credentials.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+ioPath, s.handleIO)
@@ -133,6 +170,7 @@ func (s *Server) Handler() http.Handler {
 	}
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET "+healthzPath, s.handleHealthz)
+	outer.HandleFunc("GET "+readyzPath, s.handleReadyz)
 	outer.Handle("/", h)
 	return outer
 }
@@ -174,6 +212,9 @@ func (s *Server) Close() error { return s.store.Close() }
 
 func (s *Server) handleIO(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
+	if s.refuseIfDraining(w) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchWire))
 	if err != nil {
 		http.Error(w, fmt.Sprintf("read request: %v", err), http.StatusBadRequest)
@@ -308,6 +349,10 @@ func (s *Server) record(kind trace.Kind, addrs []int) error {
 			s.jbuf = fmt.Appendf(s.jbuf, "%c %d\n", kind, a)
 		}
 		if _, err := s.journal.Write(s.jbuf); err != nil {
+			// Latch the failure for /readyz: a server that cannot journal
+			// cannot produce an auditable record, so it must stop reporting
+			// ready even if a later write happens to succeed.
+			s.journalErr = err
 			return err
 		}
 	}
@@ -331,7 +376,32 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, info)
 }
 
+// refuseIfDraining answers a data-plane or grow request with 503 plus both
+// Retry-After headers when the server is draining, reporting whether the
+// request was handled. The delay the client is told to wait is the drain's
+// configured Retry-After — the server's own estimate of when it (or its
+// replacement) will take traffic again.
+func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
+	s.mu.Lock()
+	draining, retry := s.draining, s.drainRetry
+	s.mu.Unlock()
+	if !draining {
+		return false
+	}
+	secs := int(retry / time.Second)
+	if retry > 0 && secs == 0 {
+		secs = 1 // the standard header can't say "less than a second"
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	w.Header().Set(retryAfterMSHeader, fmt.Sprintf("%d", retry/time.Millisecond))
+	http.Error(w, "netstore: draining for restart, retry shortly", http.StatusServiceUnavailable)
+	return true
+}
+
 func (s *Server) handleGrow(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
 	var req growJSON
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("grow: %v", err), http.StatusBadRequest)
@@ -417,6 +487,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("obstore_auth_failures_total", "Requests rejected by the bearer-token check.", m.AuthFailures)
 	fmt.Fprintf(w, "# HELP obstore_journal_len Per-block accesses in the current journal window.\n# TYPE obstore_journal_len gauge\nobstore_journal_len %d\n", m.JournalLen)
 	m.Latency.WritePrometheus(w, "obstore_request_latency_seconds")
+}
+
+// handleReadyz reports readiness — can this server take data-plane traffic
+// right now? — as distinct from /healthz liveness (is the process up at
+// all?). Not ready while draining (503 with both Retry-After headers, same
+// contract as the data plane) or after a journal write failure (the store
+// may work, but an unauditable server must not receive traffic). Served
+// outside the auth wrapper, like /healthz: it reveals only readiness.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	s.mu.Lock()
+	jerr := s.journalErr
+	s.mu.Unlock()
+	if jerr != nil {
+		http.Error(w, fmt.Sprintf("netstore: journal failed, refusing traffic: %v", jerr),
+			http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, "ready\n")
 }
 
 // handleHealthz reports liveness; it is served outside the auth wrapper.

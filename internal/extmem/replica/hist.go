@@ -1,0 +1,53 @@
+package replica
+
+import "time"
+
+// Minimal fixed-bucket latency histogram used to derive the hedge delay from
+// observed read latencies. Same exponential geometry as the netstore wire
+// histograms (50µs·2^i) so operators comparing the two see aligned buckets,
+// but deliberately reimplemented here: the replica layer wraps any
+// BlockStore and must not depend on the HTTP transport package.
+const (
+	histBuckets = 18 // 17 bounded + overflow
+	histBase    = 50 * time.Microsecond
+)
+
+type hist struct {
+	counts [histBuckets]int64
+	total  int64
+}
+
+func (h *hist) observe(d time.Duration) {
+	h.total++
+	for i := 0; i < histBuckets-1; i++ {
+		if d <= histBase<<i {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[histBuckets-1]++
+}
+
+// quantile returns an upper bound on the q-quantile: the bound of the first
+// bucket whose cumulative count reaches q of the total. Empty → 0; overflow
+// bucket → the last finite bound.
+func (h *hist) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	need := int64(q*float64(h.total) + 0.999999)
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= need {
+			if i >= histBuckets-1 {
+				break
+			}
+			return histBase << i
+		}
+	}
+	return histBase << (histBuckets - 2)
+}

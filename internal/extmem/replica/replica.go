@@ -1,0 +1,932 @@
+// Package replica makes one logical BlockStore out of R redundant children —
+// the fault-tolerance layer of the outsourced-data deployment. Where
+// shard.ShardedStore partitions the address space across many Bobs, a
+// replica.Store gives every Bob a full copy: writes fan out to every live
+// replica, reads are served by the healthiest one, and the loss of any R-1
+// replicas costs availability of nothing.
+//
+// Obliviousness is preserved by construction. Each replica observes (a
+// fault-determined subsequence of) the same per-block access trace the
+// algorithms emit — replication duplicates the adversary's view, it does not
+// widen it. Every routing decision this layer makes (which replica serves a
+// read, which breaker opens, when a probe fires) is a function of the fault
+// history and the public geometry alone, never of block contents or of the
+// input being processed; the chaos tests replay identical fault schedules
+// against different inputs and assert the decision logs and surviving
+// journals are bit-identical.
+//
+// Health tracking is a per-replica circuit breaker: consecutive failures
+// beyond a threshold open the breaker, and an open breaker is skipped (its
+// missed writes are remembered as dirty blocks) until a cooldown expires and
+// a half-open probe is allowed through. The cooldown is measured in group
+// interactions, not wall time, so a replayed fault schedule drives the
+// breaker through exactly the same transitions — determinism is what lets
+// the tests assert failover leaks nothing.
+//
+// A replica that missed writes (breaker open, or the write itself failed) is
+// dirty at those addresses: reads never route to a replica dirty at any
+// requested address, and a later successful read repairs the dirty replicas
+// by writing the freshly-read blocks back to them. This, not the crypto
+// layer, is what prevents stale-but-authenticated data from being served:
+// the sealing MAC binds ciphertext to an address but carries no freshness
+// counter, so an old sealed block at the right address authenticates — see
+// THREAT_MODEL.md.
+//
+// Hedged reads are the one wall-clock feature: when enabled, a read still
+// outstanding after a delay derived from the observed P95 is raced against a
+// second replica and the first response wins. Hedging trades determinism for
+// tail latency and stays off in the deterministic chaos harness.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"oblivext/internal/extmem"
+)
+
+// Breaker states.
+const (
+	stClosed = iota
+	stOpen
+	stHalfOpen
+)
+
+func stateName(st int) string {
+	switch st {
+	case stOpen:
+		return "open"
+	case stHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Options configures a Store.
+type Options struct {
+	// FailureThreshold is how many consecutive failures open a replica's
+	// breaker (default 3). A failure while half-open reopens immediately.
+	FailureThreshold int
+	// Cooldown is how many group interactions an open breaker stays open
+	// before a half-open probe may route traffic to it again (default 16).
+	// Interactions, not wall time: replayed fault schedules must drive the
+	// breaker deterministically.
+	Cooldown int
+	// HedgeAfter enables hedged reads when positive: a read outstanding for
+	// longer than the hedge delay is raced against a second replica. The
+	// delay starts at HedgeAfter and switches to the observed P95 read
+	// latency once HedgeMinSamples reads have been measured. Zero disables
+	// hedging (the deterministic configuration).
+	HedgeAfter time.Duration
+	// HedgeMinSamples is how many measured reads the P95 estimate needs
+	// before it replaces HedgeAfter as the hedge delay (default 32).
+	HedgeMinSamples int
+}
+
+// Stats is one replica's cumulative view of the traffic and faults it saw.
+type Stats struct {
+	RoundTrips  int64         // sub-batches dispatched to this replica
+	BlocksMoved int64         // blocks those sub-batches carried
+	ModeledTime time.Duration // modeled delay charged by this replica's chain
+	Failures    int64         // failed sub-batches
+	Failovers   int64         // read sub-batches rerouted away after a failure
+	Hedges      int64         // hedged reads launched against this replica
+	HedgeWins   int64         // hedged reads this replica won as the secondary
+	Repairs     int64         // read-repair writes applied to this replica
+	Dirty       int           // addresses currently known stale on this replica
+	State       string        // breaker state at snapshot time
+}
+
+// health is one replica's breaker.
+type health struct {
+	state       int
+	consecFails int
+	openUntil   int64 // group interaction count at which a probe is allowed
+}
+
+// Store implements extmem.BlockStore over R replica children. Like every
+// BlockStore it is driven by a single caller (the Disk); the concurrency is
+// internal — write fan-outs, failover retries, and hedge races. Because a
+// hedge loser may still be touching its child after the interaction that
+// launched it has returned, every child is guarded by its own mutex.
+type Store struct {
+	children []extmem.BlockStore
+	r        int
+	b        int
+
+	repMu []sync.Mutex // serializes all access to children[i]
+
+	mu     sync.Mutex // guards everything below
+	ops    int64      // logical interactions; the breaker's clock
+	hp     []health
+	dirty  []map[int]struct{} // per replica: addresses that missed writes
+	stats  []Stats
+	trips  int64 // logical interactions (NetModel)
+	blocks int64
+	crit   time.Duration // critical-path modeled time
+	lat    hist          // measured read latencies, feeds the hedge delay
+	events []string      // breaker/failover decision log, for replay checks
+
+	failThresh  int
+	cooldown    int64
+	hedgeAfter  time.Duration
+	hedgeMinObs int64
+}
+
+// New builds a replicated store over the given children, which must all
+// share one block size. A single child degenerates to a pass-through with
+// breaker accounting; zero children is an error.
+func New(children []extmem.BlockStore, opts Options) (*Store, error) {
+	if len(children) == 0 {
+		return nil, errors.New("replica: need at least one child store")
+	}
+	b := children[0].BlockSize()
+	for i, c := range children {
+		if c.BlockSize() != b {
+			return nil, fmt.Errorf("replica: child %d block size %d != %d", i, c.BlockSize(), b)
+		}
+	}
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = 3
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 16
+	}
+	if opts.HedgeMinSamples <= 0 {
+		opts.HedgeMinSamples = 32
+	}
+	r := len(children)
+	s := &Store{
+		children:    children,
+		r:           r,
+		b:           b,
+		repMu:       make([]sync.Mutex, r),
+		hp:          make([]health, r),
+		dirty:       make([]map[int]struct{}, r),
+		stats:       make([]Stats, r),
+		failThresh:  opts.FailureThreshold,
+		cooldown:    int64(opts.Cooldown),
+		hedgeAfter:  opts.HedgeAfter,
+		hedgeMinObs: int64(opts.HedgeMinSamples),
+	}
+	for i := range s.dirty {
+		s.dirty[i] = make(map[int]struct{})
+	}
+	return s, nil
+}
+
+// NumReplicas returns R.
+func (s *Store) NumReplicas() int { return s.r }
+
+// logf appends one line to the decision log (caller holds s.mu).
+func (s *Store) logf(format string, args ...any) {
+	s.events = append(s.events, fmt.Sprintf(format, args...))
+}
+
+// Events returns a copy of the decision log: one line per breaker
+// transition, failover, and repair, each stamped with the interaction count
+// it happened at. Two runs under the same fault schedule produce identical
+// logs regardless of the data being processed — the replay tests diff them.
+func (s *Store) Events() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.events...)
+}
+
+// ReplicaStats returns a snapshot of the per-replica counters.
+func (s *Store) ReplicaStats() []Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Stats, s.r)
+	copy(out, s.stats)
+	for i := range out {
+		out[i].Dirty = len(s.dirty[i])
+		out[i].State = stateName(s.hp[i].state)
+	}
+	return out
+}
+
+// ReadLatencyQuantile returns an upper bound on the q-quantile of observed
+// read-leg flight times (for hedged reads, the winning leg's own
+// launch-to-completion time, excluding the hedge wait) — the same histogram
+// the adaptive hedge delay derives its P95 from, estimating healthy-path
+// latency. Zero until a read has completed.
+func (s *Store) ReadLatencyQuantile(q float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lat.quantile(q)
+}
+
+// available reports whether replica i may be routed traffic right now
+// (caller holds s.mu): breaker closed, already half-open, or open with an
+// expired cooldown (routing to it is the half-open probe).
+func (s *Store) available(i int) bool {
+	h := &s.hp[i]
+	return h.state == stClosed || h.state == stHalfOpen ||
+		(h.state == stOpen && s.ops >= h.openUntil)
+}
+
+// markProbing flips an open-with-expired-cooldown breaker to half-open when
+// replica i is about to receive probe traffic (caller holds s.mu).
+func (s *Store) markProbing(i int) {
+	if h := &s.hp[i]; h.state == stOpen && s.ops >= h.openUntil {
+		h.state = stHalfOpen
+		s.logf("ops=%d replica=%d half-open probe", s.ops, i)
+	}
+}
+
+// noteSuccess records a successful sub-batch on replica i (caller holds
+// s.mu): any non-closed breaker closes.
+func (s *Store) noteSuccess(i int) {
+	h := &s.hp[i]
+	h.consecFails = 0
+	if h.state != stClosed {
+		h.state = stClosed
+		s.logf("ops=%d replica=%d closed", s.ops, i)
+	}
+}
+
+// noteFailure records a failed sub-batch on replica i (caller holds s.mu):
+// a half-open probe reopens immediately, a closed breaker opens once the
+// consecutive-failure threshold is reached.
+func (s *Store) noteFailure(i int) {
+	h := &s.hp[i]
+	h.consecFails++
+	s.stats[i].Failures++
+	if h.state == stHalfOpen || (h.state != stOpen && h.consecFails >= s.failThresh) {
+		h.state = stOpen
+		h.openUntil = s.ops + s.cooldown
+		s.logf("ops=%d replica=%d open (fails=%d, retry at ops=%d)", s.ops, i, h.consecFails, h.openUntil)
+	}
+}
+
+// markDirty remembers that replica i missed the current write at addrs
+// (caller holds s.mu).
+func (s *Store) markDirty(i int, addrs []int) {
+	for _, a := range addrs {
+		s.dirty[i][a] = struct{}{}
+	}
+}
+
+// clearDirty forgets dirt on replica i at addrs after a successful write or
+// repair (caller holds s.mu).
+func (s *Store) clearDirty(i int, addrs []int) {
+	for _, a := range addrs {
+		delete(s.dirty[i], a)
+	}
+}
+
+// cleanAt reports whether replica i holds current data at addr (caller
+// holds s.mu).
+func (s *Store) cleanAt(i, addr int) bool {
+	_, stale := s.dirty[i][addr]
+	return !stale
+}
+
+// tierOf ranks replica i as a read candidate (caller holds s.mu): closed
+// breakers first, then half-open probes, then open ones (the desperation
+// tier — a clean-but-suspect replica still beats no data at all). Lower is
+// better; ties break toward the lower index.
+func (s *Store) tierOf(i int) int {
+	h := &s.hp[i]
+	switch {
+	case h.state == stClosed:
+		return 0
+	case h.state == stHalfOpen || (h.state == stOpen && s.ops >= h.openUntil):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// modeled reads child i's cumulative modeled delay when it carries a cost
+// model, 0 otherwise.
+func (s *Store) modeled(i int) time.Duration {
+	if m, ok := s.children[i].(extmem.NetModel); ok {
+		return m.ModeledTime()
+	}
+	return 0
+}
+
+// callRead performs one sub-read on replica i under its mutex, returning the
+// modeled-time delta it charged.
+func (s *Store) callRead(ctx context.Context, i int, addrs []int, dst []extmem.Element) (time.Duration, error) {
+	s.repMu[i].Lock()
+	defer s.repMu[i].Unlock()
+	t0 := s.modeled(i)
+	err := extmem.ReadBlocksCtx(ctx, s.children[i], addrs, dst)
+	return s.modeled(i) - t0, err
+}
+
+// callWrite is the write dual of callRead.
+func (s *Store) callWrite(ctx context.Context, i int, addrs []int, src []extmem.Element) (time.Duration, error) {
+	s.repMu[i].Lock()
+	defer s.repMu[i].Unlock()
+	t0 := s.modeled(i)
+	err := extmem.WriteBlocksCtx(ctx, s.children[i], addrs, src)
+	return s.modeled(i) - t0, err
+}
+
+// ReadBlock implements BlockStore via a one-block batch.
+func (s *Store) ReadBlock(addr int, dst []extmem.Element) error {
+	return s.ReadBlocks([]int{addr}, dst)
+}
+
+// WriteBlock implements BlockStore via a one-block batch.
+func (s *Store) WriteBlock(addr int, src []extmem.Element) error {
+	return s.WriteBlocks([]int{addr}, src)
+}
+
+// ReadBlocks implements BlockStore.
+func (s *Store) ReadBlocks(addrs []int, dst []extmem.Element) error {
+	return s.ReadBlocksCtx(context.Background(), addrs, dst)
+}
+
+// WriteBlocks implements BlockStore.
+func (s *Store) WriteBlocks(addrs []int, src []extmem.Element) error {
+	return s.WriteBlocksCtx(context.Background(), addrs, src)
+}
+
+// assignment is one failover round's routing decision: per participating
+// replica, the addresses it serves and their positions in the logical batch.
+type assignment struct {
+	rep   int
+	addrs []int
+	pos   []int
+}
+
+// assign routes each pending address to its best candidate replica (caller
+// holds s.mu): the clean replica in the lowest tier, lowest index breaking
+// ties, never a replica excluded by an earlier failure this interaction.
+// An address with no candidate at all yields an error — every replica that
+// holds current data for it has already failed.
+func (s *Store) assign(addrs, pos []int, excluded []bool) ([]assignment, error) {
+	perRep := make([]assignment, 0, 2)
+	idx := make([]int, s.r)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for j, a := range addrs {
+		best, bestTier := -1, 3
+		for i := 0; i < s.r; i++ {
+			if excluded[i] || !s.cleanAt(i, a) {
+				continue
+			}
+			if t := s.tierOf(i); t < bestTier {
+				best, bestTier = i, t
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("replica: no live replica holds current data for block %d", a)
+		}
+		if idx[best] < 0 {
+			idx[best] = len(perRep)
+			perRep = append(perRep, assignment{rep: best})
+		}
+		g := &perRep[idx[best]]
+		g.addrs = append(g.addrs, a)
+		g.pos = append(g.pos, pos[j])
+	}
+	for i := range perRep {
+		s.markProbing(perRep[i].rep)
+	}
+	return perRep, nil
+}
+
+// ReadBlocksCtx implements extmem.CtxStore. Each address is served by the
+// healthiest replica holding current data for it; a failed sub-batch marks
+// the replica, excludes it for the rest of the interaction, and reroutes its
+// addresses to the next candidate (failover). After a successful read, any
+// live replica known dirty at the addresses just read is repaired in place
+// with the freshly-read blocks.
+func (s *Store) ReadBlocksCtx(ctx context.Context, addrs []int, dst []extmem.Element) error {
+	if len(dst) != len(addrs)*s.b {
+		return fmt.Errorf("replica: buffer length %d != %d blocks of %d elements", len(dst), len(addrs), s.b)
+	}
+	s.mu.Lock()
+	s.ops++
+	s.trips++
+	s.blocks += int64(len(addrs))
+	s.mu.Unlock()
+	if len(addrs) == 0 {
+		return nil
+	}
+
+	pending := append([]int(nil), addrs...)
+	pos := make([]int, len(addrs))
+	for i := range pos {
+		pos[i] = i
+	}
+	excluded := make([]bool, s.r)
+	first := true
+	var worst time.Duration
+	for len(pending) > 0 {
+		s.mu.Lock()
+		groups, err := s.assign(pending, pos, excluded)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if first && len(groups) == 1 && s.hedgeEligible(groups[0].rep, excluded) {
+			// The whole batch rides one replica and another clean candidate
+			// exists: the hedge race handles this interaction end to end.
+			if done, err := s.hedgedRead(ctx, groups[0], excluded, dst, &worst); done {
+				if err == nil {
+					s.repair(ctx, addrs, dst)
+				}
+				s.finishRead(worst)
+				return err
+			}
+			// Hedge machinery declined or both legs failed over; fall through
+			// to the plain failover loop with the losers excluded.
+		}
+		first = false
+
+		type result struct {
+			delta time.Duration
+			err   error
+		}
+		results := make([]result, len(groups))
+		started := time.Now()
+		if len(groups) == 1 {
+			g := groups[0]
+			buf := dst
+			scatter := false
+			if len(g.addrs) != len(addrs) {
+				buf = make([]extmem.Element, len(g.addrs)*s.b)
+				scatter = true
+			}
+			d, err := s.callRead(ctx, g.rep, g.addrs, buf)
+			results[0] = result{d, err}
+			if err == nil && scatter {
+				s.scatterInto(dst, buf, g.pos)
+			}
+		} else {
+			var wg sync.WaitGroup
+			bufs := make([][]extmem.Element, len(groups))
+			for gi := range groups {
+				wg.Add(1)
+				go func(gi int) {
+					defer wg.Done()
+					g := groups[gi]
+					bufs[gi] = make([]extmem.Element, len(g.addrs)*s.b)
+					d, err := s.callRead(ctx, g.rep, g.addrs, bufs[gi])
+					results[gi] = result{d, err}
+				}(gi)
+			}
+			wg.Wait()
+			for gi, g := range groups {
+				if results[gi].err == nil {
+					s.scatterInto(dst, bufs[gi], g.pos)
+				}
+			}
+		}
+		elapsed := time.Since(started)
+
+		// Fold outcomes in replica-index order (groups are built in
+		// first-use order, but health updates must not depend on goroutine
+		// scheduling — sort by replica index via a simple pass).
+		var nextPending, nextPos []int
+		s.mu.Lock()
+		for i := 0; i < s.r; i++ {
+			for gi, g := range groups {
+				if g.rep != i {
+					continue
+				}
+				s.stats[i].RoundTrips++
+				s.stats[i].BlocksMoved += int64(len(g.addrs))
+				s.stats[i].ModeledTime += results[gi].delta
+				if results[gi].delta > worst {
+					worst = results[gi].delta
+				}
+				if results[gi].err == nil {
+					s.noteSuccess(i)
+					s.lat.observe(elapsed)
+				} else {
+					s.noteFailure(i)
+					s.stats[i].Failovers++
+					s.logf("ops=%d replica=%d read failover (%d blocks)", s.ops, i, len(g.addrs))
+					excluded[i] = true
+					nextPending = append(nextPending, g.addrs...)
+					nextPos = append(nextPos, g.pos...)
+				}
+			}
+		}
+		s.mu.Unlock()
+		pending, pos = nextPending, nextPos
+	}
+
+	s.repair(ctx, addrs, dst)
+	s.finishRead(worst)
+	return nil
+}
+
+// finishRead folds the interaction's critical-path delay into the group
+// model.
+func (s *Store) finishRead(worst time.Duration) {
+	s.mu.Lock()
+	s.crit += worst
+	s.mu.Unlock()
+}
+
+// scatterInto copies sub-batch blocks back to their logical positions.
+func (s *Store) scatterInto(dst, buf []extmem.Element, pos []int) {
+	for j, p := range pos {
+		copy(dst[p*s.b:(p+1)*s.b], buf[j*s.b:(j+1)*s.b])
+	}
+}
+
+// repair writes freshly-read blocks back to live replicas known dirty at
+// those addresses — synchronous read-repair, in replica-index order so the
+// decision log is deterministic. Repair failures feed the breaker like any
+// other write failure; the dirt stays recorded.
+func (s *Store) repair(ctx context.Context, addrs []int, data []extmem.Element) {
+	for i := 0; i < s.r; i++ {
+		s.mu.Lock()
+		if !s.available(i) || len(s.dirty[i]) == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		var raddrs []int
+		var rpos []int
+		for j, a := range addrs {
+			if !s.cleanAt(i, a) {
+				raddrs = append(raddrs, a)
+				rpos = append(rpos, j)
+			}
+		}
+		if len(raddrs) == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		s.markProbing(i)
+		s.mu.Unlock()
+
+		buf := make([]extmem.Element, len(raddrs)*s.b)
+		for j, p := range rpos {
+			copy(buf[j*s.b:(j+1)*s.b], data[p*s.b:(p+1)*s.b])
+		}
+		delta, err := s.callWrite(ctx, i, raddrs, buf)
+
+		s.mu.Lock()
+		s.stats[i].RoundTrips++
+		s.stats[i].BlocksMoved += int64(len(raddrs))
+		s.stats[i].ModeledTime += delta
+		if err == nil {
+			s.noteSuccess(i)
+			s.clearDirty(i, raddrs)
+			s.stats[i].Repairs++
+			s.logf("ops=%d replica=%d repaired %d blocks (%d still dirty)", s.ops, i, len(raddrs), len(s.dirty[i]))
+		} else {
+			s.noteFailure(i)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// WriteBlocksCtx implements extmem.CtxStore. The write fans out to every
+// replica whose breaker admits traffic; replicas skipped or failed are
+// marked dirty at the written addresses (a later read must not be served
+// stale data from them), and the write succeeds as long as at least one
+// replica took it.
+func (s *Store) WriteBlocksCtx(ctx context.Context, addrs []int, src []extmem.Element) error {
+	if len(src) != len(addrs)*s.b {
+		return fmt.Errorf("replica: buffer length %d != %d blocks of %d elements", len(src), len(addrs), s.b)
+	}
+	s.mu.Lock()
+	s.ops++
+	s.trips++
+	s.blocks += int64(len(addrs))
+	targets := make([]bool, s.r)
+	for i := 0; i < s.r; i++ {
+		if s.available(i) {
+			targets[i] = true
+			s.markProbing(i)
+		} else {
+			s.markDirty(i, addrs)
+		}
+	}
+	s.mu.Unlock()
+	if len(addrs) == 0 {
+		return nil
+	}
+
+	deltas := make([]time.Duration, s.r)
+	errs := make([]error, s.r)
+	var wg sync.WaitGroup
+	for i := 0; i < s.r; i++ {
+		if !targets[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			deltas[i], errs[i] = s.callWrite(ctx, i, addrs, src)
+		}(i)
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	okCount := 0
+	var worst time.Duration
+	var firstErr error
+	for i := 0; i < s.r; i++ {
+		if !targets[i] {
+			continue
+		}
+		s.stats[i].RoundTrips++
+		s.stats[i].BlocksMoved += int64(len(addrs))
+		s.stats[i].ModeledTime += deltas[i]
+		if deltas[i] > worst {
+			worst = deltas[i]
+		}
+		if errs[i] == nil {
+			okCount++
+			s.noteSuccess(i)
+			// This replica now holds the newest data at addrs, whatever it
+			// missed before.
+			s.clearDirty(i, addrs)
+		} else {
+			s.noteFailure(i)
+			s.markDirty(i, addrs)
+			s.logf("ops=%d replica=%d write failed (%d blocks dirty)", s.ops, i, len(s.dirty[i]))
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica %d: %w", i, errs[i])
+			}
+		}
+	}
+	s.crit += worst
+	if okCount == 0 {
+		if firstErr == nil {
+			firstErr = errors.New("replica: no replica admitted the write")
+		}
+		return firstErr
+	}
+	return nil
+}
+
+// hedgeEligible reports whether a hedged read may run: hedging configured,
+// the primary has a clean, available alternative, and the children support
+// cancellation (without CtxStore the loser could not be abandoned).
+func (s *Store) hedgeEligible(primary int, excluded []bool) bool {
+	if s.hedgeAfter <= 0 {
+		return false
+	}
+	return s.hedgeAlt(primary, excluded, nil) >= 0
+}
+
+// hedgeAlt picks the best clean available alternative to primary for the
+// given addresses (nil = any), or -1.
+func (s *Store) hedgeAlt(primary int, excluded []bool, addrs []int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, bestTier := -1, 2 // desperation-tier replicas are not hedge targets
+	for i := 0; i < s.r; i++ {
+		if i == primary || excluded[i] || !s.available(i) {
+			continue
+		}
+		clean := true
+		for _, a := range addrs {
+			if !s.cleanAt(i, a) {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		if t := s.tierOf(i); t < bestTier {
+			best, bestTier = i, t
+		}
+	}
+	return best
+}
+
+// hedgeDelay returns the current hedge trigger: the observed P95 read
+// latency once enough samples exist, the configured bootstrap before that.
+func (s *Store) hedgeDelay() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lat.total >= s.hedgeMinObs {
+		if p := s.lat.quantile(0.95); p > 0 {
+			return p
+		}
+	}
+	return s.hedgeAfter
+}
+
+// hedgedRead races the primary assignment against the best alternative
+// replica: the secondary launches only if the primary is still outstanding
+// after the hedge delay, and the first successful response wins while the
+// loser's context is canceled. Reports done=false when both legs failed —
+// the caller's failover loop takes over with both replicas excluded.
+func (s *Store) hedgedRead(ctx context.Context, g assignment, excluded []bool, dst []extmem.Element, worst *time.Duration) (done bool, err error) {
+	alt := s.hedgeAlt(g.rep, excluded, g.addrs)
+	if alt < 0 {
+		return false, nil
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type leg struct {
+		rep    int
+		buf    []extmem.Element
+		delta  time.Duration
+		flight time.Duration // the leg's own launch-to-completion time
+		err    error
+	}
+	results := make(chan leg, 2)
+	launch := func(rep int) {
+		buf := make([]extmem.Element, len(g.addrs)*s.b)
+		go func() {
+			t0 := time.Now()
+			d, err := s.callRead(raceCtx, rep, g.addrs, buf)
+			results <- leg{rep: rep, buf: buf, delta: d, flight: time.Since(t0), err: err}
+		}()
+	}
+	launch(g.rep)
+	legs := 1
+	timer := time.NewTimer(s.hedgeDelay())
+	defer timer.Stop()
+
+	var winner *leg
+	var fails []leg
+	for winner == nil && legs > 0 {
+		select {
+		case <-timer.C:
+			if legs == 1 && len(fails) == 0 {
+				launch(alt)
+				legs++
+				s.mu.Lock()
+				s.stats[alt].Hedges++
+				s.mu.Unlock()
+			}
+		case l := <-results:
+			legs--
+			if l.err == nil {
+				winner = &l
+			} else {
+				fails = append(fails, l)
+				if legs == 0 && l.rep == g.rep && len(fails) == 1 {
+					// Primary failed before the hedge fired: give the
+					// alternative its chance immediately.
+					launch(alt)
+					legs++
+				}
+			}
+		}
+	}
+	cancel() // the loser, if any, stops retrying now
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	account := func(l *leg, won bool) {
+		s.stats[l.rep].RoundTrips++
+		s.stats[l.rep].BlocksMoved += int64(len(g.addrs))
+		s.stats[l.rep].ModeledTime += l.delta
+		if l.delta > *worst {
+			*worst = l.delta
+		}
+		if l.err == nil {
+			s.noteSuccess(l.rep)
+		} else {
+			s.noteFailure(l.rep)
+			s.stats[l.rep].Failovers++
+			excluded[l.rep] = true
+		}
+		if won && l.rep == alt {
+			s.stats[alt].HedgeWins++
+		}
+	}
+	for i := range fails {
+		account(&fails[i], false)
+	}
+	if winner == nil {
+		// Both legs failed; the failover loop reassigns what's left.
+		return false, nil
+	}
+	account(winner, true)
+	// Feed the histogram the winning leg's own flight time, not the race's
+	// total elapsed: the histogram estimates *healthy* read latency so the
+	// adaptive delay hedges the tail above it. Observing delay+flight for
+	// every rescue would ratchet the P95 up one bucket per win until hedging
+	// disabled itself.
+	s.lat.observe(winner.flight)
+	s.scatterInto(dst, winner.buf, g.pos)
+	// The detached loser (still in flight, canceled) is ignored entirely:
+	// its result arrives on a buffered channel nobody reads and its health
+	// impact is unknowable without waiting, which would defeat the hedge.
+	return true, nil
+}
+
+// NumBlocks implements BlockStore: the group's serving capacity is the best
+// replica's, not the worst's — a replica that failed to grow is behind, and
+// reads routed to addresses it lacks fail over like any other fault.
+func (s *Store) NumBlocks() int {
+	n := 0
+	for _, c := range s.children {
+		if m := c.NumBlocks(); m > n {
+			n = m
+		}
+	}
+	return n
+}
+
+// BlockSize implements BlockStore.
+func (s *Store) BlockSize() int { return s.b }
+
+// Close implements BlockStore, closing every child and returning the first
+// error.
+func (s *Store) Close() error {
+	var err error
+	for i := range s.children {
+		s.repMu[i].Lock()
+		e := s.children[i].Close()
+		s.repMu[i].Unlock()
+		if err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// GrowTo implements extmem.Growable: every child is asked to grow, and the
+// group grows as long as at least one succeeded. A replica that failed to
+// grow takes breaker failures through the ordinary write path when traffic
+// reaches addresses it lacks.
+func (s *Store) GrowTo(n int) error {
+	ok := 0
+	var firstErr error
+	for i, c := range s.children {
+		g, isG := c.(extmem.Growable)
+		if !isG {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica %d: %T cannot grow", i, c)
+			}
+			continue
+		}
+		s.repMu[i].Lock()
+		err := g.GrowTo(n)
+		s.repMu[i].Unlock()
+		if err == nil {
+			ok++
+		} else if firstErr == nil {
+			firstErr = fmt.Errorf("replica %d: %w", i, err)
+		}
+	}
+	if ok == 0 {
+		return firstErr
+	}
+	return nil
+}
+
+// RoundTrips implements extmem.NetModel: logical interactions (each one
+// fan-out or read race, however many replicas it touched).
+func (s *Store) RoundTrips() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trips
+}
+
+// BlocksMoved implements extmem.NetModel: logical blocks moved (counted
+// once per interaction, not per replica — replication is overhead the
+// per-replica Stats expose, not extra logical traffic).
+func (s *Store) BlocksMoved() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blocks
+}
+
+// ModeledTime implements extmem.NetModel: per interaction the slowest
+// participating replica's modeled delay — the parallel fan-out's critical
+// path — summed over interactions.
+func (s *Store) ModeledTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crit
+}
+
+// ResetNetStats implements extmem.NetModel: zeroes the group aggregates and
+// the children's own models. Health, dirt, and the decision log survive — a
+// stats reset must not close breakers or forget missed writes.
+func (s *Store) ResetNetStats() {
+	s.mu.Lock()
+	s.trips, s.blocks, s.crit = 0, 0, 0
+	for i := range s.stats {
+		st := &s.stats[i]
+		st.RoundTrips, st.BlocksMoved, st.ModeledTime = 0, 0, 0
+	}
+	s.mu.Unlock()
+	for i := range s.children {
+		s.repMu[i].Lock()
+		if m, ok := s.children[i].(extmem.NetModel); ok {
+			m.ResetNetStats()
+		}
+		s.repMu[i].Unlock()
+	}
+}

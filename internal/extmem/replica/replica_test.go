@@ -1,0 +1,388 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"oblivext/internal/chaos"
+	"oblivext/internal/extmem"
+)
+
+// flaky is a controllable child: a MemStore whose reads/writes can be made
+// to fail or dawdle, with call counters.
+type flaky struct {
+	*extmem.MemStore
+	mu         sync.Mutex
+	failReads  bool
+	failWrites bool
+	readDelay  time.Duration
+	reads      int
+	writes     int
+}
+
+func newFlaky(n, b int) *flaky { return &flaky{MemStore: extmem.NewMemStore(n, b)} }
+
+func (f *flaky) set(failReads, failWrites bool) {
+	f.mu.Lock()
+	f.failReads, f.failWrites = failReads, failWrites
+	f.mu.Unlock()
+}
+
+func (f *flaky) ReadBlocks(addrs []int, dst []extmem.Element) error {
+	f.mu.Lock()
+	f.reads++
+	fail, delay := f.failReads, f.readDelay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return errors.New("flaky: read refused")
+	}
+	return f.MemStore.ReadBlocks(addrs, dst)
+}
+
+func (f *flaky) WriteBlocks(addrs []int, src []extmem.Element) error {
+	f.mu.Lock()
+	f.writes++
+	fail := f.failWrites
+	f.mu.Unlock()
+	if fail {
+		return errors.New("flaky: write refused")
+	}
+	return f.MemStore.WriteBlocks(addrs, src)
+}
+
+func (f *flaky) counts() (reads, writes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads, f.writes
+}
+
+func block(b int, key uint64) []extmem.Element {
+	out := make([]extmem.Element, b)
+	for i := range out {
+		out[i] = extmem.Element{Key: key, Val: uint64(i), Flags: extmem.FlagOccupied}
+	}
+	return out
+}
+
+// TestWriteFansOutReadsPickOne pins the basic replication contract: a write
+// lands on every replica, a read costs only one of them, and both return
+// correct data.
+func TestWriteFansOutReadsPickOne(t *testing.T) {
+	c0, c1, c2 := newFlaky(8, 4), newFlaky(8, 4), newFlaky(8, 4)
+	s, err := New([]extmem.BlockStore{c0, c1, c2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlocks([]int{0, 3}, append(block(4, 10), block(4, 11)...)); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range []*flaky{c0, c1, c2} {
+		if _, w := c.counts(); w != 1 {
+			t.Errorf("replica %d saw %d writes, want 1 (fan-out)", i, w)
+		}
+	}
+	dst := make([]extmem.Element, 2*4)
+	if err := s.ReadBlocks([]int{3, 0}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0].Key != 11 || dst[4].Key != 10 {
+		t.Errorf("read back keys %d,%d want 11,10", dst[0].Key, dst[4].Key)
+	}
+	r0, _ := c0.counts()
+	r1, _ := c1.counts()
+	r2, _ := c2.counts()
+	if r0+r1+r2 != 1 {
+		t.Errorf("read touched %d replicas, want exactly 1", r0+r1+r2)
+	}
+}
+
+// TestReadFailover pins failover: when the preferred replica fails a read,
+// the batch reroutes to the next one, the caller sees success, and the
+// failure is recorded against the right replica.
+func TestReadFailover(t *testing.T) {
+	c0, c1 := newFlaky(8, 4), newFlaky(8, 4)
+	s, err := New([]extmem.BlockStore{c0, c1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlocks([]int{2}, block(4, 42)); err != nil {
+		t.Fatal(err)
+	}
+	c0.set(true, false)
+	dst := make([]extmem.Element, 4)
+	if err := s.ReadBlocks([]int{2}, dst); err != nil {
+		t.Fatalf("read should fail over, got: %v", err)
+	}
+	if dst[0].Key != 42 {
+		t.Errorf("failover read returned key %d, want 42", dst[0].Key)
+	}
+	st := s.ReplicaStats()
+	if st[0].Failures != 1 || st[0].Failovers != 1 {
+		t.Errorf("replica 0: Failures=%d Failovers=%d, want 1,1", st[0].Failures, st[0].Failovers)
+	}
+	if st[1].Failures != 0 {
+		t.Errorf("replica 1 charged %d failures, want 0", st[1].Failures)
+	}
+}
+
+// TestAllReplicasFailedSurfacesError pins the no-quorum case: when every
+// replica holding current data has failed, the read errors instead of
+// serving stale or fabricated blocks.
+func TestAllReplicasFailedSurfacesError(t *testing.T) {
+	c0, c1 := newFlaky(8, 4), newFlaky(8, 4)
+	s, err := New([]extmem.BlockStore{c0, c1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlocks([]int{1}, block(4, 9)); err != nil {
+		t.Fatal(err)
+	}
+	c0.set(true, true)
+	c1.set(true, true)
+	dst := make([]extmem.Element, 4)
+	if err := s.ReadBlocks([]int{1}, dst); err == nil {
+		t.Fatal("read with every replica failing should error")
+	}
+}
+
+// TestBreakerOpensAndSkips pins the circuit breaker: consecutive write
+// failures open it, an open replica stops receiving traffic (its missed
+// writes are marked dirty instead), and writes keep succeeding on the
+// survivors.
+func TestBreakerOpensAndSkips(t *testing.T) {
+	c0, c1 := newFlaky(8, 4), newFlaky(8, 4)
+	s, err := New([]extmem.BlockStore{c0, c1}, Options{FailureThreshold: 2, Cooldown: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0.set(true, true)
+	for k := 0; k < 4; k++ {
+		if err := s.WriteBlocks([]int{k}, block(4, uint64(k))); err != nil {
+			t.Fatalf("write %d should succeed on the survivor: %v", k, err)
+		}
+	}
+	if _, w := c0.counts(); w != 2 {
+		t.Errorf("dead replica saw %d writes, want 2 (breaker opens after the threshold)", w)
+	}
+	st := s.ReplicaStats()
+	if st[0].State != "open" {
+		t.Errorf("replica 0 state %q, want open", st[0].State)
+	}
+	if st[0].Dirty != 4 {
+		t.Errorf("replica 0 has %d dirty blocks, want 4 (every missed write)", st[0].Dirty)
+	}
+	if st[1].State != "closed" || st[1].Dirty != 0 {
+		t.Errorf("replica 1 state=%q dirty=%d, want closed,0", st[1].State, st[1].Dirty)
+	}
+}
+
+// TestRecoveryProbeAndReadRepair walks the full recovery arc: breaker opens,
+// cooldown expires, a half-open probe write closes it, and a read of blocks
+// the replica missed repairs them in place — after which the recovered
+// replica serves reads with current data.
+func TestRecoveryProbeAndReadRepair(t *testing.T) {
+	c0, c1 := newFlaky(8, 4), newFlaky(8, 4)
+	s, err := New([]extmem.BlockStore{c0, c1}, Options{FailureThreshold: 1, Cooldown: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0.set(false, true)
+	// ops=1: c0 write fails -> breaker opens (threshold 1), addr 0 dirty.
+	if err := s.WriteBlocks([]int{0}, block(4, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// ops=2: c0 skipped (open), addr 1 dirty too.
+	if err := s.WriteBlocks([]int{1}, block(4, 101)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.ReplicaStats(); st[0].State != "open" || st[0].Dirty != 2 {
+		t.Fatalf("after two writes: state=%q dirty=%d, want open,2", st[0].State, st[0].Dirty)
+	}
+	c0.set(false, false) // the replica comes back
+	// ops=3 >= openUntil: the write doubles as the half-open probe; success
+	// closes the breaker and addr 1 is now current on both replicas.
+	if err := s.WriteBlocks([]int{1}, block(4, 201)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.ReplicaStats()
+	if st[0].State != "closed" {
+		t.Fatalf("after probe write: state=%q, want closed", st[0].State)
+	}
+	if st[0].Dirty != 1 {
+		t.Fatalf("after probe write: dirty=%d, want 1 (addr 0 still stale)", st[0].Dirty)
+	}
+	// Reading addr 0 must avoid the dirty replica, then repair it.
+	dst := make([]extmem.Element, 4)
+	if err := s.ReadBlocks([]int{0}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0].Key != 100 {
+		t.Errorf("read of missed block returned key %d, want 100 — served stale data?", dst[0].Key)
+	}
+	st = s.ReplicaStats()
+	if st[0].Repairs != 1 || st[0].Dirty != 0 {
+		t.Errorf("after read: Repairs=%d Dirty=%d, want 1,0 (read-repair)", st[0].Repairs, st[0].Dirty)
+	}
+	// The repaired replica is preferred again (lowest index, closed) and
+	// must serve the repaired content.
+	r0Before, _ := c0.counts()
+	if err := s.ReadBlocks([]int{0}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if r0After, _ := c0.counts(); r0After != r0Before+1 {
+		t.Errorf("recovered replica did not serve the follow-up read")
+	}
+	if dst[0].Key != 100 {
+		t.Errorf("repaired replica served key %d, want 100", dst[0].Key)
+	}
+}
+
+// TestHedgedReadWinsOnSlowPrimary pins hedging: with the preferred replica
+// slow, the hedge fires after the configured delay and the fast secondary's
+// response wins, returning correct data well before the primary finishes.
+func TestHedgedReadWinsOnSlowPrimary(t *testing.T) {
+	c0, c1 := newFlaky(8, 4), newFlaky(8, 4)
+	c0.readDelay = 300 * time.Millisecond
+	s, err := New([]extmem.BlockStore{c0, c1}, Options{HedgeAfter: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlocks([]int{5}, block(4, 77)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	dst := make([]extmem.Element, 4)
+	if err := s.ReadBlocks([]int{5}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("hedged read took %v; the secondary should have won long before the 300ms primary", elapsed)
+	}
+	if dst[0].Key != 77 {
+		t.Errorf("hedged read returned key %d, want 77", dst[0].Key)
+	}
+	st := s.ReplicaStats()
+	if st[1].Hedges != 1 || st[1].HedgeWins != 1 {
+		t.Errorf("replica 1: Hedges=%d HedgeWins=%d, want 1,1", st[1].Hedges, st[1].HedgeWins)
+	}
+}
+
+// driveWorkload runs a fixed read/write sequence against a replica store
+// over one chaos-wrapped child, returning the decision logs.
+func driveWorkload(t *testing.T, schedule chaos.Schedule) (replicaEvents, chaosDecisions []string) {
+	t.Helper()
+	faulty := chaos.NewStore(extmem.NewMemStore(16, 4), "r0", schedule)
+	healthy := extmem.NewMemStore(16, 4)
+	s, err := New([]extmem.BlockStore{faulty, healthy}, Options{FailureThreshold: 2, Cooldown: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if err := s.WriteBlocks([]int{k}, block(4, uint64(k))); err != nil {
+			t.Fatalf("write %d: %v", k, err)
+		}
+	}
+	dst := make([]extmem.Element, 4)
+	for k := 0; k < 10; k++ {
+		if err := s.ReadBlocks([]int{k}, dst); err != nil {
+			t.Fatalf("read %d: %v", k, err)
+		}
+		if dst[0].Key != uint64(k) {
+			t.Fatalf("read %d returned key %d under chaos", k, dst[0].Key)
+		}
+	}
+	return s.Events(), faulty.Decisions()
+}
+
+// TestDeterministicFailoverReplay pins the headline determinism property at
+// the unit level: the same fault schedule, replayed against the same
+// workload, drives the breaker and failover machinery through an identical
+// decision log — no wall-clock, no randomness, nothing data-dependent.
+func TestDeterministicFailoverReplay(t *testing.T) {
+	schedule := chaos.Schedule{
+		{Target: "r0", At: 3, For: 4, Kind: chaos.Err500},
+		{Target: "r0", At: 12, For: 2, Kind: chaos.Drop},
+	}
+	ev1, cd1 := driveWorkload(t, schedule)
+	ev2, cd2 := driveWorkload(t, schedule)
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Errorf("replica decision logs diverged across replays:\nrun1: %v\nrun2: %v", ev1, ev2)
+	}
+	if !reflect.DeepEqual(cd1, cd2) {
+		t.Errorf("chaos decision logs diverged across replays:\nrun1: %v\nrun2: %v", cd1, cd2)
+	}
+	if len(ev1) == 0 || len(cd1) == 0 {
+		t.Errorf("schedule injected nothing (replica events %d, chaos decisions %d) — the replay assertion is vacuous",
+			len(ev1), len(cd1))
+	}
+}
+
+// TestNetModelCounts pins the group's NetModel view: one logical round trip
+// per interaction regardless of fan-out width, blocks counted once.
+func TestNetModelCounts(t *testing.T) {
+	mk := func() extmem.BlockStore {
+		return extmem.NewLatencyStore(extmem.NewMemStore(8, 4),
+			extmem.LatencyOptions{RTT: time.Millisecond})
+	}
+	s, err := New([]extmem.BlockStore{mk(), mk(), mk()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlocks([]int{0, 1}, append(block(4, 1), block(4, 2)...)); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]extmem.Element, 2*4)
+	if err := s.ReadBlocks([]int{0, 1}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RoundTrips(); got != 2 {
+		t.Errorf("RoundTrips = %d, want 2 (one per logical interaction)", got)
+	}
+	if got := s.BlocksMoved(); got != 4 {
+		t.Errorf("BlocksMoved = %d, want 4 (logical blocks, not x replicas)", got)
+	}
+	// Critical path: the write fanned out in parallel (1ms each, max 1ms)
+	// and the read touched one replica (1ms): 2ms total, not the 4ms serial
+	// sum over participants.
+	if got := s.ModeledTime(); got != 2*time.Millisecond {
+		t.Errorf("ModeledTime = %v, want 2ms (critical path)", got)
+	}
+}
+
+// TestGeometryValidation pins the constructor's checks.
+func TestGeometryValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("zero children should be rejected")
+	}
+	if _, err := New([]extmem.BlockStore{extmem.NewMemStore(4, 4), extmem.NewMemStore(4, 8)}, Options{}); err == nil {
+		t.Error("mismatched block sizes should be rejected")
+	}
+}
+
+// TestScalarOps smoke-tests the scalar BlockStore surface.
+func TestScalarOps(t *testing.T) {
+	s, err := New([]extmem.BlockStore{newFlaky(8, 4), newFlaky(8, 4)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlock(6, block(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]extmem.Element, 4)
+	if err := s.ReadBlock(6, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0].Key != 5 {
+		t.Errorf("scalar read returned key %d, want 5", dst[0].Key)
+	}
+	if got, want := fmt.Sprint(s.NumBlocks(), s.BlockSize(), s.NumReplicas()), "8 4 2"; got != want {
+		t.Errorf("geometry %s, want %s", got, want)
+	}
+}

@@ -17,6 +17,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -114,18 +115,27 @@ func (s *ShardedStore) WriteBlock(addr int, src []extmem.Element) error {
 // per-shard sub-batches fetched concurrently, then scattered back into dst
 // in logical order.
 func (s *ShardedStore) ReadBlocks(addrs []int, dst []extmem.Element) error {
+	return s.ReadBlocksCtx(context.Background(), addrs, dst)
+}
+
+// ReadBlocksCtx implements extmem.CtxStore: ReadBlocks bound to ctx. Beyond
+// honoring the caller's cancellation, the fan-out derives a per-interaction
+// context so that the moment one shard definitively fails, the in-flight
+// sibling sub-batches are canceled — a doomed interaction surfaces its error
+// at the speed of the failing shard, not of the slowest surviving one.
+func (s *ShardedStore) ReadBlocksCtx(ctx context.Context, addrs []int, dst []extmem.Element) error {
 	if len(dst) != len(addrs)*s.b {
 		return fmt.Errorf("shard: buffer length %d != %d blocks of %d elements", len(dst), len(addrs), s.b)
 	}
 	s.split(addrs)
-	return s.fanOut(len(addrs), func(sh int) error {
+	return s.fanOut(ctx, len(addrs), func(ctx context.Context, sh int) error {
 		if len(s.subAddrs[sh]) == len(addrs) {
 			// The whole batch lives on one shard (split preserves order, so
 			// positions are 0..n-1): serve it into dst with no staging copy.
-			return s.shards[sh].ReadBlocks(s.subAddrs[sh], dst)
+			return extmem.ReadBlocksCtx(ctx, s.shards[sh], s.subAddrs[sh], dst)
 		}
 		buf := s.staging(sh)
-		if err := s.shards[sh].ReadBlocks(s.subAddrs[sh], buf); err != nil {
+		if err := extmem.ReadBlocksCtx(ctx, s.shards[sh], s.subAddrs[sh], buf); err != nil {
 			return err
 		}
 		for j, pos := range s.subPos[sh] {
@@ -138,19 +148,24 @@ func (s *ShardedStore) ReadBlocks(addrs []int, dst []extmem.Element) error {
 // WriteBlocks implements BlockStore: per-shard sub-batches are gathered from
 // src and dispatched concurrently.
 func (s *ShardedStore) WriteBlocks(addrs []int, src []extmem.Element) error {
+	return s.WriteBlocksCtx(context.Background(), addrs, src)
+}
+
+// WriteBlocksCtx implements extmem.CtxStore, the write dual of ReadBlocksCtx.
+func (s *ShardedStore) WriteBlocksCtx(ctx context.Context, addrs []int, src []extmem.Element) error {
 	if len(src) != len(addrs)*s.b {
 		return fmt.Errorf("shard: buffer length %d != %d blocks of %d elements", len(src), len(addrs), s.b)
 	}
 	s.split(addrs)
-	return s.fanOut(len(addrs), func(sh int) error {
+	return s.fanOut(ctx, len(addrs), func(ctx context.Context, sh int) error {
 		if len(s.subAddrs[sh]) == len(addrs) {
-			return s.shards[sh].WriteBlocks(s.subAddrs[sh], src)
+			return extmem.WriteBlocksCtx(ctx, s.shards[sh], s.subAddrs[sh], src)
 		}
 		buf := s.staging(sh)
 		for j, pos := range s.subPos[sh] {
 			copy(buf[j*s.b:(j+1)*s.b], src[pos*s.b:(pos+1)*s.b])
 		}
-		return s.shards[sh].WriteBlocks(s.subAddrs[sh], buf)
+		return extmem.WriteBlocksCtx(ctx, s.shards[sh], s.subAddrs[sh], buf)
 	})
 }
 
@@ -178,11 +193,18 @@ func (s *ShardedStore) staging(sh int) []extmem.Element {
 	return s.subBuf[sh][:need]
 }
 
-// fanOut runs work(sh) concurrently for every shard with a non-empty
+// fanOut runs work(ctx, sh) concurrently for every shard with a non-empty
 // sub-batch, joins, and folds the per-shard deltas into the aggregate
 // accounting: total blocks, per-shard stats, and the critical-path /
 // serial modeled times for this one logical interaction.
-func (s *ShardedStore) fanOut(totalBlocks int, work func(sh int) error) error {
+//
+// With several participants the fan-out derives a cancelable child context
+// and cancels it as soon as any shard returns an error: the interaction
+// already cannot succeed, so the in-flight siblings — which may be remote
+// calls with generous retry budgets — are told to stop rather than run to
+// their full timeout. The reported error prefers the shard that actually
+// failed over siblings that merely observed the cancellation.
+func (s *ShardedStore) fanOut(ctx context.Context, totalBlocks int, work func(ctx context.Context, sh int) error) error {
 	only := -1 // the single participating shard, or -1 if several
 	parts := 0
 	for sh := 0; sh < s.k; sh++ {
@@ -192,15 +214,17 @@ func (s *ShardedStore) fanOut(totalBlocks int, work func(sh int) error) error {
 			parts++
 		}
 	}
-	run := func(sh int) {
+	run := func(ctx context.Context, sh int) error {
 		t0 := modeledTime(s.shards[sh])
-		s.errs[sh] = work(sh)
+		s.errs[sh] = work(ctx, sh)
 		s.deltas[sh] = modeledTime(s.shards[sh]) - t0
+		return s.errs[sh]
 	}
 	if parts == 1 {
 		// One shard, nothing to overlap: skip the goroutine machinery.
-		run(only)
+		run(ctx, only)
 	} else if parts > 1 {
+		fanCtx, cancel := context.WithCancel(ctx)
 		var wg sync.WaitGroup
 		for sh := 0; sh < s.k; sh++ {
 			if len(s.subAddrs[sh]) == 0 {
@@ -209,15 +233,19 @@ func (s *ShardedStore) fanOut(totalBlocks int, work func(sh int) error) error {
 			wg.Add(1)
 			go func(sh int) {
 				defer wg.Done()
-				run(sh)
+				if run(fanCtx, sh) != nil {
+					cancel()
+				}
 			}(sh)
 		}
 		wg.Wait()
+		cancel()
 	}
 	s.trips++
 	s.blocks += int64(totalBlocks)
 	var worst time.Duration
 	var err error
+	canceled := false
 	for sh := 0; sh < s.k; sh++ {
 		if len(s.subAddrs[sh]) == 0 {
 			continue
@@ -229,8 +257,16 @@ func (s *ShardedStore) fanOut(totalBlocks int, work func(sh int) error) error {
 		if s.deltas[sh] > worst {
 			worst = s.deltas[sh]
 		}
-		if err == nil && s.errs[sh] != nil {
-			err = fmt.Errorf("shard %d: %w", sh, s.errs[sh])
+		if e := s.errs[sh]; e != nil {
+			if errors.Is(e, context.Canceled) {
+				// A sibling canceled by the fan-out is a symptom, not the
+				// cause; keep it only if no shard reports a real failure.
+				if err == nil && !canceled {
+					err, canceled = fmt.Errorf("shard %d: %w", sh, e), true
+				}
+			} else if err == nil || canceled {
+				err, canceled = fmt.Errorf("shard %d: %w", sh, e), false
+			}
 		}
 	}
 	s.critical += worst

@@ -1,6 +1,9 @@
 package extmem
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // BlockStore is Bob's storage: a flat array of fixed-size blocks addressed
 // by index. Implementations must copy data on both reads and writes; callers
@@ -29,6 +32,44 @@ type BlockStore interface {
 	BlockSize() int
 	// Close releases any resources held by the store.
 	Close() error
+}
+
+// CtxStore is implemented by stores whose vectored calls can be bound to a
+// context: a remote backend abandons the in-flight request (and stops
+// retrying) when the context is canceled. The sharded fan-out uses this to
+// cancel sibling sub-batches once one shard has definitively failed, and
+// the replica layer uses it to cancel the losing leg of a hedged read —
+// without it, a doomed fan-out runs every other request to its full
+// timeout before the error can surface.
+//
+// Cancellation affects only delivery, never semantics: a canceled call
+// returns an error and the caller treats the interaction as failed, exactly
+// as if the network had dropped it.
+type CtxStore interface {
+	BlockStore
+	// ReadBlocksCtx is ReadBlocks bound to ctx.
+	ReadBlocksCtx(ctx context.Context, addrs []int, dst []Element) error
+	// WriteBlocksCtx is WriteBlocks bound to ctx.
+	WriteBlocksCtx(ctx context.Context, addrs []int, src []Element) error
+}
+
+// ReadBlocksCtx reads through s under ctx when s supports cancellation, and
+// falls back to the plain call otherwise (a local store cannot block on the
+// network, so there is nothing to cancel).
+func ReadBlocksCtx(ctx context.Context, s BlockStore, addrs []int, dst []Element) error {
+	if cs, ok := s.(CtxStore); ok {
+		return cs.ReadBlocksCtx(ctx, addrs, dst)
+	}
+	return s.ReadBlocks(addrs, dst)
+}
+
+// WriteBlocksCtx writes through s under ctx when s supports cancellation,
+// falling back to the plain call otherwise.
+func WriteBlocksCtx(ctx context.Context, s BlockStore, addrs []int, src []Element) error {
+	if cs, ok := s.(CtxStore); ok {
+		return cs.WriteBlocksCtx(ctx, addrs, src)
+	}
+	return s.WriteBlocks(addrs, src)
 }
 
 // contiguous reports whether addrs is a run of consecutive ascending

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"oblivext/internal/core"
 	"oblivext/internal/extmem"
 	"oblivext/internal/extmem/netstore"
+	"oblivext/internal/extmem/replica"
 	"oblivext/internal/extmem/shard"
 	"oblivext/internal/obs"
 	"oblivext/internal/obsort"
@@ -143,6 +145,39 @@ type Config struct {
 	// when set, else memory. The fan-out then hits K real servers in
 	// parallel, unchanged.
 	ShardURLs []string
+	// Replicas, when > 1, gives every shard R redundant copies: writes fan
+	// out to all live replicas, reads are served by the healthiest one, and
+	// per-replica circuit breakers route around failures (failover) while
+	// remembering missed writes for read-repair. Replication composes with
+	// sharding — logical shard i becomes an R-way replica group — and each
+	// replica sees the same data-independent trace the shard would have
+	// seen, so obliviousness is unchanged; see docs/ARCHITECTURE.md,
+	// "Fault tolerance". Backends are in-memory unless ReplicaURLs names
+	// real servers.
+	Replicas int
+	// ReplicaURLs backs individual replicas with remote obstore servers,
+	// flat in shard-major order: entry i·Replicas+j is replica j of shard
+	// i, so the length must equal max(NumShards,1)·Replicas. Entries may be
+	// empty to mix backends (an empty entry is an in-memory replica).
+	// Requires Replicas > 1; mutually exclusive with URL and ShardURLs.
+	ReplicaURLs []string
+	// HedgeAfter, when positive, enables hedged reads inside each replica
+	// group: a read still outstanding after this long is raced against a
+	// second replica and the first response wins. The delay self-tunes to
+	// the observed P95 read latency once enough samples exist; HedgeAfter
+	// is the bootstrap value. Requires Replicas > 1. Hedging trades the
+	// client's timing determinism for tail latency — the per-block trace
+	// each server journals is still input-independent, but which replica
+	// served a given read becomes timing-dependent, so deterministic
+	// replay tests leave it off.
+	HedgeAfter time.Duration
+	// HTTPTransport, when non-nil, replaces the shared HTTP transport used
+	// for every network backend. This is the fault-injection seam: the
+	// chaos harness (internal/chaos) wraps a real transport with a
+	// deterministic fault schedule and hands it in here. TLS settings from
+	// TLSRootCA/TLSInsecureSkipVerify are NOT applied to a caller-supplied
+	// transport — configure it fully.
+	HTTPTransport http.RoundTripper
 	// NetTimeout bounds each HTTP attempt against a network backend
 	// (default 10s).
 	NetTimeout time.Duration
@@ -177,6 +212,7 @@ type Client struct {
 	store      extmem.BlockStore
 	net        extmem.NetModel     // non-nil when SimulatedRTT/PerBlock is configured
 	sharded    *shard.ShardedStore // non-nil when NumShards > 1
+	replicated []*replica.Store    // per-shard replica groups; nil without Replicas > 1
 	netClients []*netstore.Client  // remote backends in shard order; nil without URL/ShardURLs
 	crypt      *extmem.CryptStore  // non-nil when EncryptionKey is set
 	sorter     string              // validated Config.Sorter ("" = randomized)
@@ -230,6 +266,27 @@ func New(cfg Config) (*Client, error) {
 	}
 	if cfg.NetTimeout < 0 || cfg.NetRetries < -1 {
 		return nil, errors.New("oblivext: NetTimeout must be non-negative and NetRetries >= -1")
+	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("oblivext: Replicas must be >= 0, got %d", cfg.Replicas)
+	}
+	if cfg.HedgeAfter < 0 {
+		return nil, errors.New("oblivext: HedgeAfter must be non-negative")
+	}
+	if cfg.Replicas <= 1 && (cfg.HedgeAfter > 0 || len(cfg.ReplicaURLs) > 0) {
+		return nil, errors.New("oblivext: HedgeAfter and ReplicaURLs require Replicas > 1")
+	}
+	if cfg.Replicas > 1 {
+		if cfg.URL != "" || len(cfg.ShardURLs) > 0 {
+			return nil, errors.New("oblivext: with Replicas > 1 use ReplicaURLs, not URL/ShardURLs")
+		}
+		if cfg.Path != "" || len(cfg.ShardPaths) > 0 {
+			return nil, errors.New("oblivext: file-backed replicas are not supported; use ReplicaURLs or memory")
+		}
+		if want := max(cfg.NumShards, 1) * cfg.Replicas; len(cfg.ReplicaURLs) > 0 && len(cfg.ReplicaURLs) != want {
+			return nil, fmt.Errorf("oblivext: got %d ReplicaURLs for %d shards x %d replicas (want %d, shard-major)",
+				len(cfg.ReplicaURLs), max(cfg.NumShards, 1), cfg.Replicas, want)
+		}
 	}
 	var enc *extmem.Encryptor
 	if len(cfg.EncryptionKey) > 0 {
@@ -290,8 +347,15 @@ func New(cfg Config) (*Client, error) {
 			hasNet = true
 		}
 	}
-	if hasNet {
-		tr := netstore.NewTransport(cfg.NumShards + 2)
+	for _, u := range cfg.ReplicaURLs {
+		if u != "" {
+			hasNet = true
+		}
+	}
+	if cfg.HTTPTransport != nil {
+		netOpts.Transport = cfg.HTTPTransport
+	} else if hasNet {
+		tr := netstore.NewTransport(max(cfg.NumShards, 1)*max(cfg.Replicas, 1) + 2)
 		// The shared transport carries the TLS settings itself: Dial's own
 		// TLS wiring only applies when it builds the transport.
 		tr.TLSClientConfig = netOpts.TLS
@@ -303,7 +367,69 @@ func New(cfg Config) (*Client, error) {
 	// ShardPaths/ShardURLs with NumShards == 1 still go through the sharded
 	// constructor so the named backend serves the store (a silent
 	// fall-through to memory would lose the data on Close).
-	if cfg.NumShards > 1 || len(cfg.ShardPaths) > 0 || len(cfg.ShardURLs) > 0 {
+	if cfg.Replicas > 1 {
+		// Each logical shard becomes an R-way replica group; the sharded
+		// fan-out (when sharding is on) sits above the groups, so a shard's
+		// sub-batch fans out again across its replicas. Every physical
+		// replica carries its own latency model, making the group's modeled
+		// time the critical path over the replicas it touched.
+		shards := max(cfg.NumShards, 1)
+		perShard := extmem.CeilDiv(cfg.StartBlocks, shards)
+		groups := make([]extmem.BlockStore, shards)
+		closeBuilt := func(built []extmem.BlockStore) {
+			for _, ch := range built {
+				if ch != nil {
+					ch.Close()
+				}
+			}
+		}
+		for i := range groups {
+			children := make([]extmem.BlockStore, cfg.Replicas)
+			for j := range children {
+				if idx := i*cfg.Replicas + j; len(cfg.ReplicaURLs) > 0 && cfg.ReplicaURLs[idx] != "" {
+					nc, err := netstore.Dial(cfg.ReplicaURLs[idx], netOpts)
+					if err != nil {
+						closeBuilt(children)
+						closeBuilt(groups[:i])
+						return nil, fmt.Errorf("oblivext: shard %d replica %d: %w", i, j, err)
+					}
+					if nc.BlockSize() != innerB {
+						nc.Close()
+						closeBuilt(children)
+						closeBuilt(groups[:i])
+						return nil, fmt.Errorf("oblivext: shard %d replica %d server block size %d != %s",
+							i, j, nc.BlockSize(), wantB(cfg.BlockSize, innerB))
+					}
+					c.netClients = append(c.netClients, nc)
+					children[j] = wrapNet(nc)
+				} else {
+					children[j] = wrapNet(extmem.NewMemStore(perShard, innerB))
+				}
+			}
+			grp, err := replica.New(children, replica.Options{HedgeAfter: cfg.HedgeAfter})
+			if err != nil {
+				closeBuilt(children)
+				closeBuilt(groups[:i])
+				return nil, err
+			}
+			c.replicated = append(c.replicated, grp)
+			groups[i] = grp
+		}
+		if shards > 1 {
+			sh, err := shard.New(groups)
+			if err != nil {
+				closeBuilt(groups)
+				return nil, err
+			}
+			c.sharded = sh
+			store = sh
+			if latency {
+				c.net = sh
+			}
+		} else {
+			store = groups[0]
+		}
+	} else if cfg.NumShards > 1 || len(cfg.ShardPaths) > 0 || len(cfg.ShardURLs) > 0 {
 		if cfg.Path != "" {
 			return nil, errors.New("oblivext: with NumShards > 1 use ShardPaths, not Path")
 		}
@@ -481,6 +607,8 @@ func (c *Client) ResetStats() {
 	c.env.D.ResetStats() // resets the sealing store's byte counters too
 	if c.sharded != nil {
 		c.sharded.ResetNetStats() // resets the per-shard latency models too
+	} else if len(c.replicated) > 0 {
+		c.replicated[0].ResetNetStats() // the single replica group and its children
 	} else if c.net != nil {
 		c.net.ResetNetStats()
 	}
@@ -594,6 +722,93 @@ func (c *Client) MeasuredNetworkTime() time.Duration {
 		total += nc.NetStats().Total
 	}
 	return total
+}
+
+// ReplicaIOStats is one replica's view of the traffic and faults it saw.
+type ReplicaIOStats struct {
+	// RoundTrips counts sub-batches dispatched to this replica; BlocksMoved
+	// counts the blocks they carried. Replication overhead shows up here:
+	// the per-replica BlocksMoved sum exceeds the logical Stats().Total()
+	// because writes fan out to every live replica.
+	RoundTrips  int64
+	BlocksMoved int64
+	// ModeledTime is the delay this replica's latency model charged.
+	ModeledTime time.Duration
+	// Failures counts failed sub-batches; Failovers counts read sub-batches
+	// rerouted away from this replica after a failure.
+	Failures  int64
+	Failovers int64
+	// Hedges counts hedged reads launched against this replica as the
+	// secondary; HedgeWins counts the ones it won.
+	Hedges    int64
+	HedgeWins int64
+	// Repairs counts read-repair writes applied to this replica; Dirty is
+	// how many addresses are currently known stale on it.
+	Repairs int64
+	Dirty   int
+	// State is the replica's circuit-breaker state: "closed" (healthy),
+	// "open" (skipped), or "half-open" (probing).
+	State string
+}
+
+// NumReplicas returns R, the replication factor (1 when unreplicated).
+func (c *Client) NumReplicas() int {
+	if len(c.replicated) == 0 {
+		return 1
+	}
+	return c.replicated[0].NumReplicas()
+}
+
+// ReplicaStats returns per-replica traffic and fault counters, one slice
+// per shard group in shard order (nil when unreplicated).
+func (c *Client) ReplicaStats() [][]ReplicaIOStats {
+	if len(c.replicated) == 0 {
+		return nil
+	}
+	out := make([][]ReplicaIOStats, len(c.replicated))
+	for i, grp := range c.replicated {
+		ss := grp.ReplicaStats()
+		out[i] = make([]ReplicaIOStats, len(ss))
+		for j, s := range ss {
+			out[i][j] = ReplicaIOStats{RoundTrips: s.RoundTrips, BlocksMoved: s.BlocksMoved,
+				ModeledTime: s.ModeledTime, Failures: s.Failures, Failovers: s.Failovers,
+				Hedges: s.Hedges, HedgeWins: s.HedgeWins, Repairs: s.Repairs,
+				Dirty: s.Dirty, State: s.State}
+		}
+	}
+	return out
+}
+
+// ReplicaReadLatency returns an upper bound on the q-quantile of read-leg
+// flight times observed at the replica layer (for hedged reads, the winning
+// leg's own launch-to-completion time, excluding the hedge wait), taken as
+// the worst over shard groups. Zero when unreplicated or before any read.
+// This is the healthy-path latency estimate the adaptive hedge delay
+// derives its P95 from; bench E22 reports its P99 hedged vs unhedged.
+func (c *Client) ReplicaReadLatency(q float64) time.Duration {
+	var worst time.Duration
+	for _, grp := range c.replicated {
+		if d := grp.ReadLatencyQuantile(q); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// ReplicaEvents returns the replica layer's decision log — breaker
+// transitions, failovers, repairs — across all shard groups, each line
+// prefixed with its shard. Under a fixed fault schedule the log is a
+// function of the fault events and the public geometry alone, never of the
+// data; the chaos tests replay a schedule against different inputs and
+// assert the logs are identical.
+func (c *Client) ReplicaEvents() []string {
+	var out []string
+	for i, grp := range c.replicated {
+		for _, ev := range grp.Events() {
+			out = append(out, fmt.Sprintf("shard%d %s", i, ev))
+		}
+	}
+	return out
 }
 
 // ShardStats returns per-shard traffic counters (nil when unsharded). The
