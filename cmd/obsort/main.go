@@ -53,6 +53,8 @@ func main() {
 	netTimeout := flag.Duration("net-timeout", 0, "per-request timeout against a network backend (0 = default 10s)")
 	netRetries := flag.Int("net-retries", 0, "replays of a failed network request before giving up (0 = default 3, -1 = fail fast)")
 	authToken := flag.String("auth-token", "", "bearer token presented to network backends (must match obstore -auth-token)")
+	namespace := flag.String("namespace", "", "tenant namespace on a multi-tenant (-namespaces) obstore fleet: own address space, journal, and replay window")
+	multiplex := flag.Bool("multiplex", false, "use the process-wide multiplexed HTTP/2 transport (servers need obstore -h2c on cleartext listeners)")
 	tlsCA := flag.String("tls-ca", "", "PEM file of root certificates to trust for https:// backends (e.g. obstore's self-signed cert)")
 	tlsSkipVerify := flag.Bool("tls-skip-verify", false, "disable TLS certificate verification (smoke tests only)")
 	traceOut := flag.String("trace-out", "", "write the phase-span tree as Chrome trace-event JSON to this file (view at ui.perfetto.dev)")
@@ -68,7 +70,8 @@ func main() {
 		NumShards: *shards, SimulatedRTT: *rtt, SimulatedPerBlock: *perblock, Prefetch: *prefetch, Workers: *workers,
 		URL: *url, NetTimeout: *netTimeout, NetRetries: *netRetries,
 		Replicas: *replicas, HedgeAfter: *hedgeAfter,
-		AuthToken: *authToken, TLSRootCA: *tlsCA, TLSInsecureSkipVerify: *tlsSkipVerify}
+		AuthToken: *authToken, TLSRootCA: *tlsCA, TLSInsecureSkipVerify: *tlsSkipVerify,
+		Namespace: *namespace, Multiplex: *multiplex}
 	if *urls != "" && *file != "" {
 		fatal(fmt.Errorf("-urls and -file are mutually exclusive: shards are either remote servers or local files"))
 	}

@@ -38,6 +38,16 @@
 // and replays — the restart is absorbed by the retry path, with no failover
 // and no error surfacing — while an orchestrator watching /readyz routes
 // new work elsewhere. Only after D does the listener close.
+//
+// With -namespaces the server is multi-tenant (service mode): the first
+// request naming a new namespace lazily gets its own isolated store (memory,
+// or "<-file>.<ns>" when file-backed), journal (-journal-dir writes
+// <dir>/<ns>.trace), /v1/trace fingerprint, and replay-suppression window;
+// GET /v1/namespaces lists the tenants. With -h2c the listener additionally
+// accepts unencrypted HTTP/2, so multiplexed clients (oblivext
+// Config.Multiplex) share a few long-lived connections across all sessions:
+//
+//	obstore -addr :9220 -namespaces -journal-dir /tmp/bob-journals -h2c
 package main
 
 import (
@@ -46,11 +56,13 @@ import (
 	"crypto/subtle"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -71,6 +83,10 @@ func main() {
 	authToken := flag.String("auth-token", "", "require this bearer token on every request (Authorization: Bearer <token>)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra listener, behind the same TLS and bearer auth as the data endpoints (default: off)")
 	drain := flag.Duration("drain", 0, "on SIGTERM, refuse data-plane requests with 503 + Retry-After for this long before closing the listener, so clients absorb the restart by retrying (default: shut down immediately)")
+	namespaces := flag.Bool("namespaces", false, "serve in multi-tenant service mode: the first request naming a new namespace gets its own isolated store (in-memory, or a per-namespace file next to -file), journal, trace fingerprint, and replay window")
+	maxNamespaces := flag.Int("max-namespaces", 0, "cap on tenants a -namespaces server will create (0 selects the default of 1024)")
+	journalDir := flag.String("journal-dir", "", "with -namespaces, write each namespace's journal to <dir>/<ns>.trace (the default tenant's stays on -journal)")
+	h2c := flag.Bool("h2c", false, "accept unencrypted HTTP/2 (h2c) alongside HTTP/1.1, so multiplexed clients (oblivext Config.Multiplex) share connections on cleartext listeners; HTTP/2 over TLS is on regardless")
 	flag.Parse()
 
 	if (*tlsCert == "") != (*tlsKey == "") {
@@ -98,6 +114,28 @@ func main() {
 		jf = f
 		opts.Journal = f
 	}
+	if !*namespaces && (*journalDir != "" || *maxNamespaces != 0) {
+		fatal(fmt.Errorf("-journal-dir and -max-namespaces require -namespaces"))
+	}
+	if *namespaces {
+		opts.MaxNamespaces = *maxNamespaces
+		opts.StoreFactory = func(ns string) (extmem.BlockStore, error) {
+			// The namespace alphabet ([a-zA-Z0-9._-], no separators) is safe
+			// to splice into file names verbatim.
+			if *file != "" {
+				return extmem.NewFileStore(*file+"."+ns, *blocks, *b)
+			}
+			return extmem.NewMemStore(*blocks, *b), nil
+		}
+		if *journalDir != "" {
+			if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+				fatal(err)
+			}
+			opts.JournalFactory = func(ns string) (io.Writer, error) {
+				return os.Create(filepath.Join(*journalDir, ns+".trace"))
+			}
+		}
+	}
 
 	srv := netstore.NewServer(store, opts)
 	hs := &http.Server{
@@ -108,6 +146,9 @@ func main() {
 		// slow links can legitimately take a while.
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+	if *h2c {
+		netstore.ConfigureMuxServer(hs)
 	}
 
 	var ps *http.Server
@@ -205,6 +246,16 @@ func main() {
 
 	sum := srv.TraceSummary()
 	log.Printf("obstore: shutting down; observed %d accesses, trace hash %016x", sum.Len, sum.Hash)
+	// In service mode, every tenant's fingerprint — the operator's shutdown
+	// cross-check against what each client printed (and each -journal-dir
+	// file holds) covers all namespaces, not just the default.
+	for _, ns := range srv.Namespaces() {
+		if ns == "" {
+			continue // the default tenant is the line above
+		}
+		nsum := srv.TraceSummaryNS(ns)
+		log.Printf("obstore: namespace %q observed %d accesses, trace hash %016x", ns, nsum.Len, nsum.Hash)
+	}
 	if jf != nil {
 		if err := jf.Close(); err != nil {
 			fatal(err)

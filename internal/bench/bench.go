@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one generator per experiment in
-// DESIGN.md's index (E1–E22 plus the Figure 1 rendering), each producing
+// DESIGN.md's index (E1–E23 plus the Figure 1 rendering), each producing
 // the markdown table recorded in EXPERIMENTS.md. cmd/obench runs them.
 package bench
 
@@ -72,6 +72,7 @@ func All() []Experiment {
 		{"E20", "Observability overhead: phase spans off vs on", E20},
 		{"E21", "Parallel compute scaling: Config.Workers speedup, trace-invariant", E21},
 		{"E22", "Replicated fleet: hedged-read latency and replica-kill recovery", E22},
+		{"E23", "Service mode under load: throughput and latency vs concurrent sessions", E23},
 	}
 }
 

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oblivext"
+	"oblivext/internal/kvservice"
+)
+
+// E23 measures the service mode under concurrent load: one kvservice fleet,
+// N re-entrant sessions (one namespace each) issuing mixed Get/Put, at
+// N = 1, 8, 64. Bob is modeled as remote (SimulatedRTT with real sleeps),
+// so a single session spends almost all of its wall clock waiting on the
+// wire; the aggregate throughput curve then shows what the multi-session
+// service buys — independent sessions' network waits overlap, so fleet
+// throughput scales with session count until the single CPU saturates,
+// while each session's obliviousness contract (and its wire-requests-per-op
+// cost) is untouched. Reported per row: aggregate throughput, the speedup
+// over one session, service-side Get latency quantiles, and the
+// per-session wire cost of one op — the last must NOT grow with N, since
+// namespace isolation means contention may queue a session's requests but
+// never add to or reorder them.
+func E23() *Table {
+	const (
+		rtt        = 500 * time.Microsecond
+		slots      = 32
+		opsPerSess = 24
+		warmups    = 2 // per-session ops before the clock starts (first pays ORAM build)
+	)
+	t := &Table{
+		ID: "E23",
+		Title: fmt.Sprintf("Service mode under load: aggregate throughput vs concurrent sessions (RTT=%v, %d ops/session)",
+			rtt, opsPerSess),
+		Headers: []string{"sessions", "ops", "wall", "agg ops/s", "speedup vs 1",
+			"get P50", "get P95", "get P99", "wire req/op/session"},
+		Metrics: map[string]float64{},
+	}
+
+	type row struct {
+		sessions int
+		ops      int
+		wall     time.Duration
+		stats    kvservice.Stats
+		reqPerOp float64
+	}
+	run := func(sessions int) row {
+		svc, err := kvservice.New(kvservice.Options{
+			Base: oblivext.Config{
+				BlockSize: 8, CacheWords: 512, Seed: 23,
+				SimulatedRTT: rtt, SimulatedSleep: true,
+			},
+			Slots:       slots,
+			MaxSessions: sessions,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer svc.Close()
+
+		nsOf := func(g int) string { return fmt.Sprintf("sess%02d", g) }
+		drive := func(g, from, to int) {
+			ns := nsOf(g)
+			for i := from; i < to; i++ {
+				slot := (g*5 + i*3) % slots
+				var err error
+				if i%2 == 0 {
+					err = svc.Put(ns, slot, fmt.Sprintf("g%d-i%d", g, i))
+				} else {
+					_, err = svc.Get(ns, slot)
+				}
+				if err != nil {
+					panic(err)
+				}
+			}
+		}
+		spawn := func(from, to int) {
+			var wg sync.WaitGroup
+			for g := 0; g < sessions; g++ {
+				wg.Add(1)
+				go func() { defer wg.Done(); drive(g, from, to) }()
+			}
+			wg.Wait()
+		}
+
+		// Warmup: every session built and touched before the clock starts, so
+		// the timed window measures steady-state service, not ORAM builds.
+		spawn(0, warmups)
+		before := map[string]int64{}
+		for _, s := range svc.StatsSnapshot().Sessions {
+			before[s.Namespace] = s.WireRequests
+		}
+
+		start := time.Now()
+		spawn(warmups, warmups+opsPerSess)
+		wall := time.Since(start)
+
+		// Per-session wire cost of the timed window. Sessions run the same
+		// op mix, so their per-op costs should agree with each other too.
+		st := svc.StatsSnapshot()
+		var reqSum int64
+		for _, s := range st.Sessions {
+			reqSum += s.WireRequests - before[s.Namespace]
+		}
+		ops := sessions * opsPerSess
+		return row{
+			sessions: sessions,
+			ops:      ops,
+			wall:     wall,
+			stats:    st,
+			reqPerOp: float64(reqSum) / float64(ops),
+		}
+	}
+
+	var base float64
+	for _, sessions := range []int{1, 8, 64} {
+		r := run(sessions)
+		tput := float64(r.ops) / r.wall.Seconds()
+		if sessions == 1 {
+			base = tput
+		}
+		speedup := tput / base
+		t.Rows = append(t.Rows, []string{
+			f("%d", r.sessions), f("%d", r.ops), r.wall.Round(time.Millisecond).String(),
+			f("%.0f", tput), f("%.2fx", speedup),
+			f("%.2fms", r.stats.GetP50Ms), f("%.2fms", r.stats.GetP95Ms), f("%.2fms", r.stats.GetP99Ms),
+			f("%.1f", r.reqPerOp),
+		})
+		t.Metrics[f("throughput_ops_per_s_%d_sessions", sessions)] = tput
+		t.Metrics[f("speedup_%d_sessions", sessions)] = speedup
+		t.Metrics[f("wire_req_per_op_%d_sessions", sessions)] = r.reqPerOp
+		t.Metrics[f("get_p99_ms_%d_sessions", sessions)] = r.stats.GetP99Ms
+	}
+	t.Notes = append(t.Notes,
+		"Bob's distance is modeled (Config.SimulatedRTT, real sleeps), so the scaling is latency hiding: "+
+			"concurrent sessions overlap their wire waits, which is exactly what the namespaced obstore and "+
+			"multiplexed transport make safe — each namespace's journal stays bit-identical to its solo run "+
+			"(TestCrossSessionTrafficAnalysis).",
+		"wire req/op/session is flat across the sweep: contention queues a session's requests but never adds to them, "+
+			"so serving more tenants costs latency, not obliviousness.",
+		"Latency quantiles are service-lifetime (coarse power-of-two buckets) and include each session's first-touch "+
+			"ORAM build and periodic hierarchy rebuilds — the deterministic tail every ORAM-backed KV op stream carries.",
+	)
+	return t
+}

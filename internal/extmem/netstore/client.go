@@ -60,6 +60,15 @@ type Options struct {
 	// on every request. It must match the server's -auth-token; a mismatch
 	// is a permanent 401, not a retried fault.
 	AuthToken string
+	// Namespace selects the tenant this client's traffic belongs to on a
+	// multi-tenant (service-mode) server: its own block address space, its
+	// own journal and trace fingerprint, its own replay-suppression window.
+	// Data-plane requests carry it inline (the OBS2 framing); control-plane
+	// requests pass it as the ?ns= query parameter. Empty — the default —
+	// selects the default tenant over the legacy OBS1 framing, so
+	// single-tenant deployments are byte-for-byte unaffected. Must satisfy
+	// ValidNamespace.
+	Namespace string
 }
 
 const (
@@ -134,6 +143,7 @@ type Client struct {
 	maxAttempts int
 	backoff     time.Duration
 	authToken   string
+	ns          string // tenant namespace; "" = default tenant, OBS1 framing
 
 	// sleep and jitter are injectable for the fake-clock backoff tests:
 	// sleep waits for d or until ctx is canceled, jitter draws uniformly
@@ -162,6 +172,10 @@ func Dial(baseURL string, opts Options) (*Client, error) {
 	if opts.Backoff <= 0 {
 		opts.Backoff = defaultBackoff
 	}
+	if !ValidNamespace(opts.Namespace) {
+		return nil, fmt.Errorf("netstore: invalid namespace %q (want 1..%d chars of [a-zA-Z0-9._-])",
+			opts.Namespace, MaxNamespaceLen)
+	}
 	transport := opts.Transport
 	if transport == nil {
 		t := NewTransport(opts.MaxIdleConnsPerHost)
@@ -177,6 +191,7 @@ func Dial(baseURL string, opts Options) (*Client, error) {
 		maxAttempts: opts.MaxAttempts,
 		backoff:     opts.Backoff,
 		authToken:   opts.AuthToken,
+		ns:          opts.Namespace,
 		sleep:       sleepCtx,
 		jitter:      rand.Float64,
 	}
@@ -257,7 +272,7 @@ func (c *Client) WriteBlocksCtx(ctx context.Context, addrs []int, src []extmem.E
 // for size. Splitting a batch only regroups round trips — the per-block
 // trace is unchanged.
 func (c *Client) MaxBatchBlocks() int {
-	return (maxBatchWire - headerLen) / (8 + c.blockBytes)
+	return (maxBatchWire - headerLen - 1 - MaxNamespaceLen) / (8 + c.blockBytes)
 }
 
 // doIO sends one data-plane request, replaying it on transient failures
@@ -271,8 +286,9 @@ func (c *Client) doIO(ctx context.Context, op byte, addrs []int, payloadLen int,
 		opName = "write"
 	}
 	// Check the wire cap before materializing the body: rejection must not
-	// cost a giant allocation.
-	if headerLen+8*len(addrs)+payloadLen > maxBatchWire {
+	// cost a giant allocation. The namespaced framing's header is a few
+	// bytes longer; MaxBatchBlocks budgets for the worst case.
+	if headerLen+1+len(c.ns)+8*len(addrs)+payloadLen > maxBatchWire {
 		return nil, fmt.Errorf("netstore: %s of %d blocks exceeds the %d-byte wire cap (%d blocks max at B=%d); lower MaxBatchBlocks",
 			opName, len(addrs), maxBatchWire, c.MaxBatchBlocks(), c.b)
 	}
@@ -280,7 +296,7 @@ func (c *Client) doIO(ctx context.Context, op byte, addrs []int, payloadLen int,
 	c.seq++
 	seq := c.seq
 	c.mu.Unlock()
-	body, payload := encodeRequest(op, seq, addrs, payloadLen)
+	body, payload := encodeRequest(op, seq, c.ns, addrs, payloadLen)
 	if fill != nil {
 		fill(payload)
 	}
@@ -461,8 +477,13 @@ func (c *Client) getJSON(path string, out any) error {
 
 // controlJSON performs one control-plane exchange (geometry, growth) under
 // the shared retry policy; control requests are idempotent like the data
-// plane.
+// plane. The client's namespace rides along as the ?ns= query parameter, so
+// every control operation is scoped to the same tenant the data plane
+// targets.
 func (c *Client) controlJSON(method, path string, body []byte, out any) error {
+	if c.ns != "" {
+		path += "?" + nsParam + "=" + c.ns // ValidNamespace ⊂ URL-safe chars
+	}
 	return c.withRetry(context.Background(), nil, func() (bool, time.Duration, error) {
 		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
 		defer cancel()

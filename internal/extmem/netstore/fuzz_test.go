@@ -1,0 +1,72 @@
+package netstore
+
+import (
+	"bytes"
+	"testing"
+
+	"oblivext/internal/extmem"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the wire-frame parser — the one
+// piece of the server that runs on fully attacker-controlled input before
+// any validation — and checks the properties the service mode leans on:
+//
+//   - decodeRequest never panics, never allocates past the frame's own
+//     claims, and only ever returns namespaces ValidNamespace accepts;
+//   - every frame encodeRequest can produce round-trips through
+//     decodeRequest bit-exactly (op, seq, namespace, addresses, payload) —
+//     the replay-dedup key (namespace, seq) in particular survives the trip,
+//     since a key that mutated in flight would suppress the wrong tenant's
+//     journal entries.
+func FuzzFrameDecode(f *testing.F) {
+	const blockBytes = 4 * extmem.ElementBytes
+	// Seeds: a valid OBS1 read, a valid OBS2 write, and a few deliberate
+	// near-misses (truncations, bad magic, oversize namespace length).
+	seed1, _ := encodeRequest(opRead, 7, "", []int{0, 3}, 0)
+	seed2, p := encodeRequest(opWrite, 1<<40, "tenant-9", []int{5}, blockBytes)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	seed3, _ := encodeRequest(opRead, 2, "a", []int{}, 0)
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add(seed3)
+	f.Add(seed2[:len(seed2)-3]) // truncated payload
+	f.Add([]byte("OBS3garbagegarbage"))
+	f.Add(append([]byte("OBS2\x01"), bytes.Repeat([]byte{0xff}, 30)...)) // nsLen 255
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		op, seq, ns, addrs, payload, err := decodeRequest(body, blockBytes)
+		if err != nil {
+			return
+		}
+		// Accepted frames obey the protocol's own invariants.
+		if op != opRead && op != opWrite {
+			t.Fatalf("accepted unknown op %d", op)
+		}
+		if !ValidNamespace(ns) {
+			t.Fatalf("accepted invalid namespace %q", ns)
+		}
+		if op == opWrite && len(payload) != len(addrs)*blockBytes {
+			t.Fatalf("write payload %d bytes for %d blocks", len(payload), len(addrs))
+		}
+		for _, a := range addrs {
+			if a < 0 {
+				t.Fatalf("negative address %d", a)
+			}
+		}
+		// Re-encoding an accepted frame reproduces it bit-exactly, so the
+		// (namespace, seq) replay key and the address list cannot drift
+		// between what a client sent and what the journal records.
+		payloadLen := 0
+		if op == opWrite {
+			payloadLen = len(payload)
+		}
+		re, rp := encodeRequest(op, seq, ns, addrs, payloadLen)
+		copy(rp, payload)
+		if !bytes.Equal(re, body) {
+			t.Fatalf("round trip diverged:\n in  %x\n out %x", body, re)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package netstore
+
+import (
+	"net/http"
+	"sync"
+)
+
+// Wire multiplexing. A service process runs many sessions, each fanning out
+// to K shards; with one HTTP/1.1 keep-alive pool per Client that is
+// sessions × K TCP connections to a handful of servers, and every new
+// session pays dials before its first batch. HTTP/2 collapses this: all
+// sessions' requests to one server interleave as streams on a single
+// long-lived connection, so concurrency costs streams (cheap) instead of
+// sockets (file descriptors, dials, TLS handshakes). Request ids stay
+// per-session and namespaces keep the streams' journals apart, so
+// multiplexing changes connection count — never the per-tenant trace.
+
+// sharedMux is the process-wide multiplexed transport, one per process by
+// design: the whole point is that every session's Client shares it.
+var (
+	sharedMuxOnce sync.Once
+	sharedMux     *http.Transport
+)
+
+// SharedTransport returns the process-wide multiplexed transport: HTTP/2
+// for https:// URLs and unencrypted HTTP/2 (h2c, prior knowledge) for
+// http:// ones, so in-cluster cleartext deployments multiplex too. Every
+// Client handed this transport shares its connections — pass it as
+// Options.Transport (oblivext's Config.Multiplex does). The transport never
+// falls back to HTTP/1.1, so dialing a server that does not speak h2c fails
+// loudly rather than silently de-multiplexing; NewMuxServer-configured
+// servers (and cmd/obstore -h2c) always accept it.
+func SharedTransport() http.RoundTripper {
+	sharedMuxOnce.Do(func() {
+		sharedMux = NewTransport(64)
+		p := new(http.Protocols)
+		p.SetHTTP2(true)
+		p.SetUnencryptedHTTP2(true)
+		sharedMux.Protocols = p
+	})
+	return sharedMux
+}
+
+// ConfigureMuxServer enables multiplexed serving on an http.Server: HTTP/1.1
+// (old clients keep working), HTTP/2 over TLS, and unencrypted HTTP/2 so
+// SharedTransport's h2c prior-knowledge connections are accepted on
+// cleartext listeners.
+func ConfigureMuxServer(hs *http.Server) {
+	p := new(http.Protocols)
+	p.SetHTTP1(true)
+	p.SetHTTP2(true)
+	p.SetUnencryptedHTTP2(true)
+	hs.Protocols = p
+}

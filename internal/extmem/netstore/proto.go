@@ -32,10 +32,16 @@ const (
 	growPath       = "/v1/grow"
 	tracePath      = "/v1/trace"
 	traceResetPath = "/v1/trace/reset"
+	namespacesPath = "/v1/namespaces"
 	metricsPath    = "/metrics"
 	healthzPath    = "/healthz"
 	readyzPath     = "/readyz"
 )
+
+// nsParam is the query parameter naming the tenant on the control-plane
+// endpoints (info, grow, trace, trace reset); absent or empty selects the
+// default tenant, matching the OBS1 data-plane framing.
+const nsParam = "ns"
 
 // replayHeader is set to "1" on a data-plane response the server answered
 // from its replay-suppression window instead of executing, so the client
@@ -48,7 +54,10 @@ const replayHeader = "X-Obstore-Replay"
 // Clients prefer this header when present and fall back to Retry-After.
 const retryAfterMSHeader = "X-Obstore-Retry-After-Ms"
 
-// Wire format of one ioPath request body (integers little-endian):
+// Wire format of one ioPath request body (integers little-endian). Two
+// framings share the endpoint, distinguished by magic:
+//
+// Legacy single-tenant framing (namespace = "", the default):
 //
 //	magic   4 bytes  "OBS1"
 //	op      1 byte   1 = read batch, 2 = write batch
@@ -57,42 +66,120 @@ const retryAfterMSHeader = "X-Obstore-Retry-After-Ms"
 //	addrs   count × 8 bytes
 //	payload count × B × ElementBytes   (write batches only)
 //
+// Namespaced service-mode framing:
+//
+//	magic   4 bytes  "OBS2"
+//	op      1 byte
+//	seq     8 bytes
+//	nsLen   1 byte   namespace length, 1..MaxNamespaceLen
+//	ns      nsLen bytes of [a-zA-Z0-9._-]
+//	count   4 bytes
+//	addrs   count × 8 bytes
+//	payload count × B × ElementBytes   (write batches only)
+//
+// The namespace names the tenant the batch operates on: each namespace is
+// its own block address space with its own journal and its own
+// replay-suppression window, so the replay key is (namespace, seq) — request
+// ids from different sessions can never suppress each other's journal
+// entries. A client with an empty namespace always emits OBS1, so
+// single-tenant deployments and old servers are unaffected.
+//
 // A read response body is the payload alone (count × B × ElementBytes); a
 // write response body is empty. Errors are non-200 statuses with a plain-text
 // message; 5xx are transient (the client retries), 4xx are permanent.
 const (
 	magic             = "OBS1"
+	magicNS           = "OBS2"
 	opRead       byte = 1
 	opWrite      byte = 2
 	headerLen         = 4 + 1 + 8 + 4
 	maxBatchWire      = 1 << 28 // 256 MiB cap on a request body
 )
 
+// MaxNamespaceLen bounds the length of a namespace name on the wire (the
+// OBS2 framing carries it in one byte, and journal-file names derive from
+// it).
+const MaxNamespaceLen = 64
+
+// ValidNamespace reports whether ns is a legal namespace name: empty (the
+// default tenant) or 1..MaxNamespaceLen characters drawn from
+// [a-zA-Z0-9._-]. The alphabet is restricted so a namespace can appear
+// verbatim in journal file names, URLs, and metrics labels without escaping.
+func ValidNamespace(ns string) bool {
+	if len(ns) > MaxNamespaceLen {
+		return false
+	}
+	for i := 0; i < len(ns); i++ {
+		c := ns[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // encodeRequest builds an ioPath request body with room for payloadLen
 // payload bytes, returning the body and the payload sub-slice for the
 // caller to fill in place (write batches encode their elements directly
-// into it — no intermediate copy).
-func encodeRequest(op byte, seq uint64, addrs []int, payloadLen int) (body, payload []byte) {
-	body = make([]byte, headerLen+8*len(addrs)+payloadLen)
-	copy(body, magic)
+// into it — no intermediate copy). An empty namespace emits the legacy OBS1
+// framing; a non-empty one emits OBS2 with the namespace inline.
+func encodeRequest(op byte, seq uint64, ns string, addrs []int, payloadLen int) (body, payload []byte) {
+	hdr := headerLen
+	if ns != "" {
+		hdr = headerLen + 1 + len(ns)
+	}
+	body = make([]byte, hdr+8*len(addrs)+payloadLen)
+	off := 13
+	if ns == "" {
+		copy(body, magic)
+	} else {
+		copy(body, magicNS)
+		body[13] = byte(len(ns))
+		copy(body[14:], ns)
+		off = 14 + len(ns)
+	}
 	body[4] = op
 	binary.LittleEndian.PutUint64(body[5:], seq)
-	binary.LittleEndian.PutUint32(body[13:], uint32(len(addrs)))
+	binary.LittleEndian.PutUint32(body[off:], uint32(len(addrs)))
 	for i, a := range addrs {
-		binary.LittleEndian.PutUint64(body[headerLen+8*i:], uint64(a))
+		binary.LittleEndian.PutUint64(body[hdr+8*i:], uint64(a))
 	}
-	return body, body[headerLen+8*len(addrs):]
+	return body, body[hdr+8*len(addrs):]
 }
 
 // decodeRequest parses an ioPath request body into its op, request id,
-// address list, and (for writes) payload, validating the framing against
-// blockBytes, the payload size of one block.
-func decodeRequest(body []byte, blockBytes int) (op byte, seq uint64, addrs []int, payload []byte, err error) {
+// namespace, address list, and (for writes) payload, validating the framing
+// against blockBytes, the payload size of one block. OBS1 frames decode with
+// namespace ""; OBS2 frames carry an explicit, validated namespace.
+func decodeRequest(body []byte, blockBytes int) (op byte, seq uint64, ns string, addrs []int, payload []byte, err error) {
 	if len(body) < headerLen {
-		return 0, 0, nil, nil, fmt.Errorf("netstore: request truncated at %d bytes", len(body))
+		return 0, 0, "", nil, nil, fmt.Errorf("netstore: request truncated at %d bytes", len(body))
 	}
-	if string(body[:4]) != magic {
-		return 0, 0, nil, nil, fmt.Errorf("netstore: bad magic %q", body[:4])
+	hdr := headerLen
+	countOff := 13
+	switch string(body[:4]) {
+	case magic:
+	case magicNS:
+		// The namespace length byte is inside the minimum header, but the
+		// name itself extends it; re-check the bound before reading the name.
+		nsLen := int(body[13])
+		if nsLen == 0 || nsLen > MaxNamespaceLen {
+			return 0, 0, "", nil, nil, fmt.Errorf("netstore: namespace length %d out of range [1,%d]", nsLen, MaxNamespaceLen)
+		}
+		if len(body) < headerLen+1+nsLen {
+			return 0, 0, "", nil, nil, fmt.Errorf("netstore: request truncated at %d bytes (namespace of %d)", len(body), nsLen)
+		}
+		ns = string(body[14 : 14+nsLen])
+		if !ValidNamespace(ns) {
+			return 0, 0, "", nil, nil, fmt.Errorf("netstore: invalid namespace %q", ns)
+		}
+		hdr = headerLen + 1 + nsLen
+		countOff = 14 + nsLen
+	default:
+		return 0, 0, "", nil, nil, fmt.Errorf("netstore: bad magic %q", body[:4])
 	}
 	op = body[4]
 	seq = binary.LittleEndian.Uint64(body[5:])
@@ -100,37 +187,37 @@ func decodeRequest(body []byte, blockBytes int) (op byte, seq uint64, addrs []in
 	// must not be able to wrap the length check (32-bit int overflow) or
 	// force a giant make([]int, count) for a body that cannot possibly
 	// carry that many addresses.
-	rawCount := binary.LittleEndian.Uint32(body[13:])
+	rawCount := binary.LittleEndian.Uint32(body[countOff:])
 	if rawCount > uint32((maxBatchWire-headerLen)/8) {
-		return 0, 0, nil, nil, fmt.Errorf("netstore: batch of %d blocks exceeds the wire cap", rawCount)
+		return 0, 0, "", nil, nil, fmt.Errorf("netstore: batch of %d blocks exceeds the wire cap", rawCount)
 	}
 	count := int(rawCount)
-	want := int64(headerLen) + 8*int64(count)
+	want := int64(hdr) + 8*int64(count)
 	switch op {
 	case opRead:
 	case opWrite:
 		want += int64(count) * int64(blockBytes)
 	default:
-		return 0, 0, nil, nil, fmt.Errorf("netstore: unknown op %d", op)
+		return 0, 0, "", nil, nil, fmt.Errorf("netstore: unknown op %d", op)
 	}
 	if int64(len(body)) != want {
-		return 0, 0, nil, nil, fmt.Errorf("netstore: op %d with %d blocks wants %d bytes, got %d", op, count, want, len(body))
+		return 0, 0, "", nil, nil, fmt.Errorf("netstore: op %d with %d blocks wants %d bytes, got %d", op, count, want, len(body))
 	}
 	addrs = make([]int, count)
 	for i := range addrs {
-		a := binary.LittleEndian.Uint64(body[headerLen+8*i:])
+		a := binary.LittleEndian.Uint64(body[hdr+8*i:])
 		// Bound by the platform int so the conversion below cannot truncate
 		// (on 32-bit builds a huge address must be rejected, not wrapped
 		// into some other, in-range block).
 		if a > uint64(math.MaxInt) {
-			return 0, 0, nil, nil, fmt.Errorf("netstore: block address %d out of range", a)
+			return 0, 0, "", nil, nil, fmt.Errorf("netstore: block address %d out of range", a)
 		}
 		addrs[i] = int(a)
 	}
 	if op == opWrite {
-		payload = body[headerLen+8*count:]
+		payload = body[hdr+8*count:]
 	}
-	return op, seq, addrs, payload, nil
+	return op, seq, ns, addrs, payload, nil
 }
 
 // infoJSON is the infoPath (and grow response) body: the store geometry.
@@ -155,4 +242,18 @@ type traceJSON struct {
 	Hash     string `json:"hash"`
 	Requests int64  `json:"requests"`
 	Replays  int64  `json:"replays"`
+}
+
+// namespaceInfoJSON is one tenant's row in the namespacesPath body.
+type namespaceInfoJSON struct {
+	Name       string `json:"name"`
+	NumBlocks  int    `json:"numBlocks"`
+	JournalLen int64  `json:"journalLen"`
+	Requests   int64  `json:"requests"`
+}
+
+// namespacesJSON is the namespacesPath body: every tenant the server
+// currently holds, default tenant included (as name "").
+type namespacesJSON struct {
+	Namespaces []namespaceInfoJSON `json:"namespaces"`
 }

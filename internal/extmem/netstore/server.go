@@ -21,19 +21,21 @@ type ServerOptions struct {
 	// verbatim (the running hash and count always cover the full journal).
 	TraceKeep int
 	// Journal, when non-nil, receives one line per observed block access
-	// ("R 42\n" / "W 7\n") — the durable audit record of the adversary's
-	// view. A journal write failure fails the request: an unauditable access
-	// is not silently served.
+	// ("R 42\n" / "W 7\n") on the default tenant — the durable audit record
+	// of the adversary's view. A journal write failure fails the request: an
+	// unauditable access is not silently served.
 	Journal io.Writer
-	// DedupWindow is how many recent request ids the server remembers for
-	// replay suppression (default 4096). A client has at most a handful of
-	// requests in flight, so the default window exceeds any realistic
-	// replay distance by orders of magnitude. If an id IS evicted before a
-	// stale duplicate arrives, that duplicate is treated as new: it is
-	// journaled again and — for writes — re-executed, which can roll back a
-	// newer write to the same blocks. Do not shrink the window below the
-	// number of requests a client can have outstanding between a send and
-	// its last retry.
+	// DedupWindow is how many recent request ids each tenant remembers for
+	// replay suppression (default 4096). The window is per namespace — the
+	// replay key is (namespace, seq) — so concurrent sessions in different
+	// namespaces can never suppress each other's journal entries. A client
+	// has at most a handful of requests in flight, so the default window
+	// exceeds any realistic replay distance by orders of magnitude. If an id
+	// IS evicted before a stale duplicate arrives, that duplicate is treated
+	// as new: it is journaled again and — for writes — re-executed, which can
+	// roll back a newer write to the same blocks. Do not shrink the window
+	// below the number of requests a client can have outstanding between a
+	// send and its last retry.
 	DedupWindow int
 	// AuthToken, when non-empty, requires every request (data and control
 	// plane, the trace endpoints included) to carry a matching
@@ -43,28 +45,72 @@ type ServerOptions struct {
 	// Bob — it is a transport credential shared out of band, not part of
 	// Alice's encryption key.
 	AuthToken string
+	// StoreFactory, when non-nil, turns the server multi-tenant: the first
+	// request naming a namespace the server has not seen gets a fresh store
+	// from StoreFactory(ns), and from then on that namespace is its own
+	// isolated tenant — its own block address space, its own journal and
+	// /v1/trace fingerprint, its own replay-suppression window. The factory
+	// must return stores with the server's block size. Without a factory,
+	// requests naming a non-default namespace are rejected with 404.
+	StoreFactory func(ns string) (extmem.BlockStore, error)
+	// JournalFactory, when non-nil, supplies the durable journal writer for
+	// each namespace StoreFactory creates (the default tenant keeps using
+	// Journal). Closing the writers is the caller's business; the server
+	// only ever writes.
+	JournalFactory func(ns string) (io.Writer, error)
+	// MaxNamespaces caps how many tenants a multi-tenant server will create
+	// (default 1024). Requests naming further namespaces are rejected with
+	// 400 — a hard bound on the per-tenant memory an unauthenticated client
+	// could otherwise allocate.
+	MaxNamespaces int
 }
 
-// Server is Bob as an actual process: it owns a BlockStore (memory- or
-// file-backed), serves the batched binary protocol, and journals the
-// per-block access sequence it observes — the adversary's view, recorded by
-// the adversary. Handlers are safe for concurrent use; requests serialize on
-// an internal mutex, so the journal order is the order requests were
-// executed in.
+// tenant is one namespace's slice of the server: its own store, journal,
+// trace recorder, replay-suppression window, and scratch buffers, all behind
+// its own mutex so different sessions' requests serve in parallel. Nothing
+// here is shared across namespaces — that is the isolation the cross-session
+// adversary tests pin.
+type tenant struct {
+	mu       sync.Mutex
+	ns       string
+	store    extmem.BlockStore
+	rec      *trace.Recorder
+	journal  io.Writer
+	requests int64
+	replays  int64
+	seen     map[uint64]struct{}
+	ring     []uint64 // eviction order for seen
+	ringNext int
+	elems    []extmem.Element
+	jbuf     []byte // one batch's journal lines, written as a unit
+}
+
+// Server is Bob as an actual process: it owns one block store per namespace
+// (memory- or file-backed), serves the batched binary protocol, and journals
+// the per-block access sequence each tenant observes — the adversary's view,
+// recorded by the adversary. Handlers are safe for concurrent use; requests
+// within one namespace serialize on that tenant's mutex (so each journal's
+// order is the order its requests were executed in), while requests for
+// different namespaces execute in parallel.
 type Server struct {
-	mu         sync.Mutex
-	store      extmem.BlockStore
-	b          int
-	blockBytes int
-	rec        *trace.Recorder
-	keep       int
-	journal    io.Writer
-	requests   int64
-	replays    int64
-	// Lifetime telemetry for /metrics. Unlike requests/replays these are
-	// never reset by ResetTrace: Prometheus counters must be monotonic, and
-	// a client comparing its own measured totals against the server's needs
-	// figures that survive mid-run trace resets.
+	b           int
+	blockBytes  int
+	keep        int
+	dedupWindow int
+	factory     func(ns string) (extmem.BlockStore, error)
+	journalFor  func(ns string) (io.Writer, error)
+	maxNS       int
+	authDigest  [32]byte // sha256 of the bearer token; zero when auth is off
+	authOn      bool
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	order   []string // tenant creation order, for Namespaces()
+	// Lifetime telemetry for /metrics, aggregated over tenants. Unlike each
+	// tenant's requests/replays these are never reset by ResetTrace:
+	// Prometheus counters must be monotonic, and a client comparing its own
+	// measured totals against the server's needs figures that survive
+	// mid-run trace resets.
 	reqTotal    int64
 	replayTotal int64
 	readBlocks  int64
@@ -75,40 +121,94 @@ type Server struct {
 	hist        LatencyHistogram
 	// Readiness state: draining refuses new data-plane work with 503 +
 	// Retry-After so clients absorb a graceful restart through their retry
-	// path; journalErr latches a journal write failure (the server can no
-	// longer produce an auditable record, so it must stop reporting ready).
+	// path; journalErr latches a journal write failure on any tenant (the
+	// server can no longer produce an auditable record, so it must stop
+	// reporting ready).
 	draining   bool
 	drainRetry time.Duration
 	journalErr error
-	seen       map[uint64]struct{}
-	ring       []uint64 // eviction order for seen
-	ringNext   int
-	elems      []extmem.Element
-	jbuf       []byte   // one batch's journal lines, written as a unit
-	authDigest [32]byte // sha256 of the bearer token; zero when auth is off
-	authOn     bool
 }
 
-// NewServer wraps a block store in a protocol server.
+// NewServer wraps a block store — the default tenant's — in a protocol
+// server. With ServerOptions.StoreFactory set the server is multi-tenant:
+// further namespaces materialize on first use.
 func NewServer(store extmem.BlockStore, opts ServerOptions) *Server {
 	if opts.DedupWindow <= 0 {
 		opts.DedupWindow = 4096
 	}
+	if opts.MaxNamespaces <= 0 {
+		opts.MaxNamespaces = 1024
+	}
 	s := &Server{
-		store:      store,
-		b:          store.BlockSize(),
-		blockBytes: store.BlockSize() * extmem.ElementBytes,
-		rec:        trace.NewRecorder(opts.TraceKeep),
-		keep:       opts.TraceKeep,
-		journal:    opts.Journal,
-		seen:       make(map[uint64]struct{}, opts.DedupWindow),
-		ring:       make([]uint64, opts.DedupWindow),
+		b:           store.BlockSize(),
+		blockBytes:  store.BlockSize() * extmem.ElementBytes,
+		keep:        opts.TraceKeep,
+		dedupWindow: opts.DedupWindow,
+		factory:     opts.StoreFactory,
+		journalFor:  opts.JournalFactory,
+		maxNS:       opts.MaxNamespaces,
+		tenants:     make(map[string]*tenant),
 	}
 	if opts.AuthToken != "" {
 		s.authDigest = sha256.Sum256([]byte(opts.AuthToken))
 		s.authOn = true
 	}
+	s.addTenant("", store, opts.Journal)
 	return s
+}
+
+// addTenant installs a namespace's state; the caller must hold s.mu (or, at
+// construction, be the only goroutine).
+func (s *Server) addTenant(ns string, store extmem.BlockStore, journal io.Writer) *tenant {
+	t := &tenant{
+		ns:      ns,
+		store:   store,
+		rec:     trace.NewRecorder(s.keep),
+		journal: journal,
+		seen:    make(map[uint64]struct{}, s.dedupWindow),
+		ring:    make([]uint64, s.dedupWindow),
+	}
+	s.tenants[ns] = t
+	s.order = append(s.order, ns)
+	return t
+}
+
+// tenantFor resolves a namespace to its tenant, creating it through the
+// store factory on first use. The error status is permanent (4xx) for
+// unknown or excess namespaces, 500 for a factory failure.
+func (s *Server) tenantFor(ns string) (*tenant, int, error) {
+	if !ValidNamespace(ns) {
+		return nil, http.StatusBadRequest, fmt.Errorf("netstore: invalid namespace %q", ns)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[ns]; ok {
+		return t, http.StatusOK, nil
+	}
+	if s.factory == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("netstore: unknown namespace %q (server is single-tenant)", ns)
+	}
+	if len(s.tenants) >= s.maxNS {
+		return nil, http.StatusBadRequest, fmt.Errorf("netstore: namespace limit %d reached", s.maxNS)
+	}
+	store, err := s.factory(ns)
+	if err != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("netstore: namespace %q: %w", ns, err)
+	}
+	if store.BlockSize() != s.b {
+		store.Close()
+		return nil, http.StatusInternalServerError,
+			fmt.Errorf("netstore: namespace %q: factory store block size %d != %d", ns, store.BlockSize(), s.b)
+	}
+	var journal io.Writer
+	if s.journalFor != nil {
+		journal, err = s.journalFor(ns)
+		if err != nil {
+			store.Close()
+			return nil, http.StatusInternalServerError, fmt.Errorf("netstore: namespace %q journal: %w", ns, err)
+		}
+	}
+	return s.addTenant(ns, store, journal), http.StatusOK, nil
 }
 
 // BeginDrain puts the server into graceful drain: every subsequent
@@ -153,6 +253,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST "+growPath, s.handleGrow)
 	mux.HandleFunc("GET "+tracePath, s.handleTrace)
 	mux.HandleFunc("POST "+traceResetPath, s.handleTraceReset)
+	mux.HandleFunc("GET "+namespacesPath, s.handleNamespaces)
 	mux.HandleFunc("GET "+metricsPath, s.handleMetrics)
 	var h http.Handler = mux
 	if s.authOn {
@@ -183,32 +284,80 @@ func (s *Server) tokenOK(token string) bool {
 	return subtle.ConstantTimeCompare(d[:], s.authDigest[:]) == 1
 }
 
-// TraceSummary returns the in-memory journal fingerprint (for in-process
-// tests; remote auditors use the tracePath endpoint).
-func (s *Server) TraceSummary() trace.Summary {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec.Summarize()
+// TraceSummary returns the default tenant's in-memory journal fingerprint
+// (for in-process tests; remote auditors use the tracePath endpoint).
+func (s *Server) TraceSummary() trace.Summary { return s.TraceSummaryNS("") }
+
+// TraceSummaryNS returns one namespace's journal fingerprint. An unknown
+// namespace reports a zero summary — it has observed nothing.
+func (s *Server) TraceSummaryNS(ns string) trace.Summary {
+	t := s.lookup(ns)
+	if t == nil {
+		return trace.Summary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rec.Summarize()
 }
 
-// TraceOps returns the retained journal prefix.
-func (s *Server) TraceOps() []trace.Op {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]trace.Op(nil), s.rec.Ops()...)
+// TraceOps returns the default tenant's retained journal prefix.
+func (s *Server) TraceOps() []trace.Op { return s.TraceOpsNS("") }
+
+// TraceOpsNS returns one namespace's retained journal prefix.
+func (s *Server) TraceOpsNS(ns string) []trace.Op {
+	t := s.lookup(ns)
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]trace.Op(nil), t.rec.Ops()...)
 }
 
-// ResetTrace clears the journal recorder and the request counters (the
-// replay-suppression window survives: ids keep increasing across phases).
-func (s *Server) ResetTrace() {
+// lookup returns the tenant for ns without creating it, or nil.
+func (s *Server) lookup(ns string) *tenant {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.rec = trace.NewRecorder(s.keep)
-	s.requests, s.replays = 0, 0
+	return s.tenants[ns]
 }
 
-// Close closes the underlying store.
-func (s *Server) Close() error { return s.store.Close() }
+// ResetTrace clears the default tenant's journal recorder and request
+// counters (the replay-suppression window survives: ids keep increasing
+// across phases).
+func (s *Server) ResetTrace() { s.ResetTraceNS("") }
+
+// ResetTraceNS clears one namespace's journal recorder and request counters.
+func (s *Server) ResetTraceNS(ns string) {
+	t := s.lookup(ns)
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rec = trace.NewRecorder(s.keep)
+	t.requests, t.replays = 0, 0
+}
+
+// Namespaces returns the names of every tenant the server holds, in
+// creation order; the default tenant is "".
+func (s *Server) Namespaces() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Close closes every tenant's underlying store.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, ns := range s.order {
+		if err := s.tenants[ns].store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 func (s *Server) handleIO(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
@@ -220,15 +369,20 @@ func (s *Server) handleIO(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("read request: %v", err), http.StatusBadRequest)
 		return
 	}
-	op, seq, addrs, payload, err := decodeRequest(body, s.blockBytes)
+	op, seq, ns, addrs, payload, err := decodeRequest(body, s.blockBytes)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// All shared state is touched inside serveIO's lock; the socket writes
-	// below happen after it is released, so one stalled client connection
-	// cannot wedge the whole server behind the mutex.
-	wire, replay, status, msg := s.serveIO(op, seq, addrs, payload, int64(len(body)), started)
+	t, status, err := s.tenantFor(ns)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	// All shared state is touched inside serveIO's locks; the socket writes
+	// below happen after they are released, so one stalled client connection
+	// cannot wedge the whole server behind a mutex.
+	wire, replay, status, msg := s.serveIO(t, op, seq, addrs, payload, int64(len(body)), started)
 	if status != http.StatusOK {
 		http.Error(w, msg, status)
 		return
@@ -244,22 +398,22 @@ func (s *Server) handleIO(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// serveIO executes one decoded data-plane request under the server mutex and
-// returns the read payload (reads only), whether the request was answered
-// from the replay window, and an error status + message. bodyBytes and
-// started feed the telemetry counters.
-func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte, bodyBytes int64, started time.Time) (wire []byte, replay bool, status int, msg string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	replay = s.isReplay(seq)
+// serveIO executes one decoded data-plane request under its tenant's mutex
+// and returns the read payload (reads only), whether the request was
+// answered from the replay window, and an error status + message. bodyBytes
+// and started feed the telemetry counters.
+func (s *Server) serveIO(t *tenant, op byte, seq uint64, addrs []int, payload []byte, bodyBytes int64, started time.Time) (wire []byte, replay bool, status int, msg string) {
+	t.mu.Lock()
+	replay = t.isReplay(seq)
 
 	// Address validation is the client's responsibility gone wrong (400,
 	// permanent); anything the store itself then fails on is the server's
 	// problem (500, and the client's retry budget applies — a transient
 	// disk fault must not abort a Sort built to survive transient faults).
-	numBlocks := s.store.NumBlocks()
+	numBlocks := t.store.NumBlocks()
 	for _, a := range addrs {
 		if a >= numBlocks {
+			t.mu.Unlock()
 			return nil, replay, http.StatusBadRequest,
 				fmt.Sprintf("netstore: block address %d out of range [0,%d)", a, numBlocks)
 		}
@@ -268,16 +422,18 @@ func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte, bodyB
 	if op == opWrite {
 		kind = trace.Write
 	}
-	elems := s.scratchElems(len(addrs))
+	elems := t.scratchElems(len(addrs), s.b)
 	if op == opRead {
 		// Replayed reads re-execute — the data is needed again and reads
 		// are pure.
-		if err := s.store.ReadBlocks(addrs, elems); err != nil {
+		if err := t.store.ReadBlocks(addrs, elems); err != nil {
+			t.mu.Unlock()
 			return nil, replay, http.StatusInternalServerError, err.Error()
 		}
 	} else if !replay {
 		extmem.DecodeElements(elems, payload)
-		if err := s.store.WriteBlocks(addrs, elems); err != nil {
+		if err := t.store.WriteBlocks(addrs, elems); err != nil {
+			t.mu.Unlock()
 			return nil, replay, http.StatusInternalServerError, err.Error()
 		}
 	}
@@ -286,20 +442,35 @@ func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte, bodyB
 	// (e.g. one abandoned to a timeout, arriving after a *newer* write to
 	// the same blocks) would roll that newer data back.
 	if !replay {
-		if err := s.record(kind, addrs); err != nil {
+		if err := t.record(kind, addrs); err != nil {
 			// The access executed but could not be journaled: fail the
 			// request WITHOUT marking the id as seen, so the client's
 			// replay gets journaled rather than suppressed as a phantom
-			// "replay" of a request the audit log never recorded.
+			// "replay" of a request the audit log never recorded — and
+			// latch the failure for /readyz: a server that cannot journal
+			// cannot produce an auditable record.
+			t.mu.Unlock()
+			s.mu.Lock()
+			s.journalErr = err
+			s.mu.Unlock()
 			return nil, replay, http.StatusInternalServerError, fmt.Sprintf("journal: %v", err)
 		}
-		s.remember(seq)
+		t.remember(seq)
 	}
 	// Counters advance only for requests actually served.
-	s.requests++
+	t.requests++
 	if replay {
-		s.replays++
+		t.replays++
 	}
+	if op == opRead {
+		// A fresh buffer per request: the response outlives the lock (it is
+		// written to the socket after release), so it cannot share scratch.
+		wire = make([]byte, len(addrs)*s.blockBytes)
+		extmem.EncodeElements(wire, elems)
+	}
+	t.mu.Unlock()
+
+	s.mu.Lock()
 	s.reqTotal++
 	if replay {
 		s.replayTotal++
@@ -312,67 +483,74 @@ func (s *Server) serveIO(op byte, seq uint64, addrs []int, payload []byte, bodyB
 		s.writeBlocks += int64(len(addrs))
 	}
 	s.hist.Observe(time.Since(started))
-	if op == opRead {
-		// A fresh buffer per request: the response outlives the lock (it is
-		// written to the socket after release), so it cannot share scratch.
-		wire = make([]byte, len(addrs)*s.blockBytes)
-		extmem.EncodeElements(wire, elems)
-	}
+	s.mu.Unlock()
 	return wire, replay, http.StatusOK, ""
 }
 
-// isReplay reports whether seq is in the replay-suppression window: a
-// retransmission of a request the server already executed and journaled
-// (its response was lost on the way back).
-func (s *Server) isReplay(seq uint64) bool {
-	_, ok := s.seen[seq]
+// isReplay reports whether seq is in this tenant's replay-suppression
+// window: a retransmission of a request the tenant already executed and
+// journaled (its response was lost on the way back). The caller holds t.mu.
+func (t *tenant) isReplay(seq uint64) bool {
+	_, ok := t.seen[seq]
 	return ok
 }
 
-// remember commits seq to the replay-suppression window — only after the
-// request both executed and journaled, so suppression never hides an access
-// the audit log missed.
-func (s *Server) remember(seq uint64) {
-	delete(s.seen, s.ring[s.ringNext])
-	s.ring[s.ringNext] = seq
-	s.ringNext = (s.ringNext + 1) % len(s.ring)
-	s.seen[seq] = struct{}{}
+// remember commits seq to the tenant's replay-suppression window — only
+// after the request both executed and journaled, so suppression never hides
+// an access the audit log missed. The caller holds t.mu.
+func (t *tenant) remember(seq uint64) {
+	delete(t.seen, t.ring[t.ringNext])
+	t.ring[t.ringNext] = seq
+	t.ringNext = (t.ringNext + 1) % len(t.ring)
+	t.seen[seq] = struct{}{}
 }
 
 // record journals one batch's per-block accesses: the file write goes out
 // as a single buffer first, and the in-memory recorder advances only once
-// that write succeeded, so the two views cannot diverge mid-batch.
-func (s *Server) record(kind trace.Kind, addrs []int) error {
-	if s.journal != nil {
-		s.jbuf = s.jbuf[:0]
+// that write succeeded, so the two views cannot diverge mid-batch. The
+// caller holds t.mu.
+func (t *tenant) record(kind trace.Kind, addrs []int) error {
+	if t.journal != nil {
+		t.jbuf = t.jbuf[:0]
 		for _, a := range addrs {
-			s.jbuf = fmt.Appendf(s.jbuf, "%c %d\n", kind, a)
+			t.jbuf = fmt.Appendf(t.jbuf, "%c %d\n", kind, a)
 		}
-		if _, err := s.journal.Write(s.jbuf); err != nil {
-			// Latch the failure for /readyz: a server that cannot journal
-			// cannot produce an auditable record, so it must stop reporting
-			// ready even if a later write happens to succeed.
-			s.journalErr = err
+		if _, err := t.journal.Write(t.jbuf); err != nil {
 			return err
 		}
 	}
 	for _, a := range addrs {
-		s.rec.Record(kind, int64(a))
+		t.rec.Record(kind, int64(a))
 	}
 	return nil
 }
 
-func (s *Server) scratchElems(blocks int) []extmem.Element {
-	if need := blocks * s.b; cap(s.elems) < need {
-		s.elems = make([]extmem.Element, need)
+func (t *tenant) scratchElems(blocks, b int) []extmem.Element {
+	if need := blocks * b; cap(t.elems) < need {
+		t.elems = make([]extmem.Element, need)
 	}
-	return s.elems[:blocks*s.b]
+	return t.elems[:blocks*b]
+}
+
+// reqNS resolves the request's tenant from the control-plane ?ns= query
+// parameter, writing the error response itself on failure.
+func (s *Server) reqNS(w http.ResponseWriter, r *http.Request) (*tenant, bool) {
+	t, status, err := s.tenantFor(r.URL.Query().Get(nsParam))
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return nil, false
+	}
+	return t, true
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	info := infoJSON{NumBlocks: s.store.NumBlocks(), BlockSize: s.b}
-	s.mu.Unlock()
+	t, ok := s.reqNS(w, r)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	info := infoJSON{NumBlocks: t.store.NumBlocks(), BlockSize: s.b}
+	t.mu.Unlock()
 	writeJSON(w, info)
 }
 
@@ -411,12 +589,16 @@ func (s *Server) handleGrow(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "grow: negative capacity", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if req.NumBlocks > s.store.NumBlocks() {
-		g, ok := s.store.(extmem.Growable)
+	t, ok := s.reqNS(w, r)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if req.NumBlocks > t.store.NumBlocks() {
+		g, ok := t.store.(extmem.Growable)
 		if !ok {
-			http.Error(w, fmt.Sprintf("grow: %T cannot grow", s.store), http.StatusBadRequest)
+			http.Error(w, fmt.Sprintf("grow: %T cannot grow", t.store), http.StatusBadRequest)
 			return
 		}
 		if err := g.GrowTo(req.NumBlocks); err != nil {
@@ -424,21 +606,55 @@ func (s *Server) handleGrow(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, infoJSON{NumBlocks: s.store.NumBlocks(), BlockSize: s.b})
+	writeJSON(w, infoJSON{NumBlocks: t.store.NumBlocks(), BlockSize: s.b})
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	sum := s.rec.Summarize()
+	t, ok := s.reqNS(w, r)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	sum := t.rec.Summarize()
 	tj := traceJSON{Len: sum.Len, Hash: fmt.Sprintf("%016x", sum.Hash),
-		Requests: s.requests, Replays: s.replays}
-	s.mu.Unlock()
+		Requests: t.requests, Replays: t.replays}
+	t.mu.Unlock()
 	writeJSON(w, tj)
 }
 
 func (s *Server) handleTraceReset(w http.ResponseWriter, r *http.Request) {
-	s.ResetTrace()
+	t, ok := s.reqNS(w, r)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	t.rec = trace.NewRecorder(s.keep)
+	t.requests, t.replays = 0, 0
+	t.mu.Unlock()
 	w.WriteHeader(http.StatusOK)
+}
+
+// handleNamespaces lists every tenant with its geometry, journal length, and
+// request count — the fleet-operator's view of who is on this server. It
+// sits behind the bearer-token check like the trace endpoints: the tenant
+// list is workload metadata.
+func (s *Server) handleNamespaces(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.order))
+	for _, ns := range s.order {
+		tenants = append(tenants, s.tenants[ns])
+	}
+	s.mu.Unlock()
+	out := namespacesJSON{Namespaces: make([]namespaceInfoJSON, 0, len(tenants))}
+	for _, t := range tenants {
+		t.mu.Lock()
+		out.Namespaces = append(out.Namespaces, namespaceInfoJSON{
+			Name: t.ns, NumBlocks: t.store.NumBlocks(),
+			JournalLen: t.rec.Len(), Requests: t.requests,
+		})
+		t.mu.Unlock()
+	}
+	writeJSON(w, out)
 }
 
 // Metrics is a snapshot of the server's lifetime telemetry (the figures
@@ -449,14 +665,15 @@ type Metrics struct {
 	BytesIn, BytesOut       int64
 	AuthFailures            int64
 	JournalLen              int64
+	Namespaces              int
 	Latency                 LatencyHistogram
 }
 
-// MetricsSnapshot returns the current lifetime telemetry.
+// MetricsSnapshot returns the current lifetime telemetry. JournalLen sums
+// over tenants.
 func (s *Server) MetricsSnapshot() Metrics {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Metrics{
+	m := Metrics{
 		Requests:     s.reqTotal,
 		Replays:      s.replayTotal,
 		ReadBlocks:   s.readBlocks,
@@ -464,9 +681,20 @@ func (s *Server) MetricsSnapshot() Metrics {
 		BytesIn:      s.bytesIn,
 		BytesOut:     s.bytesOut,
 		AuthFailures: s.authFails,
-		JournalLen:   s.rec.Summarize().Len,
+		Namespaces:   len(s.tenants),
 		Latency:      s.hist,
 	}
+	tenants := make([]*tenant, 0, len(s.order))
+	for _, ns := range s.order {
+		tenants = append(tenants, s.tenants[ns])
+	}
+	s.mu.Unlock()
+	for _, t := range tenants {
+		t.mu.Lock()
+		m.JournalLen += t.rec.Len()
+		t.mu.Unlock()
+	}
+	return m
 }
 
 // handleMetrics serves the lifetime telemetry in Prometheus text exposition
@@ -485,16 +713,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("obstore_bytes_in_total", "Data-plane request body bytes received.", m.BytesIn)
 	counter("obstore_bytes_out_total", "Data-plane response payload bytes sent.", m.BytesOut)
 	counter("obstore_auth_failures_total", "Requests rejected by the bearer-token check.", m.AuthFailures)
-	fmt.Fprintf(w, "# HELP obstore_journal_len Per-block accesses in the current journal window.\n# TYPE obstore_journal_len gauge\nobstore_journal_len %d\n", m.JournalLen)
+	fmt.Fprintf(w, "# HELP obstore_journal_len Per-block accesses in the current journal windows, summed over namespaces.\n# TYPE obstore_journal_len gauge\nobstore_journal_len %d\n", m.JournalLen)
+	fmt.Fprintf(w, "# HELP obstore_namespaces Tenants this server holds (default namespace included).\n# TYPE obstore_namespaces gauge\nobstore_namespaces %d\n", m.Namespaces)
 	m.Latency.WritePrometheus(w, "obstore_request_latency_seconds")
 }
 
 // handleReadyz reports readiness — can this server take data-plane traffic
 // right now? — as distinct from /healthz liveness (is the process up at
 // all?). Not ready while draining (503 with both Retry-After headers, same
-// contract as the data plane) or after a journal write failure (the store
-// may work, but an unauditable server must not receive traffic). Served
-// outside the auth wrapper, like /healthz: it reveals only readiness.
+// contract as the data plane) or after a journal write failure on any
+// tenant (the store may work, but an unauditable server must not receive
+// traffic). Served outside the auth wrapper, like /healthz: it reveals only
+// readiness.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.refuseIfDraining(w) {
 		return

@@ -202,6 +202,26 @@ type Config struct {
 	// data integrity guarantees against an *active* network attacker do
 	// not).
 	TLSInsecureSkipVerify bool
+	// Namespace scopes this session's traffic to one tenant of a
+	// multi-tenant (service-mode) obstore fleet. Each namespace is its own
+	// block address space with its own server-side journal, trace
+	// fingerprint, and replay-suppression window, so N concurrent Clients
+	// in different namespaces share servers without sharing any observable
+	// state. Carried inline on data-plane requests and as ?ns= on control
+	// requests; empty (the default) selects the default tenant over the
+	// legacy framing. Must be 1..64 characters of [a-zA-Z0-9._-].
+	Namespace string
+	// Multiplex hands every network backend the process-wide multiplexed
+	// transport (netstore.SharedTransport): HTTP/2 streams over a handful
+	// of long-lived connections shared by ALL Clients in the process, so a
+	// service running many sessions pays connections per server, not per
+	// session × shard. Requires servers that accept unencrypted HTTP/2 on
+	// cleartext listeners (cmd/obstore -h2c, or any
+	// netstore.ConfigureMuxServer'd server). Mutually exclusive with
+	// HTTPTransport/TLSRootCA/TLSInsecureSkipVerify: the shared transport
+	// is process-global, so per-session transport or TLS settings cannot
+	// apply to it.
+	Multiplex bool
 }
 
 // Client is Alice: a private cache plus a connection to the block store.
@@ -267,6 +287,13 @@ func New(cfg Config) (*Client, error) {
 	if cfg.NetTimeout < 0 || cfg.NetRetries < -1 {
 		return nil, errors.New("oblivext: NetTimeout must be non-negative and NetRetries >= -1")
 	}
+	if !netstore.ValidNamespace(cfg.Namespace) {
+		return nil, fmt.Errorf("oblivext: invalid Namespace %q (want 1..%d chars of [a-zA-Z0-9._-])",
+			cfg.Namespace, netstore.MaxNamespaceLen)
+	}
+	if cfg.Multiplex && (cfg.HTTPTransport != nil || cfg.TLSRootCA != "" || cfg.TLSInsecureSkipVerify) {
+		return nil, errors.New("oblivext: Multiplex uses the process-wide shared transport; it cannot combine with HTTPTransport or per-session TLS settings")
+	}
 	if cfg.Replicas < 0 {
 		return nil, fmt.Errorf("oblivext: Replicas must be >= 0, got %d", cfg.Replicas)
 	}
@@ -314,7 +341,7 @@ func New(cfg Config) (*Client, error) {
 		})
 	}
 
-	netOpts := netstore.Options{Timeout: cfg.NetTimeout, AuthToken: cfg.AuthToken}
+	netOpts := netstore.Options{Timeout: cfg.NetTimeout, AuthToken: cfg.AuthToken, Namespace: cfg.Namespace}
 	switch {
 	case cfg.NetRetries == -1:
 		netOpts.MaxAttempts = 1 // fail-fast: the first attempt is the only one
@@ -352,9 +379,14 @@ func New(cfg Config) (*Client, error) {
 			hasNet = true
 		}
 	}
-	if cfg.HTTPTransport != nil {
+	switch {
+	case cfg.Multiplex:
+		// All sessions in the process interleave their requests as HTTP/2
+		// streams on the shared transport's few long-lived connections.
+		netOpts.Transport = netstore.SharedTransport()
+	case cfg.HTTPTransport != nil:
 		netOpts.Transport = cfg.HTTPTransport
-	} else if hasNet {
+	case hasNet:
 		tr := netstore.NewTransport(max(cfg.NumShards, 1)*max(cfg.Replicas, 1) + 2)
 		// The shared transport carries the TLS settings itself: Dial's own
 		// TLS wiring only applies when it builds the transport.

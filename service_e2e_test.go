@@ -1,0 +1,207 @@
+package oblivext
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"oblivext/internal/extmem"
+	"oblivext/internal/extmem/netstore"
+)
+
+// Cross-session traffic analysis: the service-mode adversary. Bob now hosts
+// many namespaces on one fleet, so he sees every tenant's journal AND their
+// interleaving. The defended claim (docs/THREAT_MODEL.md, "Cross-session
+// traffic analysis") is that per-namespace journals give him nothing new:
+// each namespace's journal is (a) independent of that tenant's input data
+// and (b) bit-identical to the journal the same workload produces running
+// ALONE on an otherwise idle fleet — concurrency neither perturbs a
+// session's trace nor lets one session's activity show up in another's
+// journal. These tests run real sessions over real HTTP against a shared
+// multi-tenant fleet and compare the servers' own records.
+
+// nsFleet spins up a K-server multi-tenant obstore fleet.
+func nsFleet(t *testing.T, k, blocks, b int) (servers []*netstore.Server, urls []string) {
+	t.Helper()
+	for i := 0; i < k; i++ {
+		srv := netstore.NewServer(extmem.NewMemStore(blocks, b), netstore.ServerOptions{
+			StoreFactory: func(ns string) (extmem.BlockStore, error) {
+				return extmem.NewMemStore(blocks, b), nil
+			},
+		})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { srv.Close() })
+		servers = append(servers, srv)
+		urls = append(urls, ts.URL)
+	}
+	return servers, urls
+}
+
+// runServiceSession runs one complete session — upload, Sort, a few ORAM
+// accesses — in namespace ns against the fleet, and returns each server's
+// journal fingerprint for that namespace: the adversary's per-tenant view,
+// fetched from the servers' own recorders. The session seed is fixed, so
+// the view is a deterministic function of len(recs) alone — if the stack is
+// oblivious and isolation holds.
+func runServiceSession(t *testing.T, servers []*netstore.Server, urls []string, ns string, recs []Record) []netstore.ServerTrace {
+	t.Helper()
+	c, err := New(Config{
+		BlockSize: 8, CacheWords: 512, Seed: 123,
+		NumShards: len(urls), ShardURLs: urls, Namespace: ns,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	arr, err := c.Store(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Sort(); err != nil {
+		t.Fatal(err)
+	}
+	kv, err := c.NewORAM(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := kv.Write(i, []uint64{recs[0].Val, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := kv.Read(3 - i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]netstore.ServerTrace, len(servers))
+	for i, srv := range servers {
+		sum := srv.TraceSummaryNS(ns)
+		out[i] = netstore.ServerTrace{Len: sum.Len, Hash: sum.Hash}
+	}
+	return out
+}
+
+func sessionRecs(n int, variant uint64) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		// Different variants have different values AND different key order.
+		recs[i] = Record{Key: (uint64(i)*(variant*2+7))%1009 + 1, Val: variant * 1000}
+	}
+	return recs
+}
+
+func TestCrossSessionTrafficAnalysis(t *testing.T) {
+	const n, shards = 128, 2
+
+	// Solo baselines on idle fleets: namespace "alice" with input 1, then —
+	// separately — "alice" with input 2, and "bob" with input 2.
+	servers, urls := nsFleet(t, shards, 4096, 8)
+	aliceSolo1 := runServiceSession(t, servers, urls, "alice", sessionRecs(n, 1))
+
+	servers, urls = nsFleet(t, shards, 4096, 8)
+	aliceSolo2 := runServiceSession(t, servers, urls, "alice", sessionRecs(n, 2))
+
+	servers, urls = nsFleet(t, shards, 4096, 8)
+	bobSolo := runServiceSession(t, servers, urls, "bob", sessionRecs(n, 2))
+
+	// (a) Input independence, already at the solo stage: same namespace,
+	// different data, same per-server journals.
+	for i := range aliceSolo1 {
+		if aliceSolo1[i] != aliceSolo2[i] {
+			t.Fatalf("shard %d journal depends on input data: %+v vs %+v", i, aliceSolo1[i], aliceSolo2[i])
+		}
+	}
+
+	// Concurrent run: alice (input 1) and bob (input 2) share one fresh
+	// fleet, racing.
+	servers, urls = nsFleet(t, shards, 4096, 8)
+	var aliceConc, bobConc []netstore.ServerTrace
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		aliceConc = runServiceSession(t, servers, urls, "alice", sessionRecs(n, 1))
+	}()
+	go func() {
+		defer wg.Done()
+		bobConc = runServiceSession(t, servers, urls, "bob", sessionRecs(n, 2))
+	}()
+	wg.Wait()
+
+	// (b) Concurrency doesn't widen the channel: each namespace's journal
+	// under contention is bit-identical to its solo baseline. Equality is
+	// per shard server — the adversary sits on each one separately.
+	for i := range servers {
+		if aliceConc[i] != aliceSolo1[i] {
+			t.Errorf("shard %d: alice's journal changed under concurrency: %+v vs solo %+v", i, aliceConc[i], aliceSolo1[i])
+		}
+		if bobConc[i] != bobSolo[i] {
+			t.Errorf("shard %d: bob's journal changed under concurrency: %+v vs solo %+v", i, bobConc[i], bobSolo[i])
+		}
+	}
+
+	// And the journals are complete: a tenant's view is nonempty (the
+	// adversary does see traffic — he just can't read anything out of it).
+	for i := range servers {
+		if aliceConc[i].Len == 0 || bobConc[i].Len == 0 {
+			t.Fatalf("shard %d journaled nothing: alice=%d bob=%d", i, aliceConc[i].Len, bobConc[i].Len)
+		}
+	}
+}
+
+func TestCrossSessionMultiplexedTrafficAnalysis(t *testing.T) {
+	// The same property with the multiplexed wire: both sessions' streams
+	// interleave on ONE shared HTTP/2 connection per server, the starkest
+	// sharing the service mode allows, and the per-namespace journals still
+	// match their solo baselines exactly.
+	const n = 96
+	mkFleet := func() (*netstore.Server, string) {
+		srv := netstore.NewServer(extmem.NewMemStore(4096, 8), netstore.ServerOptions{
+			StoreFactory: func(ns string) (extmem.BlockStore, error) {
+				return extmem.NewMemStore(4096, 8), nil
+			},
+		})
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		netstore.ConfigureMuxServer(ts.Config)
+		ts.Start()
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { srv.Close() })
+		return srv, ts.URL
+	}
+	run := func(srv *netstore.Server, url, ns string, variant uint64) netstore.ServerTrace {
+		c, err := New(Config{BlockSize: 8, CacheWords: 512, Seed: 9, URL: url, Namespace: ns, Multiplex: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		arr, err := c.Store(sessionRecs(n, variant))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := arr.Sort(); err != nil {
+			t.Fatal(err)
+		}
+		sum := srv.TraceSummaryNS(ns)
+		return netstore.ServerTrace{Len: sum.Len, Hash: sum.Hash}
+	}
+
+	srv, url := mkFleet()
+	aliceSolo := run(srv, url, "alice", 1)
+	srv, url = mkFleet()
+	bobSolo := run(srv, url, "bob", 2)
+
+	srv, url = mkFleet()
+	var aliceConc, bobConc netstore.ServerTrace
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); aliceConc = run(srv, url, "alice", 1) }()
+	go func() { defer wg.Done(); bobConc = run(srv, url, "bob", 2) }()
+	wg.Wait()
+
+	if aliceConc != aliceSolo {
+		t.Errorf("alice's journal changed under multiplexed concurrency: %+v vs solo %+v", aliceConc, aliceSolo)
+	}
+	if bobConc != bobSolo {
+		t.Errorf("bob's journal changed under multiplexed concurrency: %+v vs solo %+v", bobConc, bobSolo)
+	}
+}

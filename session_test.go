@@ -1,0 +1,152 @@
+package oblivext
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"oblivext/internal/obs"
+)
+
+// Session isolation: N Clients in one process are N independent Alices.
+// Nothing a session measures — IOStats, round trips, sealed/opened bytes,
+// its logical trace, its span tree, its audit verdicts — may depend on what
+// the *other* sessions in the process are doing. These tests pin that by
+// running each session's workload twice: once alone in a quiet process,
+// once racing three very different siblings, and requiring the two runs'
+// observations to be bit-identical. Any process-global counter, collector,
+// or cache shared across Clients breaks the equality.
+
+// sessionObservation is everything one session can see about itself.
+type sessionObservation struct {
+	stats    IOStats
+	trace    TraceSummary
+	spans    string // deterministic skeleton: names + I/O deltas, no wall time
+	violated int
+}
+
+// runSessionWorkload builds a fresh encrypted, span-instrumented Client and
+// runs a seed-dependent workload: store, sort, a few ORAM accesses. The
+// returned observation is a deterministic function of (n, seed) — compared
+// across quiet and crowded processes.
+func runSessionWorkload(t *testing.T, n int, seed uint64) sessionObservation {
+	t.Helper()
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(seed) + byte(i)
+	}
+	c, err := New(Config{BlockSize: 8, CacheWords: 512, Seed: seed, EncryptionKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.EnableTrace(0)
+	auditor := c.EnableAudit(true)
+
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Key: uint64(i)*seed%10007 + 1, Val: seed}
+	}
+	arr, err := c.Store(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Sort(); err != nil {
+		t.Fatal(err)
+	}
+	kv, err := c.NewORAM(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := kv.Write(int(seed)%32, []uint64{seed, uint64(i), 0, 0, 0, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := kv.Read((int(seed) + i) % 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, _, violated := auditor.Stats()
+	return sessionObservation{
+		stats:    c.Stats(),
+		trace:    c.TraceSummary(),
+		spans:    spanSkeleton(c.Spans()),
+		violated: violated,
+	}
+}
+
+// spanSkeleton renders a span tree's deterministic parts: names, nesting,
+// and I/O counter deltas — wall-clock fields excluded, since scheduling may
+// legitimately differ between a quiet and a crowded process.
+func spanSkeleton(spans []*obs.Span) string {
+	var b []byte
+	var walk func(s *obs.Span, depth int)
+	walk = func(s *obs.Span, depth int) {
+		b = fmt.Appendf(b, "%*s%s r=%d w=%d rt=%d sealed=%d opened=%d\n",
+			depth*2, "", s.Name, s.IO.Reads, s.IO.Writes, s.IO.RoundTrips, s.IO.BytesSealed, s.IO.BytesOpened)
+		for _, ch := range s.Children {
+			walk(ch, depth+1)
+		}
+	}
+	for _, s := range spans {
+		walk(s, 0)
+	}
+	return string(b)
+}
+
+func TestSessionIsolation(t *testing.T) {
+	// Four deliberately different sessions: different sizes, seeds, data.
+	type sess struct {
+		n    int
+		seed uint64
+	}
+	sessions := []sess{{96, 3}, {200, 11}, {64, 29}, {150, 4}}
+
+	// Quiet baselines: each session alone.
+	baseline := make([]sessionObservation, len(sessions))
+	for i, s := range sessions {
+		baseline[i] = runSessionWorkload(t, s.n, s.seed)
+	}
+
+	// Crowded run: all four at once, racing.
+	crowded := make([]sessionObservation, len(sessions))
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crowded[i] = runSessionWorkload(t, s.n, s.seed)
+		}()
+	}
+	wg.Wait()
+
+	for i := range sessions {
+		if crowded[i].stats != baseline[i].stats {
+			t.Errorf("session %d IOStats bled: crowded %+v != solo %+v", i, crowded[i].stats, baseline[i].stats)
+		}
+		if crowded[i].trace != baseline[i].trace {
+			t.Errorf("session %d trace bled: crowded %+v != solo %+v", i, crowded[i].trace, baseline[i].trace)
+		}
+		if crowded[i].spans != baseline[i].spans {
+			t.Errorf("session %d span tree bled:\ncrowded:\n%s\nsolo:\n%s", i, crowded[i].spans, baseline[i].spans)
+		}
+		if crowded[i].violated != 0 || baseline[i].violated != 0 {
+			t.Errorf("session %d audit violations: crowded %d, solo %d", i, crowded[i].violated, baseline[i].violated)
+		}
+	}
+}
+
+func TestSessionIsolationRepeatedConstruction(t *testing.T) {
+	// A subtler leak: state that survives one Client's Close and taints the
+	// next (package-level caches, reused pools). Construct and run the same
+	// session many times in sequence; every observation must equal the
+	// first.
+	first := runSessionWorkload(t, 80, 17)
+	for i := 0; i < 3; i++ {
+		again := runSessionWorkload(t, 80, 17)
+		if again.stats != first.stats || again.trace != first.trace || again.spans != first.spans {
+			t.Fatalf("run %d diverged from the first: %+v vs %+v", i+2, again.stats, first.stats)
+		}
+	}
+}
